@@ -1,0 +1,434 @@
+package wqrtq
+
+// Benchmark harness: one benchmark per figure of the paper's evaluation
+// (Figures 7–12), each sweeping the same parameter as the figure and
+// reporting ns/op (the paper's "total running time") plus the achieved
+// penalty as a custom metric. Scales are reduced relative to Table 1 so the
+// whole suite runs in minutes; cmd/experiments reproduces the full sweeps
+// at configurable scale, and EXPERIMENTS.md records the shape comparison.
+//
+// Ablation benchmarks cover the design choices called out in DESIGN.md §6:
+// interior-point QP vs grid search, count-pruned rank counting vs scanning,
+// MQWK's traversal reuse vs per-sample traversal, RTA buffer pruning vs
+// naive reverse top-k, and STR bulk loading vs one-by-one insertion.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"wqrtq/internal/core"
+	"wqrtq/internal/dataset"
+	"wqrtq/internal/dominance"
+	"wqrtq/internal/rtopk"
+	"wqrtq/internal/rtree"
+	"wqrtq/internal/sample"
+	"wqrtq/internal/topk"
+	"wqrtq/internal/vec"
+)
+
+// Bench-scale defaults standing in for Table 1 (|P| 100K→20K, |S| 800→64).
+const (
+	benchN      = 20000
+	benchDim    = 3
+	benchK      = 10
+	benchRank   = 101
+	benchWm     = 1
+	benchSample = 64
+)
+
+type benchEnv struct {
+	ds *dataset.Dataset
+	tr *rtree.Tree
+	wl dataset.Workload
+	pm core.PenaltyModel
+}
+
+var benchCache = map[string]*benchEnv{}
+
+func env(b *testing.B, dist string, n, d, k, rank, nWm int) *benchEnv {
+	b.Helper()
+	key := fmt.Sprintf("%s/%d/%d/%d/%d/%d", dist, n, d, k, rank, nWm)
+	if e, ok := benchCache[key]; ok {
+		return e
+	}
+	ds, err := dataset.ByName(dist, n, d, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wl, err := dataset.MakeWhyNot(ds, k, rank, nWm, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := &benchEnv{ds: ds, tr: ds.Tree(), wl: wl, pm: core.DefaultPenaltyModel()}
+	benchCache[key] = e
+	return e
+}
+
+// benchAlgos runs the three WQRTQ algorithms as sub-benchmarks of one cell.
+func benchAlgos(b *testing.B, e *benchEnv, sampleSize int) {
+	b.Run("MQP", func(b *testing.B) {
+		var penalty float64
+		for i := 0; i < b.N; i++ {
+			res, err := core.MQP(e.tr, e.wl.Q, e.wl.K, e.wl.Wm, e.pm)
+			if err != nil {
+				b.Fatal(err)
+			}
+			penalty = res.Penalty
+		}
+		b.ReportMetric(penalty, "penalty")
+	})
+	b.Run("MWK", func(b *testing.B) {
+		var penalty float64
+		for i := 0; i < b.N; i++ {
+			rng := rand.New(rand.NewSource(int64(i + 1)))
+			res, err := core.MWK(e.tr, e.wl.Q, e.wl.K, e.wl.Wm, sampleSize, rng, e.pm)
+			if err != nil {
+				b.Fatal(err)
+			}
+			penalty = res.Penalty
+		}
+		b.ReportMetric(penalty, "penalty")
+	})
+	b.Run("MQWK", func(b *testing.B) {
+		var penalty float64
+		for i := 0; i < b.N; i++ {
+			rng := rand.New(rand.NewSource(int64(i + 1)))
+			res, err := core.MQWK(e.tr, e.wl.Q, e.wl.K, e.wl.Wm, sampleSize, sampleSize, rng, e.pm)
+			if err != nil {
+				b.Fatal(err)
+			}
+			penalty = res.Penalty
+		}
+		b.ReportMetric(penalty, "penalty")
+	})
+}
+
+// BenchmarkFig07Dimensionality: WQRTQ cost vs. dimensionality (Figure 7).
+func BenchmarkFig07Dimensionality(b *testing.B) {
+	for _, d := range []int{2, 3, 4, 5} {
+		for _, dist := range []string{"independent", "anticorrelated"} {
+			b.Run(fmt.Sprintf("%s/d=%d", dist, d), func(b *testing.B) {
+				benchAlgos(b, env(b, dist, benchN, d, benchK, benchRank, benchWm), benchSample)
+			})
+		}
+	}
+}
+
+// BenchmarkFig08Cardinality: WQRTQ cost vs. dataset cardinality (Figure 8).
+func BenchmarkFig08Cardinality(b *testing.B) {
+	for _, n := range []int{10000, 50000, 100000} {
+		for _, dist := range []string{"independent", "anticorrelated"} {
+			b.Run(fmt.Sprintf("%s/n=%d", dist, n), func(b *testing.B) {
+				benchAlgos(b, env(b, dist, n, benchDim, benchK, benchRank, benchWm), benchSample)
+			})
+		}
+	}
+}
+
+// BenchmarkFig09K: WQRTQ cost vs. k (Figure 9).
+func BenchmarkFig09K(b *testing.B) {
+	for _, k := range []int{10, 30, 50} {
+		for _, dist := range []string{"household", "nba", "independent", "anticorrelated"} {
+			b.Run(fmt.Sprintf("%s/k=%d", dist, k), func(b *testing.B) {
+				benchAlgos(b, env(b, dist, benchN, benchDim, k, benchRank, benchWm), benchSample)
+			})
+		}
+	}
+}
+
+// BenchmarkFig10Rank: WQRTQ cost vs. actual ranking of q under Wm
+// (Figure 10).
+func BenchmarkFig10Rank(b *testing.B) {
+	for _, rank := range []int{11, 101, 1001} {
+		for _, dist := range []string{"household", "nba", "independent", "anticorrelated"} {
+			b.Run(fmt.Sprintf("%s/rank=%d", dist, rank), func(b *testing.B) {
+				benchAlgos(b, env(b, dist, benchN, benchDim, benchK, rank, benchWm), benchSample)
+			})
+		}
+	}
+}
+
+// BenchmarkFig11WmSize: WQRTQ cost vs. |Wm| (Figure 11).
+func BenchmarkFig11WmSize(b *testing.B) {
+	for _, m := range []int{1, 3, 5} {
+		for _, dist := range []string{"household", "nba", "independent", "anticorrelated"} {
+			b.Run(fmt.Sprintf("%s/wm=%d", dist, m), func(b *testing.B) {
+				benchAlgos(b, env(b, dist, benchN, benchDim, benchK, benchRank, m), benchSample)
+			})
+		}
+	}
+}
+
+// BenchmarkFig12SampleSize: WQRTQ cost vs. sample size (Figure 12). MQP is
+// included even though it ignores the sample size — exactly as in the
+// paper's figure, where its curve is flat.
+func BenchmarkFig12SampleSize(b *testing.B) {
+	for _, s := range []int{16, 64, 256} {
+		for _, dist := range []string{"household", "nba", "independent", "anticorrelated"} {
+			b.Run(fmt.Sprintf("%s/S=%d", dist, s), func(b *testing.B) {
+				benchAlgos(b, env(b, dist, benchN, benchDim, benchK, benchRank, benchWm), s)
+			})
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md §6) ----------------------------------------------
+
+// BenchmarkAblationQPvsGrid compares MQP's interior-point solve against a
+// brute-force grid search over the 2-D box [0, q] (the naive alternative to
+// quadratic programming).
+func BenchmarkAblationQPvsGrid(b *testing.B) {
+	e := env(b, "independent", benchN, 2, benchK, benchRank, benchWm)
+	b.Run("InteriorPointQP", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.MQP(e.tr, e.wl.Q, e.wl.K, e.wl.Wm, e.pm); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("GridSearch", func(b *testing.B) {
+		kth := make([]topk.Result, len(e.wl.Wm))
+		for i, w := range e.wl.Wm {
+			kth[i], _ = topk.KthPoint(e.tr, w, e.wl.K)
+		}
+		for i := 0; i < b.N; i++ {
+			gridSearchQ(e.wl.Q, e.wl.Wm, kth, 200)
+		}
+	})
+}
+
+// gridSearchQ scans a uniform grid of the box [0, q] for the feasible point
+// closest to q.
+func gridSearchQ(q vec.Point, wm []vec.Weight, kth []topk.Result, steps int) vec.Point {
+	best := vec.Point(nil)
+	bestDist := -1.0
+	cur := make(vec.Point, len(q))
+	for i := 0; i <= steps; i++ {
+		cur[0] = q[0] * float64(i) / float64(steps)
+		for j := 0; j <= steps; j++ {
+			cur[1] = q[1] * float64(j) / float64(steps)
+			ok := true
+			for m, w := range wm {
+				if vec.Score(w, cur) > kth[m].Score {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			d := vec.Dist(cur, q)
+			if bestDist < 0 || d < bestDist {
+				bestDist = d
+				best = vec.Clone(cur)
+			}
+		}
+	}
+	return best
+}
+
+// BenchmarkAblationRankCounting compares the count-pruned rank search
+// against a progressive scan and a linear scan.
+func BenchmarkAblationRankCounting(b *testing.B) {
+	e := env(b, "independent", benchN, benchDim, benchK, benchRank, benchWm)
+	w := e.wl.Wm[0]
+	fq := vec.Score(w, e.wl.Q)
+	b.Run("CountPruned", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			topk.Rank(e.tr, w, fq)
+		}
+	})
+	b.Run("ProgressiveScan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			it := topk.NewIterator(e.tr, w)
+			r := 1
+			for {
+				res, ok := it.Next()
+				if !ok || res.Score >= fq {
+					break
+				}
+				r++
+			}
+		}
+	})
+	b.Run("LinearScan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			topk.RankNaive(e.ds.Points, w, fq)
+		}
+	})
+}
+
+// BenchmarkAblationReuse isolates the §4.4 reuse technique: classifying a
+// cached candidate set per sample query point versus re-traversing the
+// R-tree for each.
+func BenchmarkAblationReuse(b *testing.B) {
+	e := env(b, "independent", benchN, benchDim, benchK, benchRank, benchWm)
+	rng := rand.New(rand.NewSource(1))
+	mqp, err := core.MQP(e.tr, e.wl.Q, e.wl.K, e.wl.Wm, e.pm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qSamples := sample.Box(rng, mqp.RefinedQ, e.wl.Q, 32)
+	b.Run("WithReuse", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cands, _ := dominance.Candidates(e.tr, e.wl.Q)
+			for _, qp := range qSamples {
+				dominance.Classify(cands, qp)
+			}
+		}
+	})
+	b.Run("WithoutReuse", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, qp := range qSamples {
+				dominance.FindIncom(e.tr, qp)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationRTA compares buffer-pruned bichromatic reverse top-k
+// against naive per-vector evaluation.
+func BenchmarkAblationRTA(b *testing.B) {
+	e := env(b, "independent", benchN, benchDim, benchK, benchRank, benchWm)
+	rng := rand.New(rand.NewSource(2))
+	W := make([]vec.Weight, 200)
+	for i := range W {
+		W[i] = sample.RandSimplex(rng, benchDim)
+	}
+	b.Run("RTA", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rtopk.Bichromatic(e.tr, W, e.wl.Q, e.wl.K)
+		}
+	})
+	b.Run("Naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rtopk.BichromaticNaive(e.ds.Points, W, e.wl.Q, e.wl.K)
+		}
+	})
+}
+
+// BenchmarkAblationBulkLoad compares STR packing against one-by-one R*
+// insertion.
+func BenchmarkAblationBulkLoad(b *testing.B) {
+	ds := dataset.Independent(benchN, benchDim, 3)
+	b.Run("STR", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rtree.Bulk(ds.Points, nil)
+		}
+	})
+	b.Run("Insert", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tr := rtree.New(benchDim)
+			for j, p := range ds.Points {
+				tr.Insert(p, int32(j))
+			}
+		}
+	})
+}
+
+// --- Micro-benchmarks of the substrates -------------------------------------
+
+func BenchmarkMicroTopK(b *testing.B) {
+	e := env(b, "independent", benchN, benchDim, benchK, benchRank, benchWm)
+	w := e.wl.Wm[0]
+	for i := 0; i < b.N; i++ {
+		topk.TopK(e.tr, w, benchK)
+	}
+}
+
+func BenchmarkMicroKthPoint(b *testing.B) {
+	e := env(b, "independent", benchN, benchDim, benchK, benchRank, benchWm)
+	w := e.wl.Wm[0]
+	for i := 0; i < b.N; i++ {
+		topk.KthPoint(e.tr, w, benchK)
+	}
+}
+
+func BenchmarkMicroFindIncom(b *testing.B) {
+	e := env(b, "independent", benchN, benchDim, benchK, benchRank, benchWm)
+	for i := 0; i < b.N; i++ {
+		dominance.FindIncom(e.tr, e.wl.Q)
+	}
+}
+
+func BenchmarkMicroWeightSampler(b *testing.B) {
+	e := env(b, "independent", benchN, benchDim, benchK, benchRank, benchWm)
+	sets := dominance.FindIncom(e.tr, e.wl.Q)
+	inc := make([]vec.Point, len(sets.I))
+	for i, c := range sets.I {
+		inc[i] = c.Point
+	}
+	s, err := sample.NewWeightSampler(e.wl.Q, inc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Sample(rng)
+	}
+}
+
+// BenchmarkAblationMWKStrategy compares the paper's two §4.3 candidate
+// strategies: the Lemma 6 scan (MWK, default) and the per-vector closest
+// replacement (MWKPerVector). Same sample budget; the scan dominates on
+// penalty at equal cost.
+func BenchmarkAblationMWKStrategy(b *testing.B) {
+	e := env(b, "independent", benchN, benchDim, benchK, benchRank, 3)
+	b.Run("Lemma6Scan", func(b *testing.B) {
+		var penalty float64
+		for i := 0; i < b.N; i++ {
+			res, err := core.MWK(e.tr, e.wl.Q, e.wl.K, e.wl.Wm, 256, rand.New(rand.NewSource(int64(i+1))), e.pm)
+			if err != nil {
+				b.Fatal(err)
+			}
+			penalty = res.Penalty
+		}
+		b.ReportMetric(penalty, "penalty")
+	})
+	b.Run("PerVector", func(b *testing.B) {
+		var penalty float64
+		for i := 0; i < b.N; i++ {
+			res, err := core.MWKPerVector(e.tr, e.wl.Q, e.wl.K, e.wl.Wm, 256, rand.New(rand.NewSource(int64(i+1))), e.pm)
+			if err != nil {
+				b.Fatal(err)
+			}
+			penalty = res.Penalty
+		}
+		b.ReportMetric(penalty, "penalty")
+	})
+}
+
+// BenchmarkAblationMQWKParallel measures the speedup of parallelizing
+// Algorithm 3 across workers (the library's extension for the paper's
+// "larger datasets" future-work direction).
+func BenchmarkAblationMQWKParallel(b *testing.B) {
+	e := env(b, "independent", benchN, benchDim, benchK, benchRank, benchWm)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.MQWKParallel(e.tr, e.wl.Q, e.wl.K, e.wl.Wm, benchSample, benchSample, 1, workers, e.pm); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBichromaticParallel measures the reverse top-k fan-out.
+func BenchmarkAblationBichromaticParallel(b *testing.B) {
+	e := env(b, "independent", benchN, benchDim, benchK, benchRank, benchWm)
+	rng := rand.New(rand.NewSource(5))
+	W := make([]vec.Weight, 400)
+	for i := range W {
+		W[i] = sample.RandSimplex(rng, benchDim)
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rtopk.BichromaticParallel(e.tr, W, e.wl.Q, e.wl.K, workers)
+			}
+		})
+	}
+}

@@ -1,0 +1,387 @@
+// Command wqrtq is the command-line front end of the library: generate
+// datasets, run top-k / reverse top-k queries, and answer why-not questions
+// with all three refinement solutions.
+//
+// Usage:
+//
+//	wqrtq gen    -dist independent -n 10000 -d 3 -seed 1 -out data.csv
+//	wqrtq topk   -data data.csv -w 0.2,0.3,0.5 -k 10
+//	wqrtq rtopk  -data data.csv -q 0.1,0.2,0.3 -k 10 -weights w.csv
+//	wqrtq mono   -data data2d.csv -q 4,4 -k 3
+//	wqrtq whynot -data data.csv -q 0.1,0.2,0.3 -k 10 -weights w.csv -missing 0,3 [-samples 800] [-seed 1]
+//
+// Data files are CSV with one point per row; weight files are CSV with one
+// weighting vector per row (components summing to 1).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"wqrtq"
+	"wqrtq/internal/dataset"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "topk":
+		err = cmdTopK(os.Args[2:])
+	case "rtopk":
+		err = cmdRTopK(os.Args[2:])
+	case "mono":
+		err = cmdMono(os.Args[2:])
+	case "whynot":
+		err = cmdWhyNot(os.Args[2:])
+	case "skyline":
+		err = cmdSkyline(os.Args[2:])
+	case "nearest":
+		err = cmdNearest(os.Args[2:])
+	case "monosample":
+		err = cmdMonoSample(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "wqrtq: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wqrtq:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `wqrtq — why-not questions on reverse top-k queries
+
+commands:
+  gen     generate a synthetic dataset CSV (independent, anticorrelated,
+          correlated, clustered, nba, household)
+  topk    run a top-k query
+  rtopk   run a bichromatic reverse top-k query
+  mono    run a 2-D monochromatic reverse top-k query
+  whynot  answer a why-not question (explanations + MQP, MWK, MQWK)
+  skyline list the Pareto-optimal (undominated) points
+  nearest find the points closest to a given point
+  monosample  estimate a monochromatic reverse top-k result in any dimension
+
+run "wqrtq <command> -h" for flags`)
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	dist := fs.String("dist", "independent", "distribution: independent|anticorrelated|correlated|clustered|nba|household")
+	n := fs.Int("n", 10000, "cardinality")
+	d := fs.Int("d", 3, "dimensionality (synthetic distributions)")
+	seed := fs.Int64("seed", 1, "random seed")
+	out := fs.String("out", "", "output CSV path (default stdout)")
+	fs.Parse(args)
+	ds, err := dataset.ByName(*dist, *n, *d, *seed)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return ds.WriteCSV(w)
+}
+
+func loadIndex(path string) (*wqrtq.Index, *dataset.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	ds, err := dataset.ReadCSV(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	pts := make([][]float64, len(ds.Points))
+	for i, p := range ds.Points {
+		pts[i] = p
+	}
+	ix, err := wqrtq.NewIndex(pts)
+	return ix, ds, err
+}
+
+func loadWeights(path string) ([][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	ds, err := dataset.ReadCSV(f)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]float64, len(ds.Points))
+	for i, p := range ds.Points {
+		out[i] = p
+	}
+	return out, nil
+}
+
+func parseVector(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad vector component %q", p)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad index %q", p)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func cmdTopK(args []string) error {
+	fs := flag.NewFlagSet("topk", flag.ExitOnError)
+	data := fs.String("data", "", "dataset CSV path")
+	wstr := fs.String("w", "", "weighting vector, comma separated")
+	k := fs.Int("k", 10, "k")
+	fs.Parse(args)
+	ix, _, err := loadIndex(*data)
+	if err != nil {
+		return err
+	}
+	w, err := parseVector(*wstr)
+	if err != nil {
+		return err
+	}
+	res, err := ix.TopK(w, *k)
+	if err != nil {
+		return err
+	}
+	for i, r := range res {
+		fmt.Printf("%2d. point %d score %.6g %v\n", i+1, r.ID, r.Score, r.Point)
+	}
+	return nil
+}
+
+func cmdRTopK(args []string) error {
+	fs := flag.NewFlagSet("rtopk", flag.ExitOnError)
+	data := fs.String("data", "", "dataset CSV path")
+	weights := fs.String("weights", "", "weighting vector CSV path")
+	qstr := fs.String("q", "", "query point, comma separated")
+	k := fs.Int("k", 10, "k")
+	fs.Parse(args)
+	ix, _, err := loadIndex(*data)
+	if err != nil {
+		return err
+	}
+	W, err := loadWeights(*weights)
+	if err != nil {
+		return err
+	}
+	q, err := parseVector(*qstr)
+	if err != nil {
+		return err
+	}
+	res, err := ix.ReverseTopK(W, q, *k)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("BRTOP%d(q) contains %d of %d weighting vectors:\n", *k, len(res), len(W))
+	for _, i := range res {
+		fmt.Printf("  w%d %v\n", i, W[i])
+	}
+	return nil
+}
+
+func cmdMono(args []string) error {
+	fs := flag.NewFlagSet("mono", flag.ExitOnError)
+	data := fs.String("data", "", "2-D dataset CSV path")
+	qstr := fs.String("q", "", "query point, comma separated")
+	k := fs.Int("k", 10, "k")
+	fs.Parse(args)
+	ix, _, err := loadIndex(*data)
+	if err != nil {
+		return err
+	}
+	q, err := parseVector(*qstr)
+	if err != nil {
+		return err
+	}
+	ivs, err := ix.ReverseTopKMono2D(q, *k)
+	if err != nil {
+		return err
+	}
+	if len(ivs) == 0 {
+		fmt.Println("MRTOPk(q) is empty: no weighting vector ranks q within its top-k")
+		return nil
+	}
+	fmt.Printf("MRTOP%d(q), with w = (λ, 1-λ):\n", *k)
+	for _, iv := range ivs {
+		fmt.Printf("  λ ∈ [%.6g, %.6g]\n", iv.Lo, iv.Hi)
+	}
+	return nil
+}
+
+func cmdWhyNot(args []string) error {
+	fs := flag.NewFlagSet("whynot", flag.ExitOnError)
+	data := fs.String("data", "", "dataset CSV path")
+	weights := fs.String("weights", "", "weighting vector CSV path")
+	qstr := fs.String("q", "", "query point, comma separated")
+	k := fs.Int("k", 10, "k")
+	missing := fs.String("missing", "", "why-not vector indices (default: every vector absent from the result)")
+	samples := fs.Int("samples", 800, "sample size |S| (= |Q|)")
+	seed := fs.Int64("seed", 1, "sampling seed")
+	fs.Parse(args)
+	ix, _, err := loadIndex(*data)
+	if err != nil {
+		return err
+	}
+	W, err := loadWeights(*weights)
+	if err != nil {
+		return err
+	}
+	q, err := parseVector(*qstr)
+	if err != nil {
+		return err
+	}
+	opts := wqrtq.Options{SampleSize: *samples, Seed: *seed}
+	sel, err := parseInts(*missing)
+	if err != nil {
+		return err
+	}
+	if len(sel) > 0 {
+		// Restrict the question to the requested vectors.
+		sub := make([][]float64, len(sel))
+		for i, idx := range sel {
+			if idx < 0 || idx >= len(W) {
+				return fmt.Errorf("missing index %d out of range", idx)
+			}
+			sub[i] = W[idx]
+		}
+		W = sub
+	}
+	ans, err := ix.WhyNot(q, *k, W, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("reverse top-%d result: %d of %d vectors; missing: %v\n",
+		*k, len(ans.Result), len(W), ans.Missing)
+	for i, mi := range ans.Missing {
+		fmt.Printf("\nwhy is w%d missing? %d points outscore q:\n", mi, len(ans.Explanations[i]))
+		for j, r := range ans.Explanations[i] {
+			if j >= 5 {
+				fmt.Printf("  ... and %d more\n", len(ans.Explanations[i])-5)
+				break
+			}
+			fmt.Printf("  point %d score %.6g\n", r.ID, r.Score)
+		}
+	}
+	if len(ans.Missing) == 0 {
+		return nil
+	}
+	fmt.Printf("\nrefinement suggestions (smaller penalty is better):\n")
+	fmt.Printf("  [MQP ] modify q to %v        penalty %.4f\n", ans.ModifiedQuery.Q, ans.ModifiedQuery.Penalty)
+	fmt.Printf("  [MWK ] modify Wm to %v, k'=%d  penalty %.4f\n", ans.ModifiedPreferences.Wm, ans.ModifiedPreferences.K, ans.ModifiedPreferences.Penalty)
+	fmt.Printf("  [MQWK] modify q to %v, Wm to %v, k'=%d  penalty %.4f\n",
+		ans.ModifiedAll.Q, ans.ModifiedAll.Wm, ans.ModifiedAll.K, ans.ModifiedAll.Penalty)
+	return nil
+}
+
+func cmdSkyline(args []string) error {
+	fs := flag.NewFlagSet("skyline", flag.ExitOnError)
+	data := fs.String("data", "", "dataset CSV path")
+	fs.Parse(args)
+	ix, ds, err := loadIndex(*data)
+	if err != nil {
+		return err
+	}
+	_ = ds
+	sky := ix.Skyline()
+	fmt.Printf("%d of %d points are Pareto-optimal:\n", len(sky), ix.Len())
+	for _, id := range sky {
+		fmt.Printf("  point %d %v\n", id, ix.Point(id))
+	}
+	return nil
+}
+
+func cmdNearest(args []string) error {
+	fs := flag.NewFlagSet("nearest", flag.ExitOnError)
+	data := fs.String("data", "", "dataset CSV path")
+	pstr := fs.String("p", "", "reference point, comma separated")
+	n := fs.Int("n", 5, "number of neighbors")
+	fs.Parse(args)
+	ix, _, err := loadIndex(*data)
+	if err != nil {
+		return err
+	}
+	p, err := parseVector(*pstr)
+	if err != nil {
+		return err
+	}
+	ns, err := ix.Nearest(p, *n)
+	if err != nil {
+		return err
+	}
+	for i, nb := range ns {
+		fmt.Printf("%2d. point %d distance %.6g %v\n", i+1, nb.ID, nb.Distance, nb.Point)
+	}
+	return nil
+}
+
+func cmdMonoSample(args []string) error {
+	fs := flag.NewFlagSet("monosample", flag.ExitOnError)
+	data := fs.String("data", "", "dataset CSV path")
+	qstr := fs.String("q", "", "query point, comma separated")
+	k := fs.Int("k", 10, "k")
+	samples := fs.Int("samples", 2000, "Monte Carlo samples")
+	seed := fs.Int64("seed", 1, "sampling seed")
+	fs.Parse(args)
+	ix, _, err := loadIndex(*data)
+	if err != nil {
+		return err
+	}
+	q, err := parseVector(*qstr)
+	if err != nil {
+		return err
+	}
+	ws, frac, err := ix.ReverseTopKMonoSample(q, *k, *samples, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("an estimated %.2f%% of the weighting simplex ranks q in its top-%d\n", 100*frac, *k)
+	show := len(ws)
+	if show > 5 {
+		show = 5
+	}
+	for i := 0; i < show; i++ {
+		fmt.Printf("  witness %v\n", ws[i])
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseVector(t *testing.T) {
+	got, err := parseVector("0.1, 0.2,0.7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.1, 0.2, 0.7}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("parseVector[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if _, err := parseVector("1,abc"); err == nil {
+		t.Error("bad component accepted")
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("0, 3,7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 0 || got[1] != 3 || got[2] != 7 {
+		t.Errorf("parseInts = %v", got)
+	}
+	if out, err := parseInts(""); err != nil || out != nil {
+		t.Errorf("empty string: %v, %v", out, err)
+	}
+	if _, err := parseInts("1,x"); err == nil {
+		t.Error("bad index accepted")
+	}
+}
+
+func TestLoadIndexAndWeights(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "d.csv")
+	if err := os.WriteFile(data, []byte("1,2\n3,4\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ix, ds, err := loadIndex(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 2 || ds.Dim != 2 {
+		t.Errorf("loaded %d points, dim %d", ix.Len(), ds.Dim)
+	}
+	weights := filepath.Join(dir, "w.csv")
+	if err := os.WriteFile(weights, []byte("0.5,0.5\n0.9,0.1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	W, err := loadWeights(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(W) != 2 || W[1][0] != 0.9 {
+		t.Errorf("loaded weights %v", W)
+	}
+	if _, _, err := loadIndex(filepath.Join(dir, "missing.csv")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestGenCommandRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "gen.csv")
+	if err := cmdGen([]string{"-dist", "independent", "-n", "50", "-d", "2", "-seed", "3", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	ix, ds, err := loadIndex(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 50 || ds.Dim != 2 {
+		t.Errorf("generated %d points, dim %d", ix.Len(), ds.Dim)
+	}
+}

@@ -1,0 +1,90 @@
+package wqrtq
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"wqrtq/internal/dominance"
+	"wqrtq/internal/rtopk"
+	"wqrtq/internal/vec"
+)
+
+// Insert adds a point to the index and returns its id (the position it
+// would have had in the NewIndex input). The point slice is retained.
+//
+// Mutations are not safe concurrently with queries or other mutations;
+// queries from multiple goroutines remain safe between mutations.
+func (ix *Index) Insert(p []float64) (int, error) {
+	if err := ix.checkPoint(p); err != nil {
+		return 0, err
+	}
+	id := len(ix.points)
+	ix.points = append(ix.points, vec.Point(p))
+	ix.tree.Insert(p, int32(id))
+	return id, nil
+}
+
+// Delete removes the point with the given id (as returned by NewIndex
+// ordering or Insert). Deleted ids are never reused; queries simply stop
+// returning them. It reports whether the id was present.
+func (ix *Index) Delete(id int) (bool, error) {
+	if id < 0 || id >= len(ix.points) {
+		return false, fmt.Errorf("wqrtq: id %d out of range", id)
+	}
+	p := ix.points[id]
+	if p == nil {
+		return false, nil // already deleted
+	}
+	if !ix.tree.Delete(p, int32(id)) {
+		return false, nil
+	}
+	ix.points[id] = nil
+	return true, nil
+}
+
+// Point returns the point stored under id, or nil if it was deleted.
+func (ix *Index) Point(id int) []float64 {
+	if id < 0 || id >= len(ix.points) {
+		return nil
+	}
+	return ix.points[id]
+}
+
+// Skyline returns the ids of the Pareto-optimal points: those dominated by
+// no other indexed point. These are the only products that can rank first
+// under any preference.
+func (ix *Index) Skyline() []int {
+	live := make([]vec.Point, 0, len(ix.points))
+	idx := make([]int, 0, len(ix.points))
+	for i, p := range ix.points {
+		if p != nil {
+			live = append(live, p)
+			idx = append(idx, i)
+		}
+	}
+	sky := dominance.Skyline(live)
+	out := make([]int, len(sky))
+	for i, s := range sky {
+		out[i] = idx[s]
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ReverseTopKParallel answers the bichromatic reverse top-k query with the
+// weighting vectors spread over the given number of worker goroutines
+// (workers <= 0 uses GOMAXPROCS). The result is identical to ReverseTopK.
+func (ix *Index) ReverseTopKParallel(W [][]float64, q []float64, k, workers int) ([]int, error) {
+	ws, err := ix.checkWeights(W)
+	if err != nil {
+		return nil, err
+	}
+	if err := ix.checkPoint(q); err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		return nil, errors.New("wqrtq: k must be positive")
+	}
+	return rtopk.BichromaticParallel(ix.tree, ws, q, k, workers), nil
+}

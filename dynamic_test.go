@@ -1,0 +1,139 @@
+package wqrtq
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestInsertDeleteLifecycle(t *testing.T) {
+	ix := paperIndex(t)
+	// Insert a dominating computer: it becomes everyone's top choice.
+	id, err := ix.Insert([]float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 7 {
+		t.Errorf("id = %d, want 7", id)
+	}
+	top, err := ix.TopK([]float64{0.5, 0.5}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top[0].ID != 7 {
+		t.Errorf("top-1 = %d, want the inserted point", top[0].ID)
+	}
+	// Rank of the old query point degrades by one.
+	r, _ := ix.Rank([]float64{0.1, 0.9}, paperQ)
+	if r != 5 {
+		t.Errorf("rank = %d, want 5 after insertion", r)
+	}
+	// Delete it again: back to the paper's numbers.
+	ok, err := ix.Delete(id)
+	if err != nil || !ok {
+		t.Fatalf("Delete = %v, %v", ok, err)
+	}
+	r, _ = ix.Rank([]float64{0.1, 0.9}, paperQ)
+	if r != 4 {
+		t.Errorf("rank = %d, want 4 after deletion", r)
+	}
+	// Double delete reports false without error.
+	ok, err = ix.Delete(id)
+	if err != nil || ok {
+		t.Errorf("second Delete = %v, %v", ok, err)
+	}
+	if ix.Point(id) != nil {
+		t.Error("deleted point still retrievable")
+	}
+	if _, err := ix.Delete(99); err == nil {
+		t.Error("out-of-range id accepted")
+	}
+	if _, err := ix.Insert([]float64{-1, 0}); err == nil {
+		t.Error("invalid point accepted")
+	}
+}
+
+func TestSkylineFacade(t *testing.T) {
+	ix := paperIndex(t)
+	sky := ix.Skyline()
+	if len(sky) != 2 || sky[0] != 0 || sky[1] != 2 {
+		t.Errorf("skyline = %v, want [0 2]", sky)
+	}
+	// Deleting a skyline point promotes others.
+	if ok, _ := ix.Delete(0); !ok {
+		t.Fatal("failed to delete p1")
+	}
+	sky = ix.Skyline()
+	for _, id := range sky {
+		if id == 0 {
+			t.Error("deleted point still in skyline")
+		}
+	}
+	if len(sky) < 2 {
+		t.Errorf("skyline after delete = %v, expected new entrants", sky)
+	}
+}
+
+func TestReverseTopKParallelFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := make([][]float64, 2000)
+	for i := range pts {
+		pts[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+	}
+	ix, err := NewIndex(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	W := make([][]float64, 100)
+	for i := range W {
+		a, b := rng.Float64(), rng.Float64()
+		sum := a + b + 0.1
+		W[i] = []float64{a / sum, b / sum, 0.1 / sum}
+	}
+	q := []float64{0.2, 0.2, 0.2}
+	want, err := ix.ReverseTopK(W, q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 4} {
+		got, err := ix.ReverseTopKParallel(W, q, 10, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: result %d differs", workers, i)
+			}
+		}
+	}
+}
+
+func TestOptionsPerVectorAndWorkers(t *testing.T) {
+	ix := paperIndex(t)
+	wm := [][]float64{{0.1, 0.9}, {0.9, 0.1}}
+	// Per-vector strategy produces a valid refinement too.
+	per, err := ix.ModifyPreferences(paperQ, 3, wm, Options{SampleSize: 500, Seed: 2, PerVector: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := ix.Verify(paperQ, per.K, per.Wm); !ok {
+		t.Error("per-vector refinement fails verification")
+	}
+	// Parallel ModifyAll matches itself across worker counts.
+	a, err := ix.ModifyAll(paperQ, 3, wm, Options{SampleSize: 200, Seed: 2, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ix.ModifyAll(paperQ, 3, wm, Options{SampleSize: 200, Seed: 2, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Penalty != b.Penalty || a.K != b.K {
+		t.Errorf("parallel ModifyAll not deterministic: %v vs %v", a, b)
+	}
+	if ok, _ := ix.Verify(a.Q, a.K, a.Wm); !ok {
+		t.Error("parallel refinement fails verification")
+	}
+}

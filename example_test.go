@@ -1,0 +1,119 @@
+package wqrtq_test
+
+import (
+	"fmt"
+	"log"
+
+	"wqrtq"
+)
+
+// The paper's Figure 1 dataset: seven computers with (price, heat)
+// attributes, smaller is better.
+func figure1Index() *wqrtq.Index {
+	ix, err := wqrtq.NewIndex([][]float64{
+		{2, 1}, {6, 3}, {1, 9}, {9, 3}, {7, 5}, {5, 8}, {3, 7},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return ix
+}
+
+// ExampleIndex_ReverseTopK reproduces the paper's §1 example: Tony and Anna
+// rank the query computer among their top-3 choices; Julia and Kevin do not.
+func ExampleIndex_ReverseTopK() {
+	ix := figure1Index()
+	customers := [][]float64{
+		{0.9, 0.1}, // Julia
+		{0.5, 0.5}, // Tony
+		{0.3, 0.7}, // Anna
+		{0.1, 0.9}, // Kevin
+	}
+	result, err := ix.ReverseTopK(customers, []float64{4, 4}, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(result)
+	// Output: [1 2]
+}
+
+// ExampleIndex_Explain answers the first aspect of a why-not question: for
+// Kevin's preference, p1, p2 and p4 outscore q (§3).
+func ExampleIndex_Explain() {
+	ix := figure1Index()
+	ex, err := ix.Explain([]float64{4, 4}, [][]float64{{0.1, 0.9}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range ex[0] {
+		fmt.Printf("p%d scores %.1f\n", r.ID+1, r.Score)
+	}
+	// Output:
+	// p1 scores 1.1
+	// p2 scores 3.3
+	// p4 scores 3.6
+}
+
+// ExampleIndex_ModifyQuery finds the cheapest product redesign that wins
+// back Kevin and Julia (solution 1, MQP).
+func ExampleIndex_ModifyQuery() {
+	ix := figure1Index()
+	whyNot := [][]float64{{0.1, 0.9}, {0.9, 0.1}} // Kevin, Julia
+	ref, err := ix.ModifyQuery([]float64{4, 4}, 3, whyNot, wqrtq.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("q' = (%.3f, %.3f), penalty %.3f\n", ref.Q[0], ref.Q[1], ref.Penalty)
+	ok, _ := ix.Verify(ref.Q, 3, whyNot)
+	fmt.Println("verified:", ok)
+	// Output:
+	// q' = (3.375, 3.625), penalty 0.129
+	// verified: true
+}
+
+// ExampleIndex_ModifyPreferences finds the cheapest change of the missing
+// customers' preferences (solution 2, MWK): Kevin moves to λ = 1/6 and
+// Julia to λ = 3/4, with k unchanged.
+func ExampleIndex_ModifyPreferences() {
+	ix := figure1Index()
+	whyNot := [][]float64{{0.1, 0.9}, {0.9, 0.1}}
+	ref, err := ix.ModifyPreferences([]float64{4, 4}, 3, whyNot, wqrtq.Options{SampleSize: 800, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("k' = %d, penalty %.4f\n", ref.K, ref.Penalty)
+	fmt.Printf("Kevin → (%.4f, %.4f)\n", ref.Wm[0][0], ref.Wm[0][1])
+	fmt.Printf("Julia → (%.4f, %.4f)\n", ref.Wm[1][0], ref.Wm[1][1])
+	// Output:
+	// k' = 3, penalty 0.1161
+	// Kevin → (0.1667, 0.8333)
+	// Julia → (0.7500, 0.2500)
+}
+
+// ExampleIndex_ReverseTopKMono2D shows the monochromatic result of Figure
+// 2(b): exactly the preferences with λ between 1/6 and 3/4 rank q in their
+// top-3.
+func ExampleIndex_ReverseTopKMono2D() {
+	ix := figure1Index()
+	ivs, err := ix.ReverseTopKMono2D([]float64{4, 4}, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, iv := range ivs {
+		fmt.Printf("λ ∈ [%.4f, %.4f]\n", iv.Lo, iv.Hi)
+	}
+	// Output: λ ∈ [0.1667, 0.7500]
+}
+
+// ExampleIndex_Nearest locates the competitors closest to a product in
+// attribute space.
+func ExampleIndex_Nearest() {
+	ix := figure1Index()
+	ns, err := ix.Nearest([]float64{4, 4}, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("p%d at distance %.3f\n", ns[0].ID+1, ns[0].Distance)
+	// Output:
+	// p2 at distance 2.236
+}

@@ -1,0 +1,160 @@
+// Market analysis at scale: a manufacturer places a product in a market of
+// 20,000 competitors and 500 customer preference profiles, identifies its
+// potential customer base with a reverse top-k query, and uses the why-not
+// machinery to plan a redesign that wins back the most attractive lost
+// segment — the paper's motivating application (§1).
+//
+// Run with:
+//
+//	go run ./examples/market
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"wqrtq"
+	"wqrtq/internal/dataset"
+	"wqrtq/internal/sample"
+)
+
+func main() {
+	const (
+		nProducts  = 20000
+		nCustomers = 500
+		k          = 10
+		seed       = 42
+	)
+
+	// Competitor products: 3 attributes (price, weight, power draw),
+	// anti-correlated — cheap products are heavy and hungry.
+	market := dataset.Anticorrelated(nProducts, 3, seed)
+	pts := make([][]float64, len(market.Points))
+	for i, p := range market.Points {
+		pts[i] = p
+	}
+	ix, err := wqrtq.NewIndex(pts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Customer base: random preference profiles.
+	rng := rand.New(rand.NewSource(seed))
+	customers := make([][]float64, nCustomers)
+	for i := range customers {
+		customers[i] = sample.RandSimplex(rng, 3)
+	}
+
+	// Our product: positioned just behind the market leaders — take the
+	// 30th-best product under a balanced preference and undercut it by 2%.
+	balanced := []float64{1.0 / 3, 1.0 / 3, 1.0 / 3}
+	top, err := ix.TopK(balanced, 30)
+	if err != nil {
+		log.Fatal(err)
+	}
+	anchor := top[len(top)-1].Point
+	for i := len(top) - 1; i >= 0; i-- {
+		// Prefer an anchor that is competitive on every attribute rather
+		// than an axis-extreme specialist.
+		if min3(top[i].Point) >= 0.05 {
+			anchor = top[i].Point
+			break
+		}
+	}
+	q := []float64{anchor[0] * 0.98, anchor[1] * 0.98, anchor[2] * 0.98}
+
+	result, err := ix.ReverseTopK(customers, q, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("market: %d products, %d customer profiles, k = %d\n", nProducts, nCustomers, k)
+	fmt.Printf("our product %v is a top-%d choice for %d customers (%.1f%%)\n",
+		q, k, len(result), 100*float64(len(result))/nCustomers)
+
+	// Pick a lost segment to win back: the five lost customers whose
+	// preferences are closest to winning (q's rank only slightly above k).
+	type lost struct {
+		idx  int
+		rank int
+	}
+	var candidates []lost
+	in := map[int]bool{}
+	for _, i := range result {
+		in[i] = true
+	}
+	for i, w := range customers {
+		if in[i] {
+			continue
+		}
+		r, err := ix.Rank(w, q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		candidates = append(candidates, lost{idx: i, rank: r})
+	}
+	for i := 0; i < len(candidates); i++ {
+		for j := i + 1; j < len(candidates); j++ {
+			if candidates[j].rank < candidates[i].rank {
+				candidates[i], candidates[j] = candidates[j], candidates[i]
+			}
+		}
+	}
+	if len(candidates) > 5 {
+		candidates = candidates[:5]
+	}
+	segment := make([][]float64, len(candidates))
+	fmt.Println("\ntarget segment (lost customers closest to converting):")
+	for i, c := range candidates {
+		segment[i] = customers[c.idx]
+		fmt.Printf("  customer %3d, preference %v, q ranks %d\n", c.idx, fmtW(customers[c.idx]), c.rank)
+	}
+
+	// Why-not: explanation plus all three refinement strategies.
+	ans, err := ix.WhyNot(q, k, segment, wqrtq.Options{SampleSize: 400, Seed: seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nblocking products per customer: ")
+	for i := range ans.Missing {
+		fmt.Printf("%d ", len(ans.Explanations[i]))
+	}
+	fmt.Println()
+
+	fmt.Println("\nstrategy comparison:")
+	fmt.Printf("  redesign product (MQP):   q' = %v, penalty %.4f\n",
+		fmtW(ans.ModifiedQuery.Q), ans.ModifiedQuery.Penalty)
+	fmt.Printf("  marketing only (MWK):     k' = %d, penalty %.4f\n",
+		ans.ModifiedPreferences.K, ans.ModifiedPreferences.Penalty)
+	fmt.Printf("  combined (MQWK):          q' = %v, k' = %d, penalty %.4f\n",
+		fmtW(ans.ModifiedAll.Q), ans.ModifiedAll.K, ans.ModifiedAll.Penalty)
+
+	// After the redesign, how big is the customer base?
+	after, err := ix.ReverseTopK(customers, ans.ModifiedQuery.Q, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nafter the MQP redesign the product is a top-%d choice for %d customers (was %d)\n",
+		k, len(after), len(result))
+}
+
+func fmtW(v []float64) string {
+	s := "("
+	for i, x := range v {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%.3f", x)
+	}
+	return s + ")"
+}
+
+func min3(v []float64) float64 {
+	m := v[0]
+	for _, x := range v[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}

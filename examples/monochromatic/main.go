@@ -1,0 +1,91 @@
+// Monochromatic demonstrates why-not questions on *monochromatic* reverse
+// top-k queries (Definition 4): no customer list is known, the result is a
+// region of weighting space, and the why-not vectors are arbitrary
+// preferences outside that region — the paper's Figure 2 scenario with the
+// vectors A(1/10, 9/10) and D(4/5, 1/5).
+//
+// Run with:
+//
+//	go run ./examples/monochromatic
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wqrtq"
+)
+
+func main() {
+	// Figure 1(a)/2(a): the seven computers.
+	computers := [][]float64{
+		{2, 1}, {6, 3}, {1, 9}, {9, 3}, {7, 5}, {5, 8}, {3, 7},
+	}
+	q := []float64{4, 4}
+	const k = 3
+
+	ix, err := wqrtq.NewIndex(computers)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ivs, err := ix.ReverseTopKMono2D(q, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("MRTOP%d(q): the preferences (λ, 1-λ) ranking q in their top-%d:\n", k, k)
+	for _, iv := range ivs {
+		fmt.Printf("  λ ∈ [%.4f, %.4f]\n", iv.Lo, iv.Hi)
+	}
+
+	// The two why-not vectors of Figure 2(b): A = (1/10, 9/10) and
+	// D = (4/5, 1/5) lie outside the segment BC.
+	whyNot := [][]float64{{0.1, 0.9}, {0.8, 0.2}}
+	for _, w := range whyNot {
+		inside := false
+		for _, iv := range ivs {
+			if iv.Lo <= w[0] && w[0] <= iv.Hi {
+				inside = true
+			}
+		}
+		fmt.Printf("\nw = (%.2f, %.2f): inside MRTOP%d? %v\n", w[0], w[1], k, inside)
+		if inside {
+			continue
+		}
+		ex, err := ix.Explain(q, [][]float64{w})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  excluded by %d better computers:", len(ex[0]))
+		for _, r := range ex[0] {
+			fmt.Printf(" p%d(%.2f)", r.ID+1, r.Score)
+		}
+		fmt.Println()
+	}
+
+	// Refine so that both missing preferences join the result. For the
+	// monochromatic query the framework is identical (§3: "these two
+	// problems can be transformed to a single problem").
+	ans, err := ix.WhyNot(q, k, whyNot, wqrtq.Options{SampleSize: 800, Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nrefinements making both preferences part of the result:")
+	fmt.Printf("  MQP : q' = (%.3f, %.3f), penalty %.4f\n",
+		ans.ModifiedQuery.Q[0], ans.ModifiedQuery.Q[1], ans.ModifiedQuery.Penalty)
+	fmt.Printf("  MWK : Wm' = %v, k' = %d, penalty %.4f\n",
+		ans.ModifiedPreferences.Wm, ans.ModifiedPreferences.K, ans.ModifiedPreferences.Penalty)
+	fmt.Printf("  MQWK: q' = (%.3f, %.3f), k' = %d, penalty %.4f\n",
+		ans.ModifiedAll.Q[0], ans.ModifiedAll.Q[1], ans.ModifiedAll.K, ans.ModifiedAll.Penalty)
+
+	// Show the refined monochromatic region for the MQP answer: both λ
+	// values now fall inside.
+	ivs2, err := ix.ReverseTopKMono2D(ans.ModifiedQuery.Q, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nMRTOP%d(q') after MQP:\n", k)
+	for _, iv := range ivs2 {
+		fmt.Printf("  λ ∈ [%.4f, %.4f]\n", iv.Lo, iv.Hi)
+	}
+}

@@ -1,0 +1,105 @@
+// Quickstart reproduces the paper's running example end to end (Figures
+// 1–6): seven computer models, four customers, Apple's query computer
+// q = (4, 4), and the why-not question "why are Kevin and Julia not among
+// the reverse top-3 customers of q, and what should change?"
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wqrtq"
+)
+
+func main() {
+	// Figure 1(a): price and heat production per computer (smaller better).
+	computers := [][]float64{
+		{2, 1}, // p1 Dell
+		{6, 3}, // p2 Apple... the catalogue of competitors
+		{1, 9}, // p3
+		{9, 3}, // p4
+		{7, 5}, // p5
+		{5, 8}, // p6
+		{3, 7}, // p7
+	}
+	names := []string{"p1", "p2", "p3", "p4", "p5", "p6", "p7"}
+
+	// Figure 1(b): customer preferences (w[price], w[heat]).
+	customers := map[string][]float64{
+		"Julia": {0.9, 0.1},
+		"Tony":  {0.5, 0.5},
+		"Anna":  {0.3, 0.7},
+		"Kevin": {0.1, 0.9},
+	}
+	order := []string{"Julia", "Tony", "Anna", "Kevin"}
+	W := make([][]float64, len(order))
+	for i, n := range order {
+		W[i] = customers[n]
+	}
+
+	q := []float64{4, 4} // Apple's new computer
+	const k = 3
+
+	ix, err := wqrtq.NewIndex(computers)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- The reverse top-3 query (§1) -----------------------------------
+	result, err := ix.ReverseTopK(W, q, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Reverse top-3 customers of q(4,4):")
+	for _, i := range result {
+		fmt.Printf("  %-5s %v\n", order[i], W[i])
+	}
+
+	// --- The monochromatic view (Figure 2(b)) ----------------------------
+	ivs, err := ix.ReverseTopKMono2D(q, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nAll preferences ranking q in their top-3 (w = (λ, 1-λ)):")
+	for _, iv := range ivs {
+		fmt.Printf("  λ ∈ [%.4f, %.4f]   (the segment BC of Figure 2(b))\n", iv.Lo, iv.Hi)
+	}
+
+	// --- The why-not question (§3, §4) -----------------------------------
+	ans, err := ix.WhyNot(q, k, W, wqrtq.Options{SampleSize: 800, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nMissing customers and why:")
+	for i, mi := range ans.Missing {
+		fmt.Printf("  %s is missing because %d computers beat q:\n", order[mi], len(ans.Explanations[i]))
+		for _, r := range ans.Explanations[i] {
+			fmt.Printf("    %s scores %.2f (q scores 4.00)\n", names[r.ID], r.Score)
+		}
+	}
+
+	fmt.Println("\nHow to win Kevin and Julia back (smaller penalty = cheaper):")
+	fmt.Printf("  1. Redesign the computer (MQP):\n")
+	fmt.Printf("     q' = (%.3f, %.3f), penalty %.4f\n",
+		ans.ModifiedQuery.Q[0], ans.ModifiedQuery.Q[1], ans.ModifiedQuery.Penalty)
+	fmt.Printf("  2. Influence the customers (MWK):\n")
+	for j, w := range ans.ModifiedPreferences.Wm {
+		fmt.Printf("     %s: %v → (%.3f, %.3f)\n",
+			order[ans.Missing[j]], W[ans.Missing[j]], w[0], w[1])
+	}
+	fmt.Printf("     k' = %d, penalty %.4f\n", ans.ModifiedPreferences.K, ans.ModifiedPreferences.Penalty)
+	fmt.Printf("  3. Meet in the middle (MQWK):\n")
+	fmt.Printf("     q' = (%.3f, %.3f), k' = %d, penalty %.4f\n",
+		ans.ModifiedAll.Q[0], ans.ModifiedAll.Q[1], ans.ModifiedAll.K, ans.ModifiedAll.Penalty)
+
+	// --- Check every suggestion actually works ---------------------------
+	missW := [][]float64{W[ans.Missing[0]], W[ans.Missing[1]]}
+	ok1, _ := ix.Verify(ans.ModifiedQuery.Q, k, missW)
+	ok2, _ := ix.Verify(q, ans.ModifiedPreferences.K, ans.ModifiedPreferences.Wm)
+	ok3, _ := ix.Verify(ans.ModifiedAll.Q, ans.ModifiedAll.K, ans.ModifiedAll.Wm)
+	fmt.Printf("\nverified: MQP=%v MWK=%v MQWK=%v\n", ok1, ok2, ok3)
+}

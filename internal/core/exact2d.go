@@ -1,0 +1,98 @@
+package core
+
+import (
+	"errors"
+	"math"
+
+	"wqrtq/internal/rtopk"
+	"wqrtq/internal/topk"
+	"wqrtq/internal/vec"
+)
+
+// ExactMWK2D computes the true optimum of the modifying-Wm-and-k problem
+// (Definition 9) for 2-dimensional datasets, by exhausting the finite
+// structure of the 2-D weighting space. It is the ground truth against
+// which the sampling algorithm MWK is validated.
+//
+// In 2-D a weighting vector is (λ, 1-λ). For any candidate k' the feasible
+// region {w : q ∈ TOPk'(w)} is an exact union of λ-intervals
+// (rtopk.Monochromatic2D); for a fixed k' the optimal replacement of each
+// why-not vector is independently the closest feasible λ. Minimizing over
+// k' ∈ [k, k'max] yields the global optimum, because k' > k'max can never
+// beat the (Wm, k'max) baseline (Lemma 4) and k' below every useful rank
+// only shrinks the feasible region.
+func ExactMWK2D(points []vec.Point, q vec.Point, k int, wm []vec.Weight, pm PenaltyModel) (MWKResult, error) {
+	if len(q) != 2 {
+		return MWKResult{}, errors.New("core: ExactMWK2D requires 2-dimensional data")
+	}
+	ranks := make([]int, len(wm))
+	kMax := 0
+	active := 0
+	for i, w := range wm {
+		ranks[i] = topk.RankNaive(points, w, vec.Score(w, q))
+		if ranks[i] > kMax {
+			kMax = ranks[i]
+		}
+		if ranks[i] > k {
+			active++
+		}
+	}
+	if active == 0 {
+		return MWKResult{RefinedWm: cloneWeights(wm), RefinedK: k, Penalty: 0, KMax: kMax}, nil
+	}
+	best := MWKResult{
+		RefinedWm:      cloneWeights(wm),
+		RefinedK:       kMax,
+		Penalty:        pm.WKPenalty(wm, wm, k, kMax, kMax),
+		KMax:           kMax,
+		BaselineChosen: true,
+	}
+	for kp := k; kp <= kMax; kp++ {
+		ivs := rtopk.Monochromatic2D(points, q, kp)
+		if len(ivs) == 0 {
+			continue
+		}
+		cand := cloneWeights(wm)
+		feasible := true
+		for i, w := range wm {
+			if ranks[i] <= kp {
+				continue // already feasible at this k'
+			}
+			lam, ok := nearestInIntervals(w[0], ivs)
+			if !ok {
+				feasible = false
+				break
+			}
+			cand[i] = vec.Weight{lam, 1 - lam}
+		}
+		if !feasible {
+			continue
+		}
+		p := pm.WKPenalty(wm, cand, k, kp, kMax)
+		if p < best.Penalty {
+			best = MWKResult{RefinedWm: cand, RefinedK: kp, Penalty: p, KMax: kMax}
+		}
+	}
+	return best, nil
+}
+
+// nearestInIntervals returns the λ inside the interval union closest to
+// lam; ok is false when the union is empty.
+func nearestInIntervals(lam float64, ivs []rtopk.Interval) (float64, bool) {
+	bestDist := math.Inf(1)
+	bestLam := 0.0
+	for _, iv := range ivs {
+		c := lam
+		if c < iv.Lo {
+			c = iv.Lo
+		}
+		if c > iv.Hi {
+			c = iv.Hi
+		}
+		if d := math.Abs(c - lam); d < bestDist {
+			bestDist = d
+			bestLam = c
+		}
+	}
+	return bestLam, !math.IsInf(bestDist, 1)
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wqrtq/internal/dominance"
+	"wqrtq/internal/rtree"
+	"wqrtq/internal/sample"
+	"wqrtq/internal/vec"
+)
+
+// MQWKResult is the outcome of the third solution: a simultaneous
+// refinement of the query point, the why-not vectors and k.
+type MQWKResult struct {
+	RefinedQ  vec.Point
+	RefinedWm []vec.Weight
+	RefinedK  int
+	Penalty   float64
+	// QMin is the first-solution optimum bounding the query-point sample
+	// space SP(q) = (q_min, q) (§4.4, Figure 6).
+	QMin vec.Point
+	// CandidatesCached is the size of the reuse cache: the points not
+	// dominated by q, classified in memory for every sample query point
+	// instead of re-traversing the R-tree (§4.4 reuse technique).
+	CandidatesCached int
+	// TreeTraversals counts full R-tree walks performed (2 with reuse: one
+	// for MQP's k-th points amortized per vector, one for the candidate
+	// cache), versus |Q|+1 without it.
+	TreeTraversals int
+}
+
+// MQWK implements Algorithm 3: sample |Q| query points from the box
+// [q_min, q], run the MWK search for each against the shared candidate
+// cache, and return the tuple (q', Wm', k') with the smallest Eq. (5)
+// penalty.
+//
+// The two endpoints of the sample space are also evaluated as candidates:
+// q' = q_min with (Wm, k) unchanged (pure first solution) and q' = q with
+// the best (Wm', k') (pure second solution), so MQWK never returns a worse
+// penalty than γ·Penalty(q_min) or λ·Penalty(Wm', k').
+func MQWK(t *rtree.Tree, q vec.Point, k int, wm []vec.Weight, sampleSize, qSampleSize int, rng *rand.Rand, pm PenaltyModel) (MQWKResult, error) {
+	if err := validateInput(t, q, k, wm); err != nil {
+		return MQWKResult{}, err
+	}
+	if qSampleSize < 0 {
+		return MQWKResult{}, fmt.Errorf("core: negative query sample size %d", qSampleSize)
+	}
+	// Line 2: q_min from the first solution.
+	mqp, err := MQP(t, q, k, wm, pm)
+	if err != nil {
+		return MQWKResult{}, fmt.Errorf("core: MQWK needs the MQP optimum: %w", err)
+	}
+	qMin := mqp.RefinedQ
+
+	// Reuse cache: one traversal serves every sample point in [q_min, q].
+	cands, _ := dominance.Candidates(t, q)
+
+	best := MQWKResult{
+		RefinedQ:         qMin,
+		RefinedWm:        cloneWeights(wm),
+		RefinedK:         k,
+		Penalty:          pm.TotalPenalty(q, qMin, wm, wm, k, k, k+1),
+		QMin:             qMin,
+		CandidatesCached: len(cands),
+		TreeTraversals:   2,
+	}
+
+	evaluate := func(qp vec.Point) error {
+		sets := dominance.Classify(cands, qp)
+		wk, err := MWKFromSets(&sets, qp, k, wm, sampleSize, rng, pm)
+		if err != nil {
+			return err
+		}
+		p := pm.Gamma*pm.QPenalty(q, qp) + pm.Lambda*wk.Penalty
+		if p < best.Penalty {
+			best.RefinedQ = vec.Clone(qp)
+			best.RefinedWm = wk.RefinedWm
+			best.RefinedK = wk.RefinedK
+			best.Penalty = p
+		}
+		return nil
+	}
+
+	// Endpoint q (pure second solution).
+	if err := evaluate(q); err != nil {
+		return MQWKResult{}, err
+	}
+	// Lines 3-9: sampled interior points.
+	for _, qp := range sample.Box(rng, qMin, q, qSampleSize) {
+		if err := evaluate(qp); err != nil {
+			return MQWKResult{}, err
+		}
+	}
+	return best, nil
+}

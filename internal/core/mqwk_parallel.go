@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"wqrtq/internal/dominance"
+	"wqrtq/internal/rtree"
+	"wqrtq/internal/sample"
+	"wqrtq/internal/vec"
+)
+
+// MQWKParallel is MQWK with the per-sample MWK searches spread over
+// worker goroutines. The sample query points are independent once the
+// candidate cache is built (the §4.4 reuse technique makes each evaluation
+// a pure in-memory computation), so the paper's most expensive algorithm
+// parallelizes embarrassingly.
+//
+// Determinism: each sample point i draws its weight samples from its own
+// rand.Rand seeded with seed+i, so results are reproducible regardless of
+// scheduling, and identical across worker counts.
+//
+// This addresses the paper's closing direction — "we would like to explore
+// why-not questions on reverse top-k queries over larger datasets" (§6) —
+// with the orthogonal axis available in a shared-memory implementation.
+func MQWKParallel(t *rtree.Tree, q vec.Point, k int, wm []vec.Weight, sampleSize, qSampleSize int, seed int64, workers int, pm PenaltyModel) (MQWKResult, error) {
+	if err := validateInput(t, q, k, wm); err != nil {
+		return MQWKResult{}, err
+	}
+	if qSampleSize < 0 {
+		return MQWKResult{}, fmt.Errorf("core: negative query sample size %d", qSampleSize)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	mqp, err := MQP(t, q, k, wm, pm)
+	if err != nil {
+		return MQWKResult{}, fmt.Errorf("core: MQWK needs the MQP optimum: %w", err)
+	}
+	qMin := mqp.RefinedQ
+	cands, _ := dominance.Candidates(t, q)
+
+	// Endpoint candidates and sample points, all drawn up front so the
+	// parallel phase is pure computation.
+	points := make([]vec.Point, 0, qSampleSize+1)
+	points = append(points, vec.Clone(q))
+	points = append(points, sample.Box(rand.New(rand.NewSource(seed)), qMin, q, qSampleSize)...)
+
+	type cand struct {
+		res MQWKResult
+		err error
+		ok  bool
+	}
+	results := make([]cand, len(points))
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				qp := points[i]
+				sets := dominance.Classify(cands, qp)
+				rng := rand.New(rand.NewSource(seed + int64(i) + 1))
+				wk, err := MWKFromSets(&sets, qp, k, wm, sampleSize, rng, pm)
+				if err != nil {
+					results[i] = cand{err: err}
+					continue
+				}
+				results[i] = cand{
+					res: MQWKResult{
+						RefinedQ:  qp,
+						RefinedWm: wk.RefinedWm,
+						RefinedK:  wk.RefinedK,
+						Penalty:   pm.Gamma*pm.QPenalty(q, qp) + pm.Lambda*wk.Penalty,
+					},
+					ok: true,
+				}
+			}
+		}()
+	}
+	for i := range points {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	best := MQWKResult{
+		RefinedQ:         qMin,
+		RefinedWm:        cloneWeights(wm),
+		RefinedK:         k,
+		Penalty:          pm.TotalPenalty(q, qMin, wm, wm, k, k, k+1),
+		QMin:             qMin,
+		CandidatesCached: len(cands),
+		TreeTraversals:   2,
+	}
+	for _, c := range results {
+		if c.err != nil {
+			return MQWKResult{}, c.err
+		}
+		if c.ok && c.res.Penalty < best.Penalty {
+			best.RefinedQ = c.res.RefinedQ
+			best.RefinedWm = c.res.RefinedWm
+			best.RefinedK = c.res.RefinedK
+			best.Penalty = c.res.Penalty
+		}
+	}
+	return best, nil
+}

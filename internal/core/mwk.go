@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"wqrtq/internal/dominance"
+	"wqrtq/internal/rtree"
+	"wqrtq/internal/sample"
+	"wqrtq/internal/vec"
+)
+
+// MWKResult is the outcome of the second solution: refined preferences.
+type MWKResult struct {
+	RefinedWm []vec.Weight
+	RefinedK  int
+	Penalty   float64
+	// KMax is k'max of Lemma 4: the largest actual ranking of q under the
+	// original why-not vectors; (Wm, KMax) is always a feasible fallback.
+	KMax int
+	// BaselineChosen reports that the fallback (Wm unchanged, k' = KMax)
+	// had the smallest penalty among all examined candidates.
+	BaselineChosen bool
+	// SamplesUsed counts the weighting vectors actually examined (those
+	// whose rank did not exceed KMax, per Algorithm 2 line 13).
+	SamplesUsed int
+	// NodesVisited counts R-tree nodes expanded by FindIncom.
+	NodesVisited int
+}
+
+// MWK implements Algorithm 2: modify the why-not weighting vector set Wm
+// and the parameter k with minimum penalty so that q enters the reverse
+// top-k' result of every refined vector.
+func MWK(t *rtree.Tree, q vec.Point, k int, wm []vec.Weight, sampleSize int, rng *rand.Rand, pm PenaltyModel) (MWKResult, error) {
+	if err := validateInput(t, q, k, wm); err != nil {
+		return MWKResult{}, err
+	}
+	if sampleSize < 0 {
+		return MWKResult{}, fmt.Errorf("core: negative sample size %d", sampleSize)
+	}
+	sets := dominance.FindIncom(t, q)
+	res, err := MWKFromSets(&sets, q, k, wm, sampleSize, rng, pm)
+	if err != nil {
+		return MWKResult{}, err
+	}
+	res.NodesVisited = sets.NodesVisited
+	return res, nil
+}
+
+// MWKFromSets runs the sampling search of Algorithm 2 given precomputed
+// dominance sets; MQWK calls it once per sample query point, implementing
+// the §4.4 reuse technique (the R-tree is never touched here).
+func MWKFromSets(sets *dominance.Sets, q vec.Point, k int, wm []vec.Weight, sampleSize int, rng *rand.Rand, pm PenaltyModel) (MWKResult, error) {
+	// Actual rankings and k'max (lines 7-9).
+	ranks := make([]int, len(wm))
+	kMax := 0
+	active := 0
+	for i, w := range wm {
+		ranks[i] = sets.Rank(w, q)
+		if ranks[i] > kMax {
+			kMax = ranks[i]
+		}
+		if ranks[i] > k {
+			active++
+		}
+	}
+	if active == 0 {
+		// Every vector already ranks q within top-k: nothing to refine.
+		return MWKResult{RefinedWm: cloneWeights(wm), RefinedK: k, Penalty: 0, KMax: kMax}, nil
+	}
+
+	// Baseline candidate (line 11): keep Wm, raise k to k'max (Lemma 4).
+	best := MWKResult{
+		RefinedWm:      cloneWeights(wm),
+		RefinedK:       kMax,
+		Penalty:        pm.WKPenalty(wm, wm, k, kMax, kMax),
+		KMax:           kMax,
+		BaselineChosen: true,
+	}
+
+	// Sample space (line 3): hyperplanes of incomparable points.
+	inc := make([]vec.Point, len(sets.I))
+	for i, c := range sets.I {
+		inc[i] = c.Point
+	}
+	sampler, err := sample.NewWeightSampler(q, inc)
+	if err == sample.ErrNoSampleSpace || sampleSize == 0 {
+		// Weight modification cannot help; the k-only baseline stands.
+		return best, nil
+	} else if err != nil {
+		return MWKResult{}, err
+	}
+
+	// Draw and rank the samples (lines 3-6), keeping only those whose rank
+	// does not exceed k'max (line 13's break, applied at construction).
+	type sampleRank struct {
+		w    vec.Weight
+		rank int
+	}
+	samples := make([]sampleRank, 0, sampleSize)
+	for i := 0; i < sampleSize; i++ {
+		w := sampler.Sample(rng)
+		r := sets.Rank(w, q)
+		if r <= kMax {
+			samples = append(samples, sampleRank{w: w, rank: r})
+		}
+	}
+	sort.SliceStable(samples, func(i, j int) bool { return samples[i].rank < samples[j].rank })
+
+	if len(samples) == 0 {
+		return best, nil
+	}
+
+	// Candidate scan per Lemma 6 (lines 10-18). CW holds, per why-not
+	// vector, the closest sample seen so far; vectors already ranking q
+	// within top-k stay fixed at their original value.
+	cw := cloneWeights(wm)
+	dist := make([]float64, len(wm))
+	first := samples[0]
+	for i := range wm {
+		if ranks[i] <= k {
+			dist[i] = 0 // inactive: never replaced
+			continue
+		}
+		cw[i] = first.w
+		dist[i] = vec.WeightDist(wm[i], first.w)
+	}
+	consider := func(kPrime int) {
+		if kPrime < k {
+			kPrime = k
+		}
+		p := pm.WKPenalty(wm, cw, k, kPrime, kMax)
+		if p < best.Penalty {
+			best = MWKResult{
+				RefinedWm: cloneWeights(cw),
+				RefinedK:  kPrime,
+				Penalty:   p,
+				KMax:      kMax,
+			}
+		}
+	}
+	consider(first.rank)
+	used := 1
+	for _, s := range samples[1:] {
+		used++
+		updated := false
+		for i := range wm {
+			if ranks[i] <= k {
+				continue
+			}
+			if d := vec.WeightDist(wm[i], s.w); d < dist[i] {
+				cw[i] = s.w
+				dist[i] = d
+				updated = true
+			}
+		}
+		if updated {
+			consider(s.rank)
+		}
+	}
+	best.SamplesUsed = used
+	return best, nil
+}
+
+func cloneWeights(ws []vec.Weight) []vec.Weight {
+	out := make([]vec.Weight, len(ws))
+	for i, w := range ws {
+		out[i] = vec.CloneWeight(w)
+	}
+	return out
+}

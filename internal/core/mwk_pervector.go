@@ -1,0 +1,109 @@
+package core
+
+import (
+	"math/rand"
+
+	"wqrtq/internal/dominance"
+	"wqrtq/internal/rtree"
+	"wqrtq/internal/sample"
+	"wqrtq/internal/vec"
+)
+
+// MWKPerVector implements the *first* candidate-selection strategy
+// discussed in §4.3: "for every why-not weighting vector wᵢ ∈ Wm, find a
+// sample weighting vector wsᵢ with minimum |wsᵢ − wᵢ|, and then replace wᵢ
+// with wsᵢ; the corresponding k' is computed per Lemma 5(i)".
+//
+// This makes ΔWm individually minimal, but — as the paper observes — the
+// total penalty of (Wm', k') "may not be the minimum", because a vector
+// replaced by its closest sample can drag k' up for everyone. The scanning
+// strategy of MWK (Lemma 6) dominates it on penalty; this variant exists as
+// the paper's explicitly described alternative and as an ablation baseline
+// (BenchmarkAblationMWKStrategy).
+func MWKPerVector(t *rtree.Tree, q vec.Point, k int, wm []vec.Weight, sampleSize int, rng *rand.Rand, pm PenaltyModel) (MWKResult, error) {
+	if err := validateInput(t, q, k, wm); err != nil {
+		return MWKResult{}, err
+	}
+	sets := dominance.FindIncom(t, q)
+	ranks := make([]int, len(wm))
+	kMax := 0
+	active := 0
+	for i, w := range wm {
+		ranks[i] = sets.Rank(w, q)
+		if ranks[i] > kMax {
+			kMax = ranks[i]
+		}
+		if ranks[i] > k {
+			active++
+		}
+	}
+	if active == 0 {
+		return MWKResult{RefinedWm: cloneWeights(wm), RefinedK: k, Penalty: 0, KMax: kMax}, nil
+	}
+	baseline := MWKResult{
+		RefinedWm:      cloneWeights(wm),
+		RefinedK:       kMax,
+		Penalty:        pm.WKPenalty(wm, wm, k, kMax, kMax),
+		KMax:           kMax,
+		BaselineChosen: true,
+		NodesVisited:   sets.NodesVisited,
+	}
+	inc := make([]vec.Point, len(sets.I))
+	for i, c := range sets.I {
+		inc[i] = c.Point
+	}
+	sampler, err := sample.NewWeightSampler(q, inc)
+	if err == sample.ErrNoSampleSpace || sampleSize == 0 {
+		return baseline, nil
+	} else if err != nil {
+		return MWKResult{}, err
+	}
+	// Draw once, shared by all why-not vectors. Only samples that improve
+	// q's rank below k'max are useful (Lemma 4).
+	type sampleRank struct {
+		w    vec.Weight
+		rank int
+	}
+	samples := make([]sampleRank, 0, sampleSize)
+	for i := 0; i < sampleSize; i++ {
+		w := sampler.Sample(rng)
+		if r := sets.Rank(w, q); r <= kMax {
+			samples = append(samples, sampleRank{w: w, rank: r})
+		}
+	}
+	if len(samples) == 0 {
+		return baseline, nil
+	}
+	cw := cloneWeights(wm)
+	kPrime := k
+	for i := range wm {
+		if ranks[i] <= k {
+			continue
+		}
+		bestDist := -1.0
+		bestRank := 0
+		for _, s := range samples {
+			if d := vec.WeightDist(wm[i], s.w); bestDist < 0 || d < bestDist {
+				bestDist = d
+				cw[i] = s.w
+				bestRank = s.rank
+			}
+		}
+		if bestRank > kPrime {
+			kPrime = bestRank // Lemma 5(i): k' = max of the chosen ranks
+		}
+	}
+	res := MWKResult{
+		RefinedWm:    cw,
+		RefinedK:     kPrime,
+		Penalty:      pm.WKPenalty(wm, cw, k, kPrime, kMax),
+		KMax:         kMax,
+		SamplesUsed:  len(samples),
+		NodesVisited: sets.NodesVisited,
+	}
+	// The k-only baseline may still be cheaper.
+	if baseline.Penalty < res.Penalty {
+		return baseline, nil
+	}
+	return res, nil
+}

@@ -1,0 +1,35 @@
+package core
+
+import (
+	"wqrtq/internal/rtree"
+	"wqrtq/internal/topk"
+	"wqrtq/internal/vec"
+)
+
+// VerifyRefinement checks the defining property of a refined reverse top-k
+// query: every weighting vector in wm ranks q within its top-k (ties won by
+// q). It is the acceptance test shared by all three solutions:
+//
+//	MQP:  VerifyRefinement(t, q', k, Wm)
+//	MWK:  VerifyRefinement(t, q, k', Wm')
+//	MQWK: VerifyRefinement(t, q', k', Wm')
+func VerifyRefinement(t *rtree.Tree, q vec.Point, k int, wm []vec.Weight) bool {
+	for _, w := range wm {
+		if !topk.InTopK(t, w, q, k) {
+			return false
+		}
+	}
+	return true
+}
+
+// Explain answers the first aspect of a why-not question (§3) for every
+// why-not vector: Explanations[i] lists, in rank order, the points scoring
+// strictly better than q under wm[i]. When q is missing from the reverse
+// top-k result under wm[i], those are the at-least-k points responsible.
+func Explain(t *rtree.Tree, q vec.Point, wm []vec.Weight) [][]topk.Result {
+	out := make([][]topk.Result, len(wm))
+	for i, w := range wm {
+		out[i] = topk.Explain(t, w, q)
+	}
+	return out
+}

@@ -1,0 +1,198 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func tinyRunner() *Runner {
+	// Scale 0.02 shrinks |P| to the 2000-point floor and samples to ~16:
+	// fast enough for unit tests while running the full real code path.
+	return NewRunner(Config{Scale: 0.02, Seed: 3})
+}
+
+func TestTable1Defaults(t *testing.T) {
+	p := DefaultParams()
+	if p.Dim != 3 || p.N != 100000 || p.K != 10 || p.TargetRank != 101 ||
+		p.WmSize != 1 || p.SampleSize != 800 {
+		t.Errorf("DefaultParams = %+v does not match Table 1", p)
+	}
+	if p.PM.Alpha != 0.5 || p.PM.Beta != 0.5 || p.PM.Gamma != 0.5 || p.PM.Lambda != 0.5 {
+		t.Errorf("penalty weights %+v, want all 0.5 (§5.1)", p.PM)
+	}
+	// Sweep values from Table 1.
+	if len(Table1Dimensionality) != 4 || Table1Dimensionality[0] != 2 || Table1Dimensionality[3] != 5 {
+		t.Error("dimensionality sweep mismatch")
+	}
+	if len(Table1Cardinality) != 5 || Table1Cardinality[4] != 1000000 {
+		t.Error("cardinality sweep mismatch")
+	}
+	if len(Table1K) != 5 || Table1K[4] != 50 {
+		t.Error("k sweep mismatch")
+	}
+	if len(Table1SampleSize) != 5 || Table1SampleSize[4] != 1600 {
+		t.Error("sample-size sweep mismatch")
+	}
+}
+
+func TestRunCellProducesVerifiedRows(t *testing.T) {
+	r := tinyRunner()
+	p := DefaultParams()
+	p.Seed = 5
+	cell, err := r.RunCell("7", "d", 3, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range []Row{cell.MQP, cell.MWK, cell.MQWK} {
+		if row.Seconds < 0 {
+			t.Errorf("%s: negative time", row.Algo)
+		}
+		if row.Penalty < 0 || row.Penalty > 1 {
+			t.Errorf("%s: penalty %v outside [0, 1]", row.Algo, row.Penalty)
+		}
+		if row.Figure != "7" || row.XName != "d" || row.X != 3 {
+			t.Errorf("%s: row metadata %+v", row.Algo, row)
+		}
+	}
+	// MQWK can never report a worse penalty than γ·MQP.
+	if cell.MQWK.Penalty > 0.5*cell.MQP.Penalty+1e-9 {
+		t.Errorf("MQWK penalty %v exceeds γ·MQP %v", cell.MQWK.Penalty, 0.5*cell.MQP.Penalty)
+	}
+}
+
+func TestRunFigureSmokeAllFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r := tinyRunner()
+	for fig := 7; fig <= 12; fig++ {
+		rows, err := r.RunFigure(fig)
+		if err != nil {
+			t.Fatalf("figure %d: %v", fig, err)
+		}
+		if len(rows) == 0 {
+			t.Fatalf("figure %d: no rows", fig)
+		}
+		// Three algorithms per (dataset, x) cell.
+		if len(rows)%3 != 0 {
+			t.Fatalf("figure %d: %d rows, want multiple of 3", fig, len(rows))
+		}
+	}
+}
+
+func TestRunFigureUnknown(t *testing.T) {
+	if _, err := tinyRunner().RunFigure(13); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
+
+func TestPrintTableAndCSV(t *testing.T) {
+	rows := []Row{
+		{Figure: "7", Dataset: "independent", XName: "d", X: 2, Algo: "MQP", Seconds: 0.1, Penalty: 0.3},
+		{Figure: "7", Dataset: "independent", XName: "d", X: 2, Algo: "MWK", Seconds: 0.2, Penalty: 0.2},
+		{Figure: "7", Dataset: "independent", XName: "d", X: 2, Algo: "MQWK", Seconds: 0.5, Penalty: 0.1},
+	}
+	var buf bytes.Buffer
+	PrintTable(&buf, rows)
+	out := buf.String()
+	if !strings.Contains(out, "Figure 7 (independent)") {
+		t.Errorf("table missing header: %s", out)
+	}
+	if !strings.Contains(out, "dimensionality") {
+		t.Errorf("table missing caption: %s", out)
+	}
+	buf.Reset()
+	if err := WriteCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("CSV lines = %d, want header + 3", len(lines))
+	}
+	if lines[0] != "figure,dataset,param,x,algo,seconds,penalty" {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+}
+
+func TestScaleFloors(t *testing.T) {
+	r := NewRunner(Config{Scale: 1e-9, Seed: 1})
+	if got := r.scaleInt(100000, 2000); got != 2000 {
+		t.Errorf("scaled |P| = %d, want floor 2000", got)
+	}
+	if got := r.scaleInt(800, 16); got != 16 {
+		t.Errorf("scaled |S| = %d, want floor 16", got)
+	}
+}
+
+func TestDatasetCacheReuse(t *testing.T) {
+	r := tinyRunner()
+	p := DefaultParams()
+	if _, err := r.data(p); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.built) != 1 {
+		t.Fatalf("cache size = %d", len(r.built))
+	}
+	if _, err := r.data(p); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.built) != 1 {
+		t.Errorf("cache grew on identical request")
+	}
+	p.Dim = 4
+	if _, err := r.data(p); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.built) != 2 {
+		t.Errorf("cache did not grow for new dimensionality")
+	}
+}
+
+func TestCheckShapesOnSmallRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r := NewRunner(Config{Scale: 0.03, Seed: 2})
+	var rows []Row
+	for _, fig := range []int{8, 12} {
+		rs, err := r.RunFigure(fig)
+		if err != nil {
+			t.Fatalf("figure %d: %v", fig, err)
+		}
+		rows = append(rows, rs...)
+	}
+	rep := CheckShapes(rows)
+	var buf bytes.Buffer
+	rep.Print(&buf)
+	if !strings.Contains(buf.String(), "Shape checks") {
+		t.Error("report missing header")
+	}
+	for _, c := range rep.Checks {
+		if !c.Pass {
+			t.Errorf("shape check failed: %s (%s)\n%s", c.Name, c.Detail, buf.String())
+		}
+	}
+}
+
+func TestCheckShapesDetectsViolations(t *testing.T) {
+	// Construct rows that violate the cost ordering and penalty bounds.
+	rows := []Row{
+		{Figure: "9", Dataset: "independent", X: 10, Algo: "MQP", Seconds: 9, Penalty: 2},
+		{Figure: "9", Dataset: "independent", X: 10, Algo: "MWK", Seconds: 1, Penalty: 0.2},
+		{Figure: "9", Dataset: "independent", X: 10, Algo: "MQWK", Seconds: 0.1, Penalty: 3},
+	}
+	rep := CheckShapes(rows)
+	if rep.AllPass() {
+		t.Fatal("violations not detected")
+	}
+	failed := 0
+	for _, c := range rep.Checks {
+		if !c.Pass {
+			failed++
+		}
+	}
+	if failed < 2 {
+		t.Errorf("only %d checks failed, want ordering + penalty failures", failed)
+	}
+}

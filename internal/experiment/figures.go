@@ -1,0 +1,89 @@
+package experiment
+
+import "fmt"
+
+// Sweep values from Table 1 and the figure axes of §5.2.
+var (
+	// Table1Dimensionality is the d sweep of Figure 7.
+	Table1Dimensionality = []int{2, 3, 4, 5}
+	// Table1Cardinality is the |P| sweep of Figure 8.
+	Table1Cardinality = []int{10000, 50000, 100000, 500000, 1000000}
+	// Table1K is the k sweep of Figure 9.
+	Table1K = []int{10, 20, 30, 40, 50}
+	// Table1Rank is the actual-ranking sweep of Figure 10 (the figure axes
+	// use 11, 101, 501, 1001).
+	Table1Rank = []int{11, 101, 501, 1001}
+	// Table1WmSize is the |Wm| sweep of Figure 11.
+	Table1WmSize = []int{1, 2, 3, 4, 5}
+	// Table1SampleSize is the sample-size sweep of Figure 12.
+	Table1SampleSize = []int{100, 200, 400, 800, 1600}
+)
+
+// syntheticSets are the distributions used by Figures 7 and 8.
+var syntheticSets = []string{"independent", "anticorrelated"}
+
+// allSets are the four datasets of Figures 9-12 (with the synthetic
+// stand-ins replacing NBA and Household; see DESIGN.md).
+var allSets = []string{"household", "nba", "independent", "anticorrelated"}
+
+// realCardinality pins the stand-in real datasets to the paper's sizes.
+func realCardinality(name string, fallback int) int {
+	switch name {
+	case "nba":
+		return 17000
+	case "household":
+		return 127000
+	}
+	return fallback
+}
+
+// RunFigure runs one figure's full sweep and returns its rows.
+func (r *Runner) RunFigure(fig int) ([]Row, error) {
+	switch fig {
+	case 7:
+		return r.sweep("7", "d", syntheticSets, Table1Dimensionality, func(p *Params, v int) { p.Dim = v })
+	case 8:
+		return r.sweep("8", "|P|", syntheticSets, Table1Cardinality, func(p *Params, v int) { p.N = v })
+	case 9:
+		return r.sweep("9", "k", allSets, Table1K, func(p *Params, v int) { p.K = v })
+	case 10:
+		return r.sweep("10", "rank", allSets, Table1Rank, func(p *Params, v int) { p.TargetRank = v })
+	case 11:
+		return r.sweep("11", "|Wm|", allSets, Table1WmSize, func(p *Params, v int) { p.WmSize = v })
+	case 12:
+		return r.sweep("12", "|S|", allSets, Table1SampleSize, func(p *Params, v int) { p.SampleSize = v })
+	}
+	return nil, fmt.Errorf("experiment: unknown figure %d (supported: 7-12)", fig)
+}
+
+// RunAll runs every figure in order.
+func (r *Runner) RunAll() ([]Row, error) {
+	var rows []Row
+	for fig := 7; fig <= 12; fig++ {
+		rs, err := r.RunFigure(fig)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, rs...)
+	}
+	return rows, nil
+}
+
+func (r *Runner) sweep(figure, xName string, sets []string, xs []int, apply func(*Params, int)) ([]Row, error) {
+	var rows []Row
+	for _, name := range sets {
+		for _, x := range xs {
+			p := DefaultParams()
+			p.Dataset = name
+			p.N = realCardinality(name, p.N)
+			p.Seed = r.cfg.Seed + int64(x)
+			apply(&p, x)
+			cell, err := r.RunCell(figure, xName, float64(x), p)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, cell.MQP, cell.MWK, cell.MQWK)
+		}
+	}
+	return rows, nil
+}

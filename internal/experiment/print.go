@@ -1,0 +1,92 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"text/tabwriter"
+)
+
+// figureTitles mirror the captions of §5.2.
+var figureTitles = map[string]string{
+	"7":  "WQRTQ cost vs. dimensionality",
+	"8":  "WQRTQ cost vs. dataset cardinality",
+	"9":  "WQRTQ cost vs. k",
+	"10": "WQRTQ cost vs. actual ranking under Wm",
+	"11": "WQRTQ cost vs. |Wm|",
+	"12": "WQRTQ cost vs. sample size",
+}
+
+// PrintTable renders rows in the layout of the paper's figures: one block
+// per (figure, dataset), one line per x value with the three algorithms'
+// time and penalty side by side.
+func PrintTable(w io.Writer, rows []Row) {
+	type key struct {
+		fig, ds string
+	}
+	blocks := map[key]map[float64]map[string]Row{}
+	var order []key
+	for _, r := range rows {
+		k := key{r.Figure, r.Dataset}
+		if _, ok := blocks[k]; !ok {
+			blocks[k] = map[float64]map[string]Row{}
+			order = append(order, k)
+		}
+		if _, ok := blocks[k][r.X]; !ok {
+			blocks[k][r.X] = map[string]Row{}
+		}
+		blocks[k][r.X][r.Algo] = r
+	}
+	for _, k := range order {
+		fmt.Fprintf(w, "\nFigure %s (%s): %s\n", k.fig, k.ds, figureTitles[k.fig])
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintf(tw, "  %s\tMQP time(s)\tMQP penalty\tMWK time(s)\tMWK penalty\tMQWK time(s)\tMQWK penalty\n", xName(rows, k.fig))
+		var xs []float64
+		for x := range blocks[k] {
+			xs = append(xs, x)
+		}
+		sort.Float64s(xs)
+		for _, x := range xs {
+			cell := blocks[k][x]
+			fmt.Fprintf(tw, "  %v\t%.4f\t%.3f\t%.4f\t%.3f\t%.4f\t%.3f\n",
+				x,
+				cell["MQP"].Seconds, cell["MQP"].Penalty,
+				cell["MWK"].Seconds, cell["MWK"].Penalty,
+				cell["MQWK"].Seconds, cell["MQWK"].Penalty)
+		}
+		tw.Flush()
+	}
+}
+
+func xName(rows []Row, fig string) string {
+	for _, r := range rows {
+		if r.Figure == fig {
+			return r.XName
+		}
+	}
+	return "x"
+}
+
+// WriteCSV emits rows as machine-readable CSV with a header.
+func WriteCSV(w io.Writer, rows []Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"figure", "dataset", "param", "x", "algo", "seconds", "penalty"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Figure, r.Dataset, r.XName,
+			strconv.FormatFloat(r.X, 'g', -1, 64),
+			r.Algo,
+			strconv.FormatFloat(r.Seconds, 'g', -1, 64),
+			strconv.FormatFloat(r.Penalty, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,262 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randSPD(r *rand.Rand, n int) *Dense {
+	// A = B Bᵀ + n·I is SPD for random B.
+	b := New(n, n)
+	for i := range b.Data {
+		b.Data[i] = r.NormFloat64()
+	}
+	a := b.Mul(b.T())
+	a.AddDiag(float64(n))
+	return a
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	m := 0.0
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestCholeskyReconstruction(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + r.Intn(10)
+		a := randSPD(r, n)
+		l, err := Cholesky(a)
+		if err != nil {
+			t.Fatalf("Cholesky failed on SPD matrix: %v", err)
+		}
+		llt := l.Mul(l.T())
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if d := math.Abs(llt.At(i, j) - a.At(i, j)); d > 1e-9 {
+					t.Fatalf("LLᵀ differs from A at (%d,%d) by %v", i, j, d)
+				}
+			}
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, -1
+	if _, err := Cholesky(a); err == nil {
+		t.Fatal("Cholesky accepted an indefinite matrix")
+	}
+	if _, err := Cholesky(New(2, 3)); err == nil {
+		t.Fatal("Cholesky accepted a non-square matrix")
+	}
+}
+
+func TestSolveSPDQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(8)
+		a := randSPD(r, n)
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = r.NormFloat64()
+		}
+		b := a.MulVec(want)
+		got, err := SolveSPD(a, b)
+		if err != nil {
+			return false
+		}
+		return maxAbsDiff(got, want) < 1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveSPDKnown(t *testing.T) {
+	a := FromRows([][]float64{{4, 2}, {2, 3}})
+	x, err := SolveSPD(a, []float64{10, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Solution of [[4,2],[2,3]] x = [10,9]: x = [1.5, 2].
+	if maxAbsDiff(x, []float64{1.5, 2}) > 1e-12 {
+		t.Errorf("x = %v, want [1.5 2]", x)
+	}
+}
+
+func TestLeastSquaresRow(t *testing.T) {
+	// Minimum-norm solution of a single constraint x1 + x2 = 1 is (0.5, 0.5).
+	a := FromRows([][]float64{{1, 1}})
+	x, err := LeastSquaresRow(a, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxAbsDiff(x, []float64{0.5, 0.5}) > 1e-12 {
+		t.Errorf("x = %v, want [0.5 0.5]", x)
+	}
+	// Two constraints in 3-D: sum = 1 and x1 - x3 = 0.
+	a = FromRows([][]float64{{1, 1, 1}, {1, 0, -1}})
+	x, err = LeastSquaresRow(a, []float64{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := x[0] + x[1] + x[2]; math.Abs(got-1) > 1e-12 {
+		t.Errorf("sum constraint violated: %v", got)
+	}
+	if math.Abs(x[0]-x[2]) > 1e-12 {
+		t.Errorf("difference constraint violated: %v", x)
+	}
+	// Dependent rows must error.
+	a = FromRows([][]float64{{1, 1}, {2, 2}})
+	if _, err := LeastSquaresRow(a, []float64{1, 2}); err == nil {
+		t.Error("dependent rows accepted")
+	}
+}
+
+func TestNullSpace(t *testing.T) {
+	// Null space of {sum(w)=const direction} in R^3 has dimension 2.
+	basis := NullSpace([][]float64{{1, 1, 1}}, 3)
+	if len(basis) != 2 {
+		t.Fatalf("basis size = %d, want 2", len(basis))
+	}
+	for i, u := range basis {
+		if s := u[0] + u[1] + u[2]; math.Abs(s) > 1e-10 {
+			t.Errorf("basis[%d] not orthogonal to constraint: %v", i, s)
+		}
+		if n := math.Sqrt(dot(u, u)); math.Abs(n-1) > 1e-10 {
+			t.Errorf("basis[%d] not unit norm: %v", i, n)
+		}
+	}
+	if c := dot(basis[0], basis[1]); math.Abs(c) > 1e-10 {
+		t.Errorf("basis vectors not orthogonal: %v", c)
+	}
+	// Two independent constraints in R^2 leave nothing.
+	basis = NullSpace([][]float64{{1, 0}, {0, 1}}, 2)
+	if len(basis) != 0 {
+		t.Errorf("basis size = %d, want 0", len(basis))
+	}
+	// Dependent constraints count once.
+	basis = NullSpace([][]float64{{1, 1}, {2, 2}}, 2)
+	if len(basis) != 1 {
+		t.Errorf("basis size = %d, want 1", len(basis))
+	}
+}
+
+func TestNullSpaceQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(8)
+		k := 1 + r.Intn(n)
+		rows := make([][]float64, k)
+		for i := range rows {
+			rows[i] = make([]float64, n)
+			for j := range rows[i] {
+				rows[i][j] = r.NormFloat64()
+			}
+		}
+		basis := NullSpace(rows, n)
+		for _, u := range basis {
+			for _, row := range rows {
+				if math.Abs(dot(u, row)) > 1e-8*(1+norm(row)) {
+					return false
+				}
+			}
+		}
+		// Random rows are independent with probability 1, so expect n-k.
+		return len(basis) == n-k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulVecTMulVec(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	y := a.MulVec([]float64{1, 1, 1})
+	if maxAbsDiff(y, []float64{6, 15}) > 0 {
+		t.Errorf("MulVec = %v", y)
+	}
+	z := a.TMulVec([]float64{1, 1})
+	if maxAbsDiff(z, []float64{5, 7, 9}) > 0 {
+		t.Errorf("TMulVec = %v", z)
+	}
+}
+
+func TestMulIdentityDiagonal(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	if got := a.Mul(Identity(2)); maxAbsDiff(got.Data, a.Data) > 0 {
+		t.Errorf("A·I = %v", got)
+	}
+	d := Diagonal([]float64{2, 3})
+	got := a.Mul(d)
+	want := FromRows([][]float64{{2, 6}, {6, 12}})
+	if maxAbsDiff(got.Data, want.Data) > 0 {
+		t.Errorf("A·D = %v, want %v", got, want)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	at := a.T()
+	if at.Rows != 3 || at.Cols != 2 {
+		t.Fatalf("T shape = %dx%d", at.Rows, at.Cols)
+	}
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			if a.At(i, j) != at.At(j, i) {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	c := a.Clone()
+	c.Set(0, 0, 99)
+	if a.At(0, 0) != 1 {
+		t.Error("Clone shares data")
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for ragged rows")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestCholeskyJitterRecoversNearSingular(t *testing.T) {
+	// A singular matrix with a consistent RHS: the jittered factorization
+	// still produces a usable solve.
+	a := FromRows([][]float64{{2, 4}, {4, 8}})
+	l, err := CholeskyJitter(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := CholSolve(l, []float64{2, 4})
+	// Verify A x ≈ b.
+	b := a.MulVec(x)
+	if maxAbsDiff(b, []float64{2, 4}) > 1e-5 {
+		t.Errorf("A·x = %v, want [2 4]", b)
+	}
+	// SPD input factors without jitter and matches Cholesky.
+	spd := FromRows([][]float64{{4, 2}, {2, 3}})
+	l1, err := CholeskyJitter(spd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, _ := Cholesky(spd)
+	if maxAbsDiff(l1.Data, l2.Data) > 0 {
+		t.Error("CholeskyJitter altered an SPD factorization")
+	}
+}

@@ -1,0 +1,37 @@
+package qp
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzBoxProjection checks the analytic clamp solution on arbitrary
+// byte-derived box-projection problems.
+func FuzzBoxProjection(f *testing.F) {
+	f.Add([]byte{100, 50, 200, 30})
+	f.Add([]byte{0, 255, 1, 254, 2, 253})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 || len(data) > 16 || len(data)%2 != 0 {
+			t.Skip()
+		}
+		n := len(data) / 2
+		tgt := make([]float64, n)
+		ub := make([]float64, n)
+		for i := 0; i < n; i++ {
+			tgt[i] = (float64(data[2*i]) - 128) / 16
+			ub[i] = float64(data[2*i+1])/64 + 0.05
+		}
+		p := distProblem(tgt)
+		p.G, p.Hv = boxRows(n, ub)
+		x, err := Solve(p, Options{})
+		if err != nil {
+			t.Fatalf("solve failed: %v (tgt=%v ub=%v)", err, tgt, ub)
+		}
+		for i := range x {
+			want := math.Max(0, math.Min(tgt[i], ub[i]))
+			if math.Abs(x[i]-want) > 5e-4 {
+				t.Fatalf("x[%d] = %v, want %v (tgt=%v ub=%v)", i, x[i], want, tgt, ub)
+			}
+		}
+	})
+}

@@ -1,0 +1,372 @@
+// Package qp solves small convex quadratic programs of the form
+//
+//	minimize   ½ xᵀH x + cᵀx
+//	subject to G x ≤ h        (inequality constraints)
+//	           A x = b        (optional equality constraints)
+//
+// with H symmetric positive definite. This is the role played by the
+// interior-point QuadProg code of Monteiro and Adler [26] in Algorithm 1
+// (MQP) of the paper: the safe region ∩ HS(wᵢ, pᵢ) is never materialized;
+// the refined query point is obtained directly as the QP optimum.
+//
+// The solver is an infeasible-start primal–dual path-following interior
+// point method. Equality constraints are eliminated up front by a
+// null-space reduction (x = x_p + N u), so the core iteration only handles
+// inequalities. Problems in WQRTQ are tiny (n ≤ ~13 variables,
+// m = |Wm| + 2d constraints), so each Newton step forms the dense normal
+// matrix H + Gᵀ·diag(z/s)·G and factorizes it with Cholesky.
+package qp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"wqrtq/internal/mat"
+)
+
+// Problem describes one convex QP instance.
+type Problem struct {
+	H *mat.Dense // n×n symmetric positive definite
+	C []float64  // length n
+
+	G  *mat.Dense // m×n inequality matrix, may be nil (no inequalities)
+	Hv []float64  // length m right-hand side of G x ≤ h
+
+	Aeq *mat.Dense // e×n equality matrix, may be nil
+	Beq []float64  // length e
+}
+
+// Options tunes the interior-point iteration.
+type Options struct {
+	MaxIter int     // maximum Newton iterations (default 100)
+	Tol     float64 // convergence tolerance on residuals and duality gap (default 1e-9)
+	// Mehrotra enables the predictor-corrector step: an affine-scaling
+	// predictor chooses the centring parameter adaptively
+	// (sigma = (gap_aff/gap)^3) and a second-order corrector reuses the
+	// same Newton factorization. It typically converges in fewer
+	// iterations than the fixed-sigma path-following default.
+	Mehrotra bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 100
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-9
+	}
+	return o
+}
+
+// Result reports the optimum and solver diagnostics.
+type Result struct {
+	X          []float64
+	Iterations int
+	Gap        float64 // final average complementarity sᵀz/m
+}
+
+// ErrInfeasible is returned when the iteration cannot reduce the primal
+// residual, indicating an empty feasible region (or numerical breakdown).
+var ErrInfeasible = errors.New("qp: problem appears infeasible")
+
+// ErrMaxIter is returned when the iteration limit is reached without
+// satisfying the convergence tolerances.
+var ErrMaxIter = errors.New("qp: maximum iterations reached without convergence")
+
+// Solve returns the minimizer of the problem.
+func Solve(p Problem, opt Options) ([]float64, error) {
+	res, err := SolveDetailed(p, opt)
+	if err != nil {
+		return nil, err
+	}
+	return res.X, nil
+}
+
+// SolveDetailed solves the problem and reports iteration diagnostics.
+func SolveDetailed(p Problem, opt Options) (Result, error) {
+	opt = opt.withDefaults()
+	n := len(p.C)
+	if p.H == nil || p.H.Rows != n || p.H.Cols != n {
+		return Result{}, fmt.Errorf("qp: H must be %d×%d", n, n)
+	}
+	if p.G != nil && (p.G.Cols != n || len(p.Hv) != p.G.Rows) {
+		return Result{}, errors.New("qp: inconsistent inequality dimensions")
+	}
+	if p.Aeq == nil || p.Aeq.Rows == 0 {
+		return solveInequality(p.H, p.C, p.G, p.Hv, opt)
+	}
+	return solveWithEqualities(p, opt)
+}
+
+// solveWithEqualities eliminates A x = b by the null-space method and solves
+// the reduced inequality-constrained problem.
+func solveWithEqualities(p Problem, opt Options) (Result, error) {
+	n := len(p.C)
+	if p.Aeq.Cols != n || len(p.Beq) != p.Aeq.Rows {
+		return Result{}, errors.New("qp: inconsistent equality dimensions")
+	}
+	xp, err := mat.LeastSquaresRow(p.Aeq, p.Beq)
+	if err != nil {
+		return Result{}, fmt.Errorf("qp: equality system: %w", err)
+	}
+	rows := make([][]float64, p.Aeq.Rows)
+	for i := range rows {
+		rows[i] = p.Aeq.Row(i)
+	}
+	basis := mat.NullSpace(rows, n)
+	if len(basis) == 0 {
+		// Unique point; only feasibility to check.
+		if p.G != nil {
+			gx := p.G.MulVec(xp)
+			for i, v := range gx {
+				if v > p.Hv[i]+1e-8*(1+math.Abs(p.Hv[i])) {
+					return Result{}, ErrInfeasible
+				}
+			}
+		}
+		return Result{X: xp}, nil
+	}
+	// N has the basis vectors as columns: x = xp + N u.
+	nn := mat.New(n, len(basis))
+	for j, u := range basis {
+		for i := 0; i < n; i++ {
+			nn.Set(i, j, u[i])
+		}
+	}
+	nt := nn.T()
+	hRed := nt.Mul(p.H.Mul(nn))
+	hxpc := p.H.MulVec(xp)
+	for i := range hxpc {
+		hxpc[i] += p.C[i]
+	}
+	cRed := nt.MulVec(hxpc)
+	var gRed *mat.Dense
+	var hvRed []float64
+	if p.G != nil && p.G.Rows > 0 {
+		gRed = p.G.Mul(nn)
+		gxp := p.G.MulVec(xp)
+		hvRed = make([]float64, len(p.Hv))
+		for i := range hvRed {
+			hvRed[i] = p.Hv[i] - gxp[i]
+		}
+	}
+	res, err := solveInequality(hRed, cRed, gRed, hvRed, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	x := nn.MulVec(res.X)
+	for i := range x {
+		x[i] += xp[i]
+	}
+	res.X = x
+	return res, nil
+}
+
+// solveInequality runs the primal–dual interior-point iteration on
+// min ½xᵀHx + cᵀx subject to Gx ≤ h.
+func solveInequality(h *mat.Dense, c []float64, g *mat.Dense, hv []float64, opt Options) (Result, error) {
+	n := len(c)
+	// Unconstrained (or trivially constrained) case.
+	if g == nil || g.Rows == 0 {
+		negc := make([]float64, n)
+		for i, v := range c {
+			negc[i] = -v
+		}
+		x, err := mat.SolveSPDJitter(h, negc)
+		if err != nil {
+			return Result{}, fmt.Errorf("qp: unconstrained solve: %w", err)
+		}
+		return Result{X: x}, nil
+	}
+	m := g.Rows
+
+	// Start from the unconstrained minimizer; slacks pushed strictly positive.
+	negc := make([]float64, n)
+	for i, v := range c {
+		negc[i] = -v
+	}
+	x, err := mat.SolveSPDJitter(h, negc)
+	if err != nil {
+		return Result{}, fmt.Errorf("qp: initial point: %w", err)
+	}
+	s := make([]float64, m)
+	z := make([]float64, m)
+	gx := g.MulVec(x)
+	for i := 0; i < m; i++ {
+		s[i] = math.Max(hv[i]-gx[i], 1)
+		z[i] = 1
+	}
+
+	scale := 1.0
+	for _, v := range c {
+		scale = math.Max(scale, math.Abs(v))
+	}
+	for _, v := range hv {
+		scale = math.Max(scale, math.Abs(v))
+	}
+
+	rd := make([]float64, n)
+	rp := make([]float64, m)
+	dx := make([]float64, n)
+	dz := make([]float64, m)
+	ds := make([]float64, m)
+	// Best iterate seen so far, by scaled merit max(rd, rp, mu)/scale. The
+	// path-following iteration can break down numerically (z/s overflowing
+	// the Newton system) after it has already produced an essentially
+	// optimal iterate; in that case the best iterate is returned.
+	bestX := append([]float64(nil), x...)
+	bestMerit := math.Inf(1)
+	bestGap := math.Inf(1)
+	iterations := 0
+	finish := func(err error) (Result, error) {
+		const relaxed = 1e-7
+		if bestMerit <= relaxed {
+			return Result{X: bestX, Iterations: iterations, Gap: bestGap}, nil
+		}
+		return Result{}, err
+	}
+	for iter := 1; iter <= opt.MaxIter; iter++ {
+		iterations = iter
+		// Residuals.
+		gtz := g.TMulVec(z)
+		hx := h.MulVec(x)
+		maxRd := 0.0
+		for i := 0; i < n; i++ {
+			rd[i] = hx[i] + c[i] + gtz[i]
+			maxRd = math.Max(maxRd, math.Abs(rd[i]))
+		}
+		gx = g.MulVec(x)
+		maxRp := 0.0
+		for i := 0; i < m; i++ {
+			rp[i] = gx[i] + s[i] - hv[i]
+			maxRp = math.Max(maxRp, math.Abs(rp[i]))
+		}
+		mu := 0.0
+		for i := 0; i < m; i++ {
+			mu += s[i] * z[i]
+		}
+		mu /= float64(m)
+
+		if merit := math.Max(math.Max(maxRd, maxRp), mu) / scale; merit < bestMerit {
+			bestMerit = merit
+			bestGap = mu
+			copy(bestX, x)
+		}
+		if maxRd <= opt.Tol*scale && maxRp <= opt.Tol*scale && mu <= opt.Tol*scale {
+			return Result{X: x, Iterations: iter - 1, Gap: mu}, nil
+		}
+
+		// M = H + Gᵀ diag(z/s) G is shared by every direction solve this
+		// iteration (predictor and corrector differ only in rc).
+		mtx := h.Clone()
+		for r := 0; r < m; r++ {
+			d := z[r] / s[r]
+			if d > 1e14 {
+				d = 1e14
+			}
+			row := g.Row(r)
+			for i := 0; i < n; i++ {
+				if row[i] == 0 {
+					continue
+				}
+				di := d * row[i]
+				mi := mtx.Row(i)
+				for j := 0; j < n; j++ {
+					mi[j] += di * row[j]
+				}
+			}
+		}
+		lfac, err := mat.CholeskyJitter(mtx)
+		if err != nil {
+			return Result{}, fmt.Errorf("qp: newton system: %w", err)
+		}
+		// direction solves for a given complementarity target rc:
+		// dx from (H + GᵀDG)dx = -rd - Gᵀ[(-rc + z∘rp)/s], then
+		// ds = -rp - G dx and dz = (-rc - z∘ds)/s.
+		v := make([]float64, m)
+		rhs := make([]float64, n)
+		direction := func(rc []float64, dx, ds, dz []float64) {
+			for i := 0; i < m; i++ {
+				v[i] = (-rc[i] + z[i]*rp[i]) / s[i]
+			}
+			gtv := g.TMulVec(v)
+			for i := 0; i < n; i++ {
+				rhs[i] = -rd[i] - gtv[i]
+			}
+			copy(dx, mat.CholSolve(lfac, rhs))
+			gdx := g.MulVec(dx)
+			for i := 0; i < m; i++ {
+				ds[i] = -rp[i] - gdx[i]
+				dz[i] = (-rc[i] - z[i]*ds[i]) / s[i]
+			}
+		}
+		rc := make([]float64, m)
+		if opt.Mehrotra {
+			// Predictor: pure affine step (rc = s∘z).
+			for i := 0; i < m; i++ {
+				rc[i] = s[i] * z[i]
+			}
+			direction(rc, dx, ds, dz)
+			alphaAff := 1.0
+			for i := 0; i < m; i++ {
+				if ds[i] < 0 {
+					alphaAff = math.Min(alphaAff, -s[i]/ds[i])
+				}
+				if dz[i] < 0 {
+					alphaAff = math.Min(alphaAff, -z[i]/dz[i])
+				}
+			}
+			muAff := 0.0
+			for i := 0; i < m; i++ {
+				muAff += (s[i] + alphaAff*ds[i]) * (z[i] + alphaAff*dz[i])
+			}
+			muAff /= float64(m)
+			sigma := muAff / mu
+			sigma = sigma * sigma * sigma
+			// Corrector: rc = s∘z + Δs_aff∘Δz_aff - σμ.
+			for i := 0; i < m; i++ {
+				rc[i] = s[i]*z[i] + ds[i]*dz[i] - sigma*mu
+			}
+			direction(rc, dx, ds, dz)
+		} else {
+			// Fixed-σ path following toward sᵢzᵢ = σμ.
+			const sigma = 0.1
+			for i := 0; i < m; i++ {
+				rc[i] = s[i]*z[i] - sigma*mu
+			}
+			direction(rc, dx, ds, dz)
+		}
+
+		// Fraction-to-boundary step keeping s, z strictly positive.
+		alpha := 1.0
+		for i := 0; i < m; i++ {
+			if ds[i] < 0 {
+				alpha = math.Min(alpha, -s[i]/ds[i])
+			}
+			if dz[i] < 0 {
+				alpha = math.Min(alpha, -z[i]/dz[i])
+			}
+		}
+		alpha = math.Min(1, 0.99*alpha)
+		if alpha < 1e-13 {
+			return finish(ErrInfeasible)
+		}
+		for i := 0; i < n; i++ {
+			x[i] += alpha * dx[i]
+		}
+		for i := 0; i < m; i++ {
+			s[i] += alpha * ds[i]
+			z[i] += alpha * dz[i]
+		}
+	}
+	// Accept the best iterate if it is essentially optimal; otherwise report
+	// why the iteration stopped.
+	gx = g.MulVec(bestX)
+	for i := 0; i < m; i++ {
+		if gx[i] > hv[i]+1e-6*scale {
+			return Result{}, ErrInfeasible
+		}
+	}
+	return finish(ErrMaxIter)
+}

@@ -1,0 +1,43 @@
+package rtopk
+
+import (
+	"testing"
+
+	"wqrtq/internal/vec"
+)
+
+// FuzzMonochromatic2D cross-checks the sweep algorithm against direct rank
+// evaluation on arbitrary byte-derived datasets.
+func FuzzMonochromatic2D(f *testing.F) {
+	f.Add([]byte{10, 20, 30, 40, 50, 60}, uint8(2), uint8(3))
+	f.Add([]byte{1, 1, 2, 2, 3, 3, 4, 4}, uint8(1), uint8(5))
+	f.Add([]byte{255, 0, 0, 255}, uint8(1), uint8(128))
+	f.Fuzz(func(t *testing.T, data []byte, k uint8, qb uint8) {
+		if len(data) < 2 || len(data) > 64 {
+			t.Skip()
+		}
+		kk := int(k%8) + 1
+		var pts []vec.Point
+		for i := 0; i+1 < len(data); i += 2 {
+			pts = append(pts, vec.Point{float64(data[i]), float64(data[i+1])})
+		}
+		q := vec.Point{float64(qb), float64(255 - qb)}
+		ivs := Monochromatic2D(pts, q, kk)
+		// Validate interval structure.
+		prev := -1.0
+		for _, iv := range ivs {
+			if iv.Lo > iv.Hi || iv.Lo < 0 || iv.Hi > 1 {
+				t.Fatalf("malformed interval %+v", iv)
+			}
+			if iv.Lo <= prev {
+				t.Fatalf("intervals not strictly ordered: %v", ivs)
+			}
+			prev = iv.Hi
+			// Midpoint must genuinely qualify.
+			mid := (iv.Lo + iv.Hi) / 2
+			if MonoRank(pts, q, mid) > kk {
+				t.Fatalf("midpoint of %+v does not qualify", iv)
+			}
+		}
+	})
+}

@@ -1,0 +1,37 @@
+package rtopk
+
+import (
+	"math/rand"
+
+	"wqrtq/internal/rtree"
+	"wqrtq/internal/sample"
+	"wqrtq/internal/topk"
+	"wqrtq/internal/vec"
+)
+
+// MonochromaticSample estimates the monochromatic reverse top-k result for
+// arbitrary dimensionality by Monte Carlo evaluation over the weighting
+// simplex. Exact monochromatic algorithms are only known for 2-D (Vlachou
+// et al. [31], Chester et al. [9], both cited in §2); in higher dimensions
+// the result region is an intersection-of-halfspaces arrangement cell
+// complex, and the paper itself notes that such geometric computations "do
+// not scale well with the dimensionality" (§4.2). Sampling gives an
+// unbiased estimate of the result's measure plus a witness set.
+//
+// It returns the sampled weighting vectors whose top-k contains q, and the
+// fraction of samples that qualified (an unbiased estimator of the
+// result's share of the weighting simplex under the uniform measure).
+func MonochromaticSample(t *rtree.Tree, q vec.Point, k, samples int, rng *rand.Rand) ([]vec.Weight, float64) {
+	if samples <= 0 {
+		return nil, 0
+	}
+	d := t.Dim()
+	var in []vec.Weight
+	for i := 0; i < samples; i++ {
+		w := sample.RandSimplex(rng, d)
+		if topk.InTopK(t, w, q, k) {
+			in = append(in, w)
+		}
+	}
+	return in, float64(len(in)) / float64(samples)
+}

@@ -1,0 +1,78 @@
+package rtopk
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"wqrtq/internal/rtree"
+	"wqrtq/internal/vec"
+)
+
+// BichromaticParallel evaluates a bichromatic reverse top-k query with the
+// weighting vectors partitioned across worker goroutines. Each worker runs
+// the RTA-style buffered evaluation over its own lexicographically sorted
+// chunk, so the buffer-pruning locality is preserved within chunks while
+// the wall-clock cost drops by roughly the worker count. The R-tree is
+// read-only during evaluation, making the fan-out safe.
+//
+// Results are identical to Bichromatic (both return sorted indices and
+// evaluate the same predicate exactly).
+func BichromaticParallel(t *rtree.Tree, W []vec.Weight, q vec.Point, k, workers int) []int {
+	if len(W) == 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(W) {
+		workers = len(W)
+	}
+	order := make([]int, len(W))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return vec.Lexicographic(vec.Point(W[order[a]]), vec.Point(W[order[b]])) < 0
+	})
+	chunks := make([][]int, workers)
+	per := (len(order) + workers - 1) / workers
+	for i := 0; i < workers; i++ {
+		lo := i * per
+		hi := lo + per
+		if hi > len(order) {
+			hi = len(order)
+		}
+		if lo < hi {
+			chunks[i] = order[lo:hi]
+		}
+	}
+	results := make([][]int, workers)
+	var wg sync.WaitGroup
+	for i, chunk := range chunks {
+		if len(chunk) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(slot int, idxs []int) {
+			defer wg.Done()
+			sub := make([]vec.Weight, len(idxs))
+			for j, wi := range idxs {
+				sub[j] = W[wi]
+			}
+			local, _ := Bichromatic(t, sub, q, k)
+			out := make([]int, len(local))
+			for j, li := range local {
+				out[j] = idxs[li]
+			}
+			results[slot] = out
+		}(i, chunk)
+	}
+	wg.Wait()
+	var merged []int
+	for _, r := range results {
+		merged = append(merged, r...)
+	}
+	sort.Ints(merged)
+	return merged
+}

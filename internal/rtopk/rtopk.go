@@ -1,0 +1,192 @@
+// Package rtopk implements reverse top-k queries (Vlachou et al. [31]), the
+// query class whose why-not questions WQRTQ answers.
+//
+// Bichromatic: given a finite weighting-vector set W, return every w ∈ W
+// whose top-k result contains the query point q. The implementation follows
+// the RTA idea: vectors are evaluated in sorted order and the top-k buffer
+// of the previously evaluated vector serves as a pruning threshold — if k
+// buffered points already score better than q under the next vector, that
+// vector cannot be in the result and no top-k evaluation is needed.
+//
+// Monochromatic: in two dimensions the weighting space is the segment
+// w = (λ, 1-λ), λ ∈ [0, 1], and the result is a union of intervals of λ
+// (Figure 2(b) of the paper). The exact solution is computed with a sweep
+// over the O(|P|) breakpoints where some point ties with q.
+package rtopk
+
+import (
+	"sort"
+
+	"wqrtq/internal/rtree"
+	"wqrtq/internal/topk"
+	"wqrtq/internal/vec"
+)
+
+// Stats reports the work done by the RTA evaluation.
+type Stats struct {
+	Evaluated int // vectors that required a top-k evaluation
+	Pruned    int // vectors rejected by the buffer threshold
+}
+
+// Bichromatic returns the indices into W of the weighting vectors whose
+// top-k contains q (ties won by q), along with pruning statistics.
+func Bichromatic(t *rtree.Tree, W []vec.Weight, q vec.Point, k int) ([]int, Stats) {
+	var stats Stats
+	if len(W) == 0 {
+		return nil, stats
+	}
+	// Evaluate in lexicographic weight order so consecutive vectors are
+	// close and the buffer prunes well.
+	order := make([]int, len(W))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return vec.Lexicographic(vec.Point(W[order[a]]), vec.Point(W[order[b]])) < 0
+	})
+
+	var result []int
+	var buffer []topk.Result // top-k of the last fully evaluated vector
+	for _, wi := range order {
+		w := W[wi]
+		fq := vec.Score(w, q)
+		if len(buffer) == k && k > 0 {
+			// Threshold test: if every buffered point beats q under w, then
+			// at least k points of P beat q, so w is not in the result.
+			beats := 0
+			for _, b := range buffer {
+				if vec.Score(w, b.Point) < fq {
+					beats++
+				}
+			}
+			if beats >= k {
+				stats.Pruned++
+				continue
+			}
+		}
+		stats.Evaluated++
+		res := topk.TopK(t, w, k)
+		buffer = res
+		if len(res) < k || res[k-1].Score >= fq {
+			// Fewer than k points, or the k-th best does not strictly beat
+			// q: q is within the top-k (q wins ties, Definition 2).
+			result = append(result, wi)
+		}
+	}
+	sort.Ints(result)
+	return result, stats
+}
+
+// BichromaticNaive evaluates every vector independently by linear scan;
+// ground truth for tests and the ablation baseline for benchmarks.
+func BichromaticNaive(points []vec.Point, W []vec.Weight, q vec.Point, k int) []int {
+	var result []int
+	for wi, w := range W {
+		if topk.RankNaive(points, w, vec.Score(w, q)) <= k {
+			result = append(result, wi)
+		}
+	}
+	return result
+}
+
+// WhyNotCandidates returns the indices of W absent from the reverse top-k
+// result — the vectors eligible as why-not weighting vectors for WQBQ
+// (Definition 5 requires Wm ⊆ W \ BRTOPk(q)).
+func WhyNotCandidates(W []vec.Weight, result []int) []int {
+	in := make(map[int]bool, len(result))
+	for _, i := range result {
+		in[i] = true
+	}
+	var out []int
+	for i := range W {
+		if !in[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Interval is a closed range [Lo, Hi] of the first weight component λ, with
+// the second component 1-λ, describing part of a 2-D monochromatic result.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Monochromatic2D computes the exact monochromatic reverse top-k result for
+// a 2-dimensional dataset: the maximal intervals of λ (with w = (λ, 1-λ))
+// whose top-k contains q. Intervals with empty interior are not reported.
+func Monochromatic2D(points []vec.Point, q vec.Point, k int) []Interval {
+	if len(q) != 2 {
+		panic("rtopk: Monochromatic2D requires 2-dimensional data")
+	}
+	// For each p: beats(λ) ⇔ f(w,p) < f(w,q) ⇔ b + λ(a-b) < 0 with
+	// a = p[0]-q[0], b = p[1]-q[1]. Build +1/-1 coverage events over [0,1].
+	type event struct {
+		at    float64
+		delta int
+	}
+	var events []event
+	baseline := 0 // points beating q on the whole interval
+	for _, p := range points {
+		a := p[0] - q[0]
+		b := p[1] - q[1]
+		switch {
+		case a == b:
+			if a < 0 {
+				baseline++
+			}
+		case a < b:
+			// Decreasing g: beats for λ > λ*.
+			lam := b / (b - a)
+			if lam < 0 {
+				baseline++
+			} else if lam < 1 {
+				events = append(events, event{at: lam, delta: +1})
+			}
+		default: // a > b, increasing g: beats for λ < λ*.
+			lam := b / (b - a)
+			if lam > 1 {
+				baseline++
+			} else if lam > 0 {
+				events = append(events, event{at: lam, delta: -1}, event{at: 0, delta: +1})
+			}
+		}
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].at < events[j].at })
+
+	// Sweep the open segments between consecutive breakpoints.
+	var out []Interval
+	count := baseline
+	prev := 0.0
+	flush := func(lo, hi float64, c int) {
+		if hi <= lo {
+			return
+		}
+		if c <= k-1 {
+			if n := len(out); n > 0 && out[n-1].Hi == lo {
+				out[n-1].Hi = hi
+			} else {
+				out = append(out, Interval{Lo: lo, Hi: hi})
+			}
+		}
+	}
+	i := 0
+	for i < len(events) {
+		at := events[i].at
+		flush(prev, at, count)
+		for i < len(events) && events[i].at == at {
+			count += events[i].delta
+			i++
+		}
+		prev = at
+	}
+	flush(prev, 1, count)
+	return out
+}
+
+// MonoRank returns the rank of q at a specific λ in a 2-D dataset; exposed
+// for verifying Monochromatic2D against direct evaluation.
+func MonoRank(points []vec.Point, q vec.Point, lam float64) int {
+	w := vec.Weight{lam, 1 - lam}
+	return topk.RankNaive(points, w, vec.Score(w, q))
+}

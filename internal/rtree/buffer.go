@@ -1,0 +1,102 @@
+package rtree
+
+import (
+	"container/list"
+
+	"wqrtq/internal/vec"
+)
+
+// BufferPool simulates a fixed-capacity LRU page cache over tree nodes, so
+// that experiments can account for I/O the way a disk-resident R-tree
+// would: every node visit is a logical page access; an access that misses
+// the pool is a physical read. The paper's experimental setup (§5.1)
+// defines the tree in terms of 4096-byte pages, making page-level cost the
+// natural unit for comparing traversal strategies.
+//
+// The pool tracks identity only (no data movement happens — the tree is in
+// memory); it is a cost model, not a cache.
+type BufferPool struct {
+	capacity int
+	ll       *list.List
+	pages    map[*Node]*list.Element
+
+	accesses int
+	misses   int
+}
+
+// NewBufferPool creates a pool holding up to capacity pages. Capacity <= 0
+// means every access misses (cold reads only).
+func NewBufferPool(capacity int) *BufferPool {
+	return &BufferPool{
+		capacity: capacity,
+		ll:       list.New(),
+		pages:    map[*Node]*list.Element{},
+	}
+}
+
+// Access records a visit to a node, returning true on a buffer hit.
+func (b *BufferPool) Access(n *Node) bool {
+	b.accesses++
+	if el, ok := b.pages[n]; ok {
+		b.ll.MoveToFront(el)
+		return true
+	}
+	b.misses++
+	if b.capacity <= 0 {
+		return false
+	}
+	if b.ll.Len() >= b.capacity {
+		oldest := b.ll.Back()
+		b.ll.Remove(oldest)
+		delete(b.pages, oldest.Value.(*Node))
+	}
+	b.pages[n] = b.ll.PushFront(n)
+	return false
+}
+
+// Reset clears the pool and its counters.
+func (b *BufferPool) Reset() {
+	b.ll.Init()
+	b.pages = map[*Node]*list.Element{}
+	b.accesses = 0
+	b.misses = 0
+}
+
+// Accesses returns the number of logical page accesses recorded.
+func (b *BufferPool) Accesses() int { return b.accesses }
+
+// Misses returns the number of physical reads (buffer misses).
+func (b *BufferPool) Misses() int { return b.misses }
+
+// HitRate returns the fraction of accesses served from the buffer.
+func (b *BufferPool) HitRate() float64 {
+	if b.accesses == 0 {
+		return 0
+	}
+	return float64(b.accesses-b.misses) / float64(b.accesses)
+}
+
+// Resident returns the number of pages currently buffered.
+func (b *BufferPool) Resident() int { return b.ll.Len() }
+
+// VisitCounted walks the tree like Visit but records every entered node
+// (including the root) in the buffer pool.
+func (t *Tree) VisitCounted(pool *BufferPool, descend func(Rect, *Node) bool, visit func(id int32, p vec.Point)) {
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		pool.Access(n)
+		if n.leaf {
+			for i := range n.entries {
+				visit(n.entries[i].id, n.entries[i].rect.Min)
+			}
+			return
+		}
+		for i := range n.entries {
+			child := n.entries[i].child
+			if descend == nil || descend(n.entries[i].rect, child) {
+				rec(child)
+			}
+		}
+	}
+	rec(t.root)
+}

@@ -1,0 +1,115 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"wqrtq/internal/vec"
+)
+
+func TestBufferPoolLRUBehaviour(t *testing.T) {
+	a, b, c, d := &Node{}, &Node{}, &Node{}, &Node{}
+	p := NewBufferPool(2)
+	if p.Access(a) {
+		t.Error("first access to a should miss")
+	}
+	if p.Access(b) {
+		t.Error("first access to b should miss")
+	}
+	if !p.Access(a) {
+		t.Error("a should be buffered")
+	}
+	// Insert c: evicts b (least recently used), not a.
+	if p.Access(c) {
+		t.Error("first access to c should miss")
+	}
+	if !p.Access(a) {
+		t.Error("a should survive the eviction")
+	}
+	if p.Access(b) {
+		t.Error("b should have been evicted")
+	}
+	_ = d
+	if p.Resident() != 2 {
+		t.Errorf("resident = %d, want 2", p.Resident())
+	}
+	if p.Accesses() != 6 || p.Misses() != 4 {
+		t.Errorf("accesses/misses = %d/%d, want 6/4", p.Accesses(), p.Misses())
+	}
+	if got := p.HitRate(); got != 2.0/6 {
+		t.Errorf("hit rate = %v", got)
+	}
+	p.Reset()
+	if p.Accesses() != 0 || p.Resident() != 0 {
+		t.Error("Reset did not clear the pool")
+	}
+}
+
+func TestBufferPoolZeroCapacity(t *testing.T) {
+	p := NewBufferPool(0)
+	n := &Node{}
+	for i := 0; i < 3; i++ {
+		if p.Access(n) {
+			t.Fatal("zero-capacity pool produced a hit")
+		}
+	}
+	if p.HitRate() != 0 {
+		t.Errorf("hit rate = %v, want 0", p.HitRate())
+	}
+}
+
+func TestVisitCountedMatchesVisit(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	pts := randPoints(r, 3000, 2)
+	tr := Bulk(pts, nil)
+	pool := NewBufferPool(1 << 20)
+	counted := 0
+	tr.VisitCounted(pool, nil, func(int32, vec.Point) { counted++ })
+	if counted != 3000 {
+		t.Errorf("visited %d points, want 3000", counted)
+	}
+	// Every node accessed exactly once on a full cold walk.
+	if pool.Accesses() != tr.NodeCount() {
+		t.Errorf("accesses = %d, want node count %d", pool.Accesses(), tr.NodeCount())
+	}
+	if pool.Misses() != tr.NodeCount() {
+		t.Errorf("cold misses = %d, want %d", pool.Misses(), tr.NodeCount())
+	}
+	// A second walk with a big-enough pool is all hits.
+	tr.VisitCounted(pool, nil, func(int32, vec.Point) {})
+	if pool.Misses() != tr.NodeCount() {
+		t.Errorf("warm walk caused %d extra misses", pool.Misses()-tr.NodeCount())
+	}
+}
+
+func TestVisitCountedRepeatedQueriesBenefitFromBuffer(t *testing.T) {
+	// Repeated partial traversals over the same region should enjoy a high
+	// hit rate with a warm pool — the rationale of the reuse technique.
+	r := rand.New(rand.NewSource(9))
+	pts := randPoints(r, 20000, 2)
+	tr := Bulk(pts, nil)
+	pool := NewBufferPool(4096)
+	region := Rect{Min: []float64{10, 10}, Max: []float64{30, 30}}
+	for i := 0; i < 10; i++ {
+		tr.VisitCounted(pool, func(r Rect, _ *Node) bool { return r.Intersects(region) },
+			func(int32, vec.Point) {})
+	}
+	if hr := pool.HitRate(); hr < 0.8 {
+		t.Errorf("hit rate = %v, want >= 0.8 for repeated identical traversals", hr)
+	}
+}
+
+func TestVisitCountedPruning(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	pts := randPoints(r, 2000, 2)
+	tr := Bulk(pts, nil)
+	pool := NewBufferPool(100)
+	visited := 0
+	tr.VisitCounted(pool, func(Rect, *Node) bool { return false }, func(int32, vec.Point) { visited++ })
+	if visited != 0 {
+		t.Errorf("visited %d points despite pruning", visited)
+	}
+	if pool.Accesses() != 1 {
+		t.Errorf("accesses = %d, want 1 (root only)", pool.Accesses())
+	}
+}

@@ -1,0 +1,97 @@
+package rtree
+
+import (
+	"math"
+	"sort"
+
+	"wqrtq/internal/vec"
+)
+
+// Bulk builds a tree over the given points with Sort-Tile-Recursive (STR)
+// packing, producing near-full nodes and a balanced structure in O(n log n).
+// ids[i] is the record id of points[i]; if ids is nil the point index is
+// used. Point slices are retained, not copied.
+func Bulk(points []vec.Point, ids []int32, opts ...Options) *Tree {
+	if len(points) == 0 {
+		panic("rtree: Bulk requires at least one point")
+	}
+	t := New(len(points[0]), opts...)
+	t.nodeCount = 0 // discard the initial empty leaf
+	entries := make([]entry, len(points))
+	for i, p := range points {
+		id := int32(i)
+		if ids != nil {
+			id = ids[i]
+		}
+		entries[i] = entry{rect: PointRect(p), id: id}
+	}
+	leaves := t.strPack(entries, 0, true)
+	level := leaves
+	for len(level) > 1 {
+		up := make([]entry, len(level))
+		for i, n := range level {
+			up[i] = entry{rect: nodeRect(n), child: n}
+		}
+		level = t.strPack(up, 0, false)
+	}
+	t.root = level[0]
+	t.size = len(points)
+	return t
+}
+
+// strPack tiles entries into nodes of up to maxFill entries by recursively
+// sorting on successive dimensions and slicing into vertical "slabs".
+func (t *Tree) strPack(entries []entry, axis int, leaf bool) []*Node {
+	if len(entries) <= t.maxFill {
+		n := t.newNode(leaf)
+		n.entries = append(n.entries, entries...)
+		for _, e := range n.entries {
+			n.count += entryCount(e)
+		}
+		return []*Node{n}
+	}
+	nodesNeeded := int(math.Ceil(float64(len(entries)) / float64(t.maxFill)))
+	if axis >= t.dim-1 {
+		// Final axis: sort and chop into consecutive runs.
+		sortEntriesByCenter(entries, axis)
+		out := make([]*Node, 0, nodesNeeded)
+		for start := 0; start < len(entries); start += t.maxFill {
+			end := start + t.maxFill
+			if end > len(entries) {
+				end = len(entries)
+			}
+			n := t.newNode(leaf)
+			n.entries = append(n.entries, entries[start:end]...)
+			for _, e := range n.entries {
+				n.count += entryCount(e)
+			}
+			out = append(out, n)
+		}
+		return out
+	}
+	// Slab count: ceil(nodesNeeded^(1/(remaining dims))).
+	remaining := t.dim - axis
+	slabs := int(math.Ceil(math.Pow(float64(nodesNeeded), 1/float64(remaining))))
+	if slabs < 1 {
+		slabs = 1
+	}
+	sortEntriesByCenter(entries, axis)
+	per := int(math.Ceil(float64(len(entries)) / float64(slabs)))
+	var out []*Node
+	for start := 0; start < len(entries); start += per {
+		end := start + per
+		if end > len(entries) {
+			end = len(entries)
+		}
+		out = append(out, t.strPack(entries[start:end], axis+1, leaf)...)
+	}
+	return out
+}
+
+func sortEntriesByCenter(es []entry, axis int) {
+	sort.Slice(es, func(i, j int) bool {
+		ci := es[i].rect.Min[axis] + es[i].rect.Max[axis]
+		cj := es[j].rect.Min[axis] + es[j].rect.Max[axis]
+		return ci < cj
+	})
+}

@@ -1,0 +1,85 @@
+package rtree
+
+import (
+	"container/heap"
+	"math"
+
+	"wqrtq/internal/vec"
+)
+
+// Neighbor is one result of a nearest-neighbor query.
+type Neighbor struct {
+	ID       int32
+	Point    vec.Point
+	Distance float64
+}
+
+// nnItem is a heap element: either a node or a point, keyed by its minimum
+// possible Euclidean distance to the query point.
+type nnItem struct {
+	dist  float64
+	node  *Node
+	id    int32
+	point vec.Point
+}
+
+type nnHeap []nnItem
+
+func (h nnHeap) Len() int            { return len(h) }
+func (h nnHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h nnHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nnHeap) Push(x interface{}) { *h = append(*h, x.(nnItem)) }
+func (h *nnHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// minDist returns the smallest Euclidean distance from p to any point in r.
+func (r Rect) minDist(p vec.Point) float64 {
+	s := 0.0
+	for i := range p {
+		switch {
+		case p[i] < r.Min[i]:
+			d := r.Min[i] - p[i]
+			s += d * d
+		case p[i] > r.Max[i]:
+			d := p[i] - r.Max[i]
+			s += d * d
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// Nearest returns the n points closest to p in ascending distance order
+// (fewer if the tree is smaller), using the classic best-first search over
+// MBR minimum distances. Useful for locating the competitors nearest a
+// product in attribute space.
+func (t *Tree) Nearest(p vec.Point, n int) []Neighbor {
+	if n <= 0 || t.size == 0 {
+		return nil
+	}
+	h := nnHeap{{dist: 0, node: t.root}}
+	heap.Init(&h)
+	out := make([]Neighbor, 0, n)
+	for len(h) > 0 && len(out) < n {
+		top := heap.Pop(&h).(nnItem)
+		if top.node == nil {
+			out = append(out, Neighbor{ID: top.id, Point: top.point, Distance: top.dist})
+			continue
+		}
+		nd := top.node
+		for i := range nd.entries {
+			e := &nd.entries[i]
+			if nd.leaf {
+				q := vec.Point(e.rect.Min)
+				heap.Push(&h, nnItem{dist: vec.Dist(p, q), id: e.id, point: q})
+			} else {
+				heap.Push(&h, nnItem{dist: e.rect.minDist(p), node: e.child})
+			}
+		}
+	}
+	return out
+}

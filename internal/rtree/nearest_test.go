@@ -1,0 +1,84 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"wqrtq/internal/vec"
+)
+
+func nearestNaive(pts []vec.Point, q vec.Point, n int) []Neighbor {
+	out := make([]Neighbor, len(pts))
+	for i, p := range pts {
+		out[i] = Neighbor{ID: int32(i), Point: p, Distance: vec.Dist(p, q)}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Distance < out[j].Distance })
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+func TestNearestAgainstNaiveQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(400)
+		d := 2 + r.Intn(3)
+		pts := randPoints(r, n, d)
+		tr := Bulk(pts, nil, Options{PageSize: 256})
+		q := randPoints(r, 1, d)[0]
+		k := 1 + r.Intn(15)
+		got := tr.Nearest(q, k)
+		want := nearestNaive(pts, q, k)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			// Distances must agree exactly in order (ids may differ only on
+			// exact ties).
+			if got[i].Distance != want[i].Distance {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNearestEdgeCases(t *testing.T) {
+	tr := New(2)
+	if got := tr.Nearest(vec.Point{1, 1}, 3); got != nil {
+		t.Errorf("empty tree returned %v", got)
+	}
+	tr.Insert(vec.Point{5, 5}, 0)
+	if got := tr.Nearest(vec.Point{1, 1}, 0); got != nil {
+		t.Errorf("n=0 returned %v", got)
+	}
+	got := tr.Nearest(vec.Point{1, 1}, 10)
+	if len(got) != 1 || got[0].ID != 0 {
+		t.Errorf("Nearest = %v", got)
+	}
+}
+
+func TestRectMinDist(t *testing.T) {
+	r := Rect{Min: []float64{2, 2}, Max: []float64{4, 4}}
+	cases := []struct {
+		p    vec.Point
+		want float64
+	}{
+		{vec.Point{3, 3}, 0},                      // inside
+		{vec.Point{2, 2}, 0},                      // corner
+		{vec.Point{0, 3}, 2},                      // left face
+		{vec.Point{5, 3}, 1},                      // right face
+		{vec.Point{0, 0}, 2 * 1.4142135623730951}, // corner diagonal
+	}
+	for _, tc := range cases {
+		if got := r.minDist(tc.p); got < tc.want-1e-12 || got > tc.want+1e-12 {
+			t.Errorf("minDist(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+}

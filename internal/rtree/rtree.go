@@ -1,0 +1,491 @@
+// Package rtree implements the disk-page-style R-tree used as the index
+// substrate by every WQRTQ algorithm (the paper indexes every dataset with
+// an R-tree whose page size is 4096 bytes, §5.1).
+//
+// The tree supports one-by-one insertion with the R*-tree heuristics
+// (least-overlap choose-subtree and the margin-driven topological split),
+// deletion with subtree reinsertion, and Sort-Tile-Recursive (STR) bulk
+// loading. Node fanout is derived from the configured page size exactly as
+// a disk-resident implementation would: each entry occupies 2·d·8 bytes of
+// MBR plus an 8-byte child pointer / record id.
+//
+// Every node carries the number of data points beneath it, which the top-k
+// rank-counting search (internal/topk) uses to count dominated subtrees
+// without descending into them.
+package rtree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"wqrtq/internal/vec"
+)
+
+// DefaultPageSize mirrors the paper's experimental setting (§5.1).
+const DefaultPageSize = 4096
+
+// Options configures tree geometry.
+type Options struct {
+	// PageSize is the simulated disk page in bytes; fanout is derived from
+	// it. Defaults to DefaultPageSize.
+	PageSize int
+	// MinFill is the minimum node utilization as a fraction of the fanout
+	// (classic R*-tree value 0.4). Defaults to 0.4.
+	MinFill float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.PageSize <= 0 {
+		o.PageSize = DefaultPageSize
+	}
+	if o.MinFill <= 0 || o.MinFill > 0.5 {
+		o.MinFill = 0.4
+	}
+	return o
+}
+
+// Tree is an in-memory R-tree over d-dimensional points.
+type Tree struct {
+	dim       int
+	maxFill   int
+	minFill   int
+	root      *Node
+	size      int
+	nodeCount int
+}
+
+// Node is a tree node. Exported read-only accessors let the search
+// algorithms in other packages traverse the structure without exposing
+// mutation.
+type Node struct {
+	leaf    bool
+	entries []entry
+	count   int // data points in this subtree
+}
+
+type entry struct {
+	rect  Rect
+	child *Node // nil for leaf entries
+	id    int32 // valid for leaf entries
+}
+
+// New creates an empty tree for dim-dimensional points.
+func New(dim int, opts ...Options) *Tree {
+	if dim <= 0 {
+		panic("rtree: dimension must be positive")
+	}
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	o = o.withDefaults()
+	// Entry layout: 2*d float64 for the MBR plus an 8-byte pointer/id,
+	// 16 bytes of node header.
+	entryBytes := 16*dim + 8
+	maxFill := (o.PageSize - 16) / entryBytes
+	if maxFill < 4 {
+		maxFill = 4
+	}
+	minFill := int(float64(maxFill) * o.MinFill)
+	if minFill < 2 {
+		minFill = 2
+	}
+	t := &Tree{dim: dim, maxFill: maxFill, minFill: minFill}
+	t.root = t.newNode(true)
+	return t
+}
+
+func (t *Tree) newNode(leaf bool) *Node {
+	t.nodeCount++
+	return &Node{leaf: leaf}
+}
+
+// Dim returns the dimensionality of indexed points.
+func (t *Tree) Dim() int { return t.dim }
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int { return t.size }
+
+// NodeCount returns |RT|, the number of nodes, used in the paper's
+// complexity statements (Theorems 1–3).
+func (t *Tree) NodeCount() int { return t.nodeCount }
+
+// MaxEntries returns the node fanout derived from the page size.
+func (t *Tree) MaxEntries() int { return t.maxFill }
+
+// MinEntries returns the minimum entries per non-root node.
+func (t *Tree) MinEntries() int { return t.minFill }
+
+// Root returns the root node for read-only traversal.
+func (t *Tree) Root() *Node { return t.root }
+
+// Height returns the number of levels (1 for a tree that is a single leaf).
+func (t *Tree) Height() int {
+	h := 1
+	for n := t.root; !n.leaf; n = n.entries[0].child {
+		h++
+	}
+	return h
+}
+
+// IsLeaf reports whether the node stores data points.
+func (n *Node) IsLeaf() bool { return n.leaf }
+
+// NumEntries returns the number of entries in the node.
+func (n *Node) NumEntries() int { return len(n.entries) }
+
+// EntryRect returns the bounding rectangle of entry i. The returned slices
+// must not be modified.
+func (n *Node) EntryRect(i int) Rect { return n.entries[i].rect }
+
+// Child returns the i-th child of an internal node.
+func (n *Node) Child(i int) *Node { return n.entries[i].child }
+
+// PointID returns the record id of leaf entry i.
+func (n *Node) PointID(i int) int32 { return n.entries[i].id }
+
+// Point returns the point stored in leaf entry i (aliasing the indexed
+// slice; callers must not modify it).
+func (n *Node) Point(i int) vec.Point { return vec.Point(n.entries[i].rect.Min) }
+
+// Count returns the number of data points in the node's subtree.
+func (n *Node) Count() int { return n.count }
+
+// Insert adds a point with the given record id. The point slice is retained
+// (not copied); callers must not mutate it afterwards.
+func (t *Tree) Insert(p vec.Point, id int32) {
+	if len(p) != t.dim {
+		panic(fmt.Sprintf("rtree: point dimension %d, want %d", len(p), t.dim))
+	}
+	t.insertEntry(entry{rect: PointRect(p), id: id}, true)
+	t.size++
+}
+
+// insertEntry inserts a leaf entry (isPoint true) or a subtree entry.
+func (t *Tree) insertEntry(e entry, isPoint bool) {
+	leafLevelOnly := isPoint
+	n, path := t.chooseLeaf(e.rect, leafLevelOnly)
+	n.entries = append(n.entries, e)
+	n.count += entryCount(e)
+	for _, p := range path {
+		p.count += entryCount(e)
+	}
+	if len(n.entries) > t.maxFill {
+		t.splitUpward(n, path)
+	}
+}
+
+func entryCount(e entry) int {
+	if e.child == nil {
+		return 1
+	}
+	return e.child.count
+}
+
+// chooseLeaf descends to the leaf best suited for the rectangle, returning
+// the leaf and the path of ancestors (root first).
+func (t *Tree) chooseLeaf(r Rect, _ bool) (*Node, []*Node) {
+	var path []*Node
+	n := t.root
+	for !n.leaf {
+		path = append(path, n)
+		best := t.chooseSubtree(n, r)
+		n.entries[best].rect.extend(r)
+		n = n.entries[best].child
+	}
+	return n, path
+}
+
+// chooseSubtree applies the R*-tree heuristic: for nodes pointing at leaves
+// pick the entry with least overlap enlargement; otherwise least area
+// enlargement. Ties break toward smaller area.
+func (t *Tree) chooseSubtree(n *Node, r Rect) int {
+	childrenAreLeaves := n.entries[0].child.leaf
+	best := 0
+	bestOverlap := math.Inf(1)
+	bestEnl := math.Inf(1)
+	bestArea := math.Inf(1)
+	for i := range n.entries {
+		er := n.entries[i].rect
+		area := er.Area()
+		enl := er.EnlargedArea(r) - area
+		overlap := 0.0
+		if childrenAreLeaves {
+			grown := combine(er, r)
+			for j := range n.entries {
+				if j == i {
+					continue
+				}
+				overlap += grown.OverlapArea(n.entries[j].rect) - er.OverlapArea(n.entries[j].rect)
+			}
+		}
+		if overlap < bestOverlap ||
+			(overlap == bestOverlap && enl < bestEnl) ||
+			(overlap == bestOverlap && enl == bestEnl && area < bestArea) {
+			best, bestOverlap, bestEnl, bestArea = i, overlap, enl, area
+		}
+	}
+	return best
+}
+
+// splitUpward splits an overfull node and propagates along the stored path.
+func (t *Tree) splitUpward(n *Node, path []*Node) {
+	for {
+		left, right := t.split(n)
+		if len(path) == 0 {
+			// Grow a new root.
+			root := t.newNode(false)
+			root.entries = append(root.entries,
+				entry{rect: nodeRect(left), child: left},
+				entry{rect: nodeRect(right), child: right},
+			)
+			root.count = left.count + right.count
+			t.root = root
+			return
+		}
+		parent := path[len(path)-1]
+		path = path[:len(path)-1]
+		// Replace n's entry with the two halves.
+		idx := -1
+		for i := range parent.entries {
+			if parent.entries[i].child == n {
+				idx = i
+				break
+			}
+		}
+		parent.entries[idx] = entry{rect: nodeRect(left), child: left}
+		parent.entries = append(parent.entries, entry{rect: nodeRect(right), child: right})
+		if len(parent.entries) <= t.maxFill {
+			return
+		}
+		n = parent
+	}
+}
+
+// split performs the R*-tree topological split: choose the axis minimizing
+// the margin sum over all valid distributions, then the distribution with
+// least overlap (ties: least combined area). The receiver is reused as the
+// left node; a fresh right node is returned.
+func (t *Tree) split(n *Node) (*Node, *Node) {
+	entries := n.entries
+	m := t.minFill
+	type dist struct {
+		axis, k int
+		byUpper bool
+		overlap float64
+		areaSum float64
+	}
+	bestAxis, bestAxisMargin := -1, math.Inf(1)
+	// Pass 1: choose split axis by minimum total margin.
+	for axis := 0; axis < t.dim; axis++ {
+		for _, byUpper := range []bool{false, true} {
+			sortEntries(entries, axis, byUpper)
+			margin := 0.0
+			for k := m; k <= len(entries)-m; k++ {
+				lr := coverRect(entries[:k])
+				rr := coverRect(entries[k:])
+				margin += lr.Margin() + rr.Margin()
+			}
+			if margin < bestAxisMargin {
+				bestAxisMargin = margin
+				bestAxis = axis
+			}
+		}
+	}
+	// Pass 2: on the chosen axis pick the best distribution.
+	best := dist{overlap: math.Inf(1), areaSum: math.Inf(1)}
+	for _, byUpper := range []bool{false, true} {
+		sortEntries(entries, bestAxis, byUpper)
+		for k := m; k <= len(entries)-m; k++ {
+			lr := coverRect(entries[:k])
+			rr := coverRect(entries[k:])
+			ov := lr.OverlapArea(rr)
+			as := lr.Area() + rr.Area()
+			if ov < best.overlap || (ov == best.overlap && as < best.areaSum) {
+				best = dist{axis: bestAxis, k: k, byUpper: byUpper, overlap: ov, areaSum: as}
+			}
+		}
+	}
+	sortEntries(entries, best.axis, best.byUpper)
+	right := t.newNode(n.leaf)
+	right.entries = append(right.entries, entries[best.k:]...)
+	n.entries = entries[:best.k:best.k]
+	n.count = 0
+	for _, e := range n.entries {
+		n.count += entryCount(e)
+	}
+	right.count = 0
+	for _, e := range right.entries {
+		right.count += entryCount(e)
+	}
+	return n, right
+}
+
+func sortEntries(es []entry, axis int, byUpper bool) {
+	sort.Slice(es, func(i, j int) bool {
+		if byUpper {
+			return es[i].rect.Max[axis] < es[j].rect.Max[axis]
+		}
+		return es[i].rect.Min[axis] < es[j].rect.Min[axis]
+	})
+}
+
+func coverRect(es []entry) Rect {
+	r := CloneRect(es[0].rect)
+	for _, e := range es[1:] {
+		r.extend(e.rect)
+	}
+	return r
+}
+
+func nodeRect(n *Node) Rect {
+	return coverRect(n.entries)
+}
+
+// Delete removes one entry matching (p, id). It reports whether an entry was
+// found. Underfull nodes are dissolved and their points reinserted.
+func (t *Tree) Delete(p vec.Point, id int32) bool {
+	leaf, path := t.findLeaf(t.root, nil, p, id)
+	if leaf == nil {
+		return false
+	}
+	for i := range leaf.entries {
+		if leaf.entries[i].id == id && vec.Equal(vec.Point(leaf.entries[i].rect.Min), p) {
+			leaf.entries = append(leaf.entries[:i], leaf.entries[i+1:]...)
+			break
+		}
+	}
+	leaf.count--
+	for _, a := range path {
+		a.count--
+	}
+	t.size--
+	var orphans []entry
+	t.condense(leaf, path, &orphans)
+	// Root adjustments.
+	if !t.root.leaf && len(t.root.entries) == 1 {
+		t.root = t.root.entries[0].child
+		t.nodeCount--
+	}
+	if !t.root.leaf && len(t.root.entries) == 0 {
+		t.root = t.newNode(true)
+		t.nodeCount--
+	}
+	for _, e := range orphans {
+		t.insertEntry(e, true)
+	}
+	return true
+}
+
+// findLeaf locates the leaf containing (p, id) and the ancestor path.
+func (t *Tree) findLeaf(n *Node, path []*Node, p vec.Point, id int32) (*Node, []*Node) {
+	if n.leaf {
+		for i := range n.entries {
+			if n.entries[i].id == id && vec.Equal(vec.Point(n.entries[i].rect.Min), p) {
+				return n, path
+			}
+		}
+		return nil, nil
+	}
+	for i := range n.entries {
+		if !n.entries[i].rect.ContainsPoint(p) {
+			continue
+		}
+		if leaf, lp := t.findLeaf(n.entries[i].child, append(path, n), p, id); leaf != nil {
+			return leaf, lp
+		}
+	}
+	return nil, nil
+}
+
+// condense removes underfull nodes bottom-up, collecting their points for
+// reinsertion, and tightens ancestor MBRs.
+func (t *Tree) condense(n *Node, path []*Node, orphans *[]entry) {
+	for level := len(path) - 1; level >= 0; level-- {
+		parent := path[level]
+		idx := -1
+		for i := range parent.entries {
+			if parent.entries[i].child == n {
+				idx = i
+				break
+			}
+		}
+		if len(n.entries) < t.minFill {
+			// Dissolve n: collect its points, remove from parent.
+			collectPoints(n, orphans)
+			removed := n.count
+			parent.entries = append(parent.entries[:idx], parent.entries[idx+1:]...)
+			parent.count -= removed
+			for _, a := range path[:level] {
+				a.count -= removed
+			}
+			t.nodeCount -= countNodes(n)
+		} else {
+			parent.entries[idx].rect = nodeRect(n)
+		}
+		n = parent
+	}
+}
+
+func collectPoints(n *Node, out *[]entry) {
+	if n.leaf {
+		*out = append(*out, n.entries...)
+		return
+	}
+	for i := range n.entries {
+		collectPoints(n.entries[i].child, out)
+	}
+}
+
+func countNodes(n *Node) int {
+	if n.leaf {
+		return 1
+	}
+	c := 1
+	for i := range n.entries {
+		c += countNodes(n.entries[i].child)
+	}
+	return c
+}
+
+// Search appends the record ids of all points inside r to dst and returns it.
+func (t *Tree) Search(r Rect, dst []int32) []int32 {
+	return searchNode(t.root, r, dst)
+}
+
+func searchNode(n *Node, r Rect, dst []int32) []int32 {
+	for i := range n.entries {
+		if !r.Intersects(n.entries[i].rect) {
+			continue
+		}
+		if n.leaf {
+			dst = append(dst, n.entries[i].id)
+		} else {
+			dst = searchNode(n.entries[i].child, r, dst)
+		}
+	}
+	return dst
+}
+
+// Visit walks the tree depth-first. descend is called on every internal
+// entry rectangle and controls whether the subtree is entered; visit is
+// called for every data point reached.
+func (t *Tree) Visit(descend func(Rect, *Node) bool, visit func(id int32, p vec.Point)) {
+	visitNode(t.root, descend, visit)
+}
+
+func visitNode(n *Node, descend func(Rect, *Node) bool, visit func(int32, vec.Point)) {
+	if n.leaf {
+		for i := range n.entries {
+			visit(n.entries[i].id, vec.Point(n.entries[i].rect.Min))
+		}
+		return
+	}
+	for i := range n.entries {
+		child := n.entries[i].child
+		if descend == nil || descend(n.entries[i].rect, child) {
+			visitNode(child, descend, visit)
+		}
+	}
+}

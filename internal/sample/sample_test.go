@@ -1,0 +1,194 @@
+package sample
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"wqrtq/internal/vec"
+)
+
+func TestHyperplaneVertices2D(t *testing.T) {
+	// c = p - q with p=(9,3), q=(4,4): c=(5,-1). The unique simplex point
+	// satisfies 5λ - (1-λ) = 0 → λ = 1/6.
+	vs := HyperplaneVertices([]float64{5, -1})
+	if len(vs) != 1 {
+		t.Fatalf("vertices = %v, want exactly one", vs)
+	}
+	if math.Abs(vs[0][0]-1.0/6) > 1e-12 || math.Abs(vs[0][1]-5.0/6) > 1e-12 {
+		t.Errorf("vertex = %v, want (1/6, 5/6)", vs[0])
+	}
+}
+
+func TestHyperplaneVerticesMissesSimplex(t *testing.T) {
+	if vs := HyperplaneVertices([]float64{1, 2, 3}); len(vs) != 0 {
+		t.Errorf("one-signed c should miss the simplex, got %v", vs)
+	}
+	if vs := HyperplaneVertices([]float64{-1, -2}); len(vs) != 0 {
+		t.Errorf("negative c should miss the simplex, got %v", vs)
+	}
+}
+
+func TestHyperplaneVerticesZeroComponent(t *testing.T) {
+	// c = (0, 1, -1): vertices are e1 and the midpoint of e2-e3 edge.
+	vs := HyperplaneVertices([]float64{0, 1, -1})
+	if len(vs) != 2 {
+		t.Fatalf("got %d vertices, want 2", len(vs))
+	}
+	for _, v := range vs {
+		if err := vec.ValidateWeight(v); err != nil {
+			t.Errorf("vertex %v invalid: %v", v, err)
+		}
+		if r := ValidateOnPlane([]float64{0, 1, -1}, v); r > 1e-12 {
+			t.Errorf("vertex %v off plane by %v", v, r)
+		}
+	}
+}
+
+func TestHyperplaneVerticesPropertiesQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := 2 + r.Intn(6)
+		c := make([]float64, d)
+		for i := range c {
+			c[i] = r.NormFloat64()
+		}
+		for _, v := range HyperplaneVertices(c) {
+			if vec.ValidateWeight(v) != nil {
+				return false
+			}
+			if ValidateOnPlane(c, v) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeightSamplerSamplesSatisfyConstraints(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	q := vec.Point{4, 4, 4}
+	inc := []vec.Point{{9, 3, 2}, {1, 9, 5}, {3, 7, 4}}
+	s, err := NewWeightSampler(q, inc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumPlanes() != 3 {
+		t.Fatalf("NumPlanes = %d, want 3", s.NumPlanes())
+	}
+	for i := 0; i < 500; i++ {
+		w := s.Sample(rng)
+		if err := vec.ValidateWeight(w); err != nil {
+			t.Fatalf("sample %d invalid: %v (%v)", i, err, w)
+		}
+		// The sample must lie on at least one of the hyperplanes.
+		on := false
+		for _, p := range inc {
+			if ValidateOnPlane(vec.Sub(p, q), w) < 1e-9 {
+				on = true
+				break
+			}
+		}
+		if !on {
+			t.Fatalf("sample %d = %v on no hyperplane", i, w)
+		}
+	}
+}
+
+func TestWeightSamplerNoSampleSpace(t *testing.T) {
+	// Incomparable list empty, or every "incomparable" point dominated
+	// (cannot happen from FindIncom, but the sampler must still guard).
+	if _, err := NewWeightSampler(vec.Point{1, 1}, nil); err != ErrNoSampleSpace {
+		t.Errorf("err = %v, want ErrNoSampleSpace", err)
+	}
+	if _, err := NewWeightSampler(vec.Point{1, 1}, []vec.Point{{2, 2}}); err != ErrNoSampleSpace {
+		t.Errorf("dominated point: err = %v, want ErrNoSampleSpace", err)
+	}
+}
+
+func TestWeightSampler2DDeterministicPoint(t *testing.T) {
+	// In 2-D each hyperplane meets the simplex in exactly one point, so all
+	// samples from a single-plane sampler coincide.
+	rng := rand.New(rand.NewSource(3))
+	q := vec.Point{4, 4}
+	s, err := NewWeightSampler(q, []vec.Point{{9, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := s.Sample(rng)
+	for i := 0; i < 20; i++ {
+		w := s.Sample(rng)
+		if vec.WeightDist(first, w) > 1e-12 {
+			t.Fatalf("2-D samples differ: %v vs %v", first, w)
+		}
+	}
+	if math.Abs(first[0]-1.0/6) > 1e-12 {
+		t.Errorf("sample = %v, want λ = 1/6", first)
+	}
+}
+
+func TestSampleNCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s, err := NewWeightSampler(vec.Point{4, 4}, []vec.Point{{9, 3}, {1, 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := s.SampleN(rng, 64)
+	if len(ws) != 64 {
+		t.Fatalf("SampleN returned %d", len(ws))
+	}
+}
+
+func TestRandSimplex(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 200; i++ {
+		d := 2 + rng.Intn(8)
+		w := RandSimplex(rng, d)
+		if err := vec.ValidateWeight(w); err != nil {
+			t.Fatalf("RandSimplex invalid: %v", err)
+		}
+	}
+}
+
+func TestBoxSampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	lo := vec.Point{1, 2, 3}
+	hi := vec.Point{2, 5, 3} // note zero-width last dimension
+	pts := Box(rng, lo, hi, 300)
+	if len(pts) != 300 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for _, p := range pts {
+		for j := range p {
+			if p[j] < lo[j] || p[j] > hi[j] {
+				t.Fatalf("point %v outside box", p)
+			}
+		}
+		if p[2] != 3 {
+			t.Fatalf("zero-width dimension sampled off-value: %v", p)
+		}
+	}
+}
+
+func TestDirichletCombinationCoversPolytope(t *testing.T) {
+	// In 3-D a mixed-sign plane has >= 2 vertices; samples should not all
+	// collapse onto a vertex.
+	rng := rand.New(rand.NewSource(11))
+	s, err := NewWeightSampler(vec.Point{4, 4, 4}, []vec.Point{{9, 3, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := map[[3]int64]bool{}
+	for i := 0; i < 100; i++ {
+		w := s.Sample(rng)
+		key := [3]int64{int64(w[0] * 1e6), int64(w[1] * 1e6), int64(w[2] * 1e6)}
+		distinct[key] = true
+	}
+	if len(distinct) < 50 {
+		t.Errorf("only %d distinct samples out of 100; sampler looks degenerate", len(distinct))
+	}
+}

@@ -1,0 +1,180 @@
+package topk
+
+import (
+	"sort"
+
+	"wqrtq/internal/vec"
+)
+
+// Segment is one piece of a 2-D all-top-k decomposition: for every
+// weighting vector w = (λ, 1-λ) with λ in [Lo, Hi], the top-k query returns
+// exactly IDs (in rank order at the segment midpoint).
+type Segment struct {
+	Lo, Hi float64
+	IDs    []int32
+}
+
+// AllTopK2D computes the top-k result for *every* weighting vector of a
+// 2-dimensional dataset at once, as a partition of λ ∈ [0, 1] into maximal
+// segments with a constant ranking prefix. This is the role of the
+// all-top-k computation of Ge et al. [12], which the paper cites as a way
+// to answer the first aspect of why-not questions and to "boost the
+// reverse top-k query" (§2): a reverse top-k query for any q can be
+// answered by locating the segments whose k-th score is at least f(w, q).
+//
+// The implementation sweeps the O(n²) score-line intersections restricted
+// to adjacent-rank swaps (a kinetic sorted-order sweep): ranking changes
+// only where two points tie, so the top-k set changes at most once per
+// crossing event. Runtime O((n + X) log n) with X crossings among the
+// tracked prefix; for the small n where an exact 2-D arrangement is
+// practical this is exact and ties are broken by point id.
+func AllTopK2D(points []vec.Point, k int) []Segment {
+	n := len(points)
+	if n == 0 || k <= 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	// score(λ, p) = λ·p0 + (1-λ)·p1 is linear in λ, so the ranking is the
+	// order of lines and changes only at pairwise intersections. We sweep λ
+	// from 0 to 1 re-sorting at event points.
+	type event struct{ lam float64 }
+	// Collect candidate event λs: intersections of all line pairs within
+	// (0, 1). For moderate n this O(n²) enumeration is exact and simple.
+	var lams []float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			// λ·a0 + (1-λ)·a1 = λ·b0 + (1-λ)·b1
+			// λ(a0-a1-b0+b1) = b1 - a1
+			den := points[i][0] - points[i][1] - points[j][0] + points[j][1]
+			if den == 0 {
+				continue // parallel score lines
+			}
+			lam := (points[j][1] - points[i][1]) / den
+			if lam > 0 && lam < 1 {
+				lams = append(lams, lam)
+			}
+		}
+	}
+	sort.Float64s(lams)
+	// Deduplicate.
+	uniq := lams[:0]
+	for i, l := range lams {
+		if i == 0 || l != uniq[len(uniq)-1] {
+			uniq = append(uniq, l)
+		}
+	}
+
+	rankAt := func(lam float64) []int32 {
+		w := vec.Weight{lam, 1 - lam}
+		rs := TopKNaive(points, w, k)
+		ids := make([]int32, len(rs))
+		for i, r := range rs {
+			ids[i] = r.ID
+		}
+		return ids
+	}
+
+	var segs []Segment
+	prev := 0.0
+	push := func(lo, hi float64) {
+		if hi <= lo {
+			return
+		}
+		mid := (lo + hi) / 2
+		ids := rankAt(mid)
+		if m := len(segs); m > 0 && segs[m-1].Hi == lo && equalIDs32(segs[m-1].IDs, ids) {
+			segs[m-1].Hi = hi
+			return
+		}
+		segs = append(segs, Segment{Lo: lo, Hi: hi, IDs: ids})
+	}
+	for _, lam := range uniq {
+		push(prev, lam)
+		prev = lam
+	}
+	push(prev, 1)
+	return segs
+}
+
+func equalIDs32(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ReverseTopKFromAllTopK answers a 2-D monochromatic reverse top-k query
+// from a precomputed all-top-k decomposition: the λ ranges where q's score
+// does not exceed the k-th best score. This is the [12]-style "boost":
+// once the decomposition is built, any number of query points can be
+// answered without touching the dataset again.
+func ReverseTopKFromAllTopK(points []vec.Point, segs []Segment, q vec.Point, k int) []Segment {
+	var out []Segment
+	for _, s := range segs {
+		if len(s.IDs) < k {
+			// Fewer than k points indexed: q always qualifies.
+			out = appendMerged(out, s)
+			continue
+		}
+		kth := points[s.IDs[k-1]]
+		// Within the segment both scores are linear in λ; q qualifies where
+		// f(w,q) <= f(w,kth). Solve the linear inequality on [s.Lo, s.Hi].
+		// g(λ) = f(λ, q) - f(λ, kth) = (q1-kth1) + λ·((q0-q1)-(kth0-kth1)).
+		b := q[1] - kth[1]
+		a := (q[0] - q[1]) - (kth[0] - kth[1])
+		lo, hi, ok := linearNonPositiveRange(a, b, s.Lo, s.Hi)
+		if ok {
+			out = appendMerged(out, Segment{Lo: lo, Hi: hi, IDs: s.IDs})
+		}
+	}
+	return out
+}
+
+// linearNonPositiveRange returns the sub-range of [lo, hi] where
+// a·λ + b <= 0, ok=false if empty.
+func linearNonPositiveRange(a, b, lo, hi float64) (float64, float64, bool) {
+	switch {
+	case a == 0:
+		if b <= 0 {
+			return lo, hi, true
+		}
+		return 0, 0, false
+	case a > 0:
+		// Non-positive for λ <= -b/a.
+		edge := -b / a
+		if edge < lo {
+			return 0, 0, false
+		}
+		if edge > hi {
+			edge = hi
+		}
+		return lo, edge, true
+	default:
+		// Non-positive for λ >= -b/a.
+		edge := -b / a
+		if edge > hi {
+			return 0, 0, false
+		}
+		if edge < lo {
+			edge = lo
+		}
+		return edge, hi, true
+	}
+}
+
+func appendMerged(segs []Segment, s Segment) []Segment {
+	if m := len(segs); m > 0 && segs[m-1].Hi >= s.Lo-1e-15 {
+		if s.Hi > segs[m-1].Hi {
+			segs[m-1].Hi = s.Hi
+		}
+		return segs
+	}
+	return append(segs, s)
+}

@@ -1,0 +1,162 @@
+package topk
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"wqrtq/internal/vec"
+)
+
+func TestAllTopK2DPaperExample(t *testing.T) {
+	pts := paperPoints()
+	segs := AllTopK2D(pts, 3)
+	if len(segs) == 0 {
+		t.Fatal("no segments")
+	}
+	// Coverage: segments tile [0, 1] without gaps.
+	if segs[0].Lo != 0 || segs[len(segs)-1].Hi != 1 {
+		t.Errorf("segments do not span [0,1]: %v..%v", segs[0].Lo, segs[len(segs)-1].Hi)
+	}
+	for i := 1; i < len(segs); i++ {
+		if segs[i].Lo != segs[i-1].Hi {
+			t.Errorf("gap between segments %d and %d", i-1, i)
+		}
+	}
+	// At Kevin's λ=0.1 the top-3 is {p1, p2, p4} (§3).
+	for _, s := range segs {
+		if s.Lo <= 0.1 && 0.1 <= s.Hi {
+			want := []int32{0, 1, 3}
+			if !equalIDs32(s.IDs, want) {
+				t.Errorf("segment at λ=0.1 has top-3 %v, want %v", s.IDs, want)
+			}
+		}
+	}
+}
+
+func TestAllTopK2DAgreesWithDirectTopKQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(60)
+		pts := randPoints(r, n, 2)
+		k := 1 + r.Intn(5)
+		segs := AllTopK2D(pts, k)
+		// Probe random λs: the covering segment's IDs must score-match the
+		// direct top-k (ids can differ on exact ties, scores cannot).
+		for trial := 0; trial < 25; trial++ {
+			lam := r.Float64()
+			w := vec.Weight{lam, 1 - lam}
+			want := TopKNaive(pts, w, k)
+			var seg *Segment
+			for i := range segs {
+				if segs[i].Lo <= lam && lam <= segs[i].Hi {
+					seg = &segs[i]
+					break
+				}
+			}
+			if seg == nil {
+				return false
+			}
+			if len(seg.IDs) != len(want) {
+				return false
+			}
+			for i, id := range seg.IDs {
+				if vec.Score(w, pts[id]) != want[i].Score {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReverseTopKFromAllTopKMatchesIntervals(t *testing.T) {
+	// The [12]-style boost must agree with direct rank probing.
+	r := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 25; trial++ {
+		n := 5 + r.Intn(60)
+		pts := randPoints(r, n, 2)
+		q := randPoints(r, 1, 2)[0]
+		k := 1 + r.Intn(5)
+		segs := AllTopK2D(pts, k)
+		res := ReverseTopKFromAllTopK(pts, segs, q, k)
+		inside := func(lam float64) bool {
+			for _, s := range res {
+				if s.Lo <= lam && lam <= s.Hi {
+					return true
+				}
+			}
+			return false
+		}
+		for probe := 0; probe < 60; probe++ {
+			lam := r.Float64()
+			w := vec.Weight{lam, 1 - lam}
+			want := RankNaive(pts, w, vec.Score(w, q)) <= k
+			if got := inside(lam); got != want {
+				// Tolerate boundary-exact probes.
+				onEdge := false
+				for _, s := range res {
+					if abs(lam-s.Lo) < 1e-9 || abs(lam-s.Hi) < 1e-9 {
+						onEdge = true
+					}
+				}
+				if !onEdge {
+					t.Fatalf("trial %d: λ=%v got %v want %v", trial, lam, got, want)
+				}
+			}
+		}
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestAllTopK2DEdgeCases(t *testing.T) {
+	if got := AllTopK2D(nil, 3); got != nil {
+		t.Errorf("empty input: %v", got)
+	}
+	if got := AllTopK2D(paperPoints(), 0); got != nil {
+		t.Errorf("k=0: %v", got)
+	}
+	// k > n clamps to n.
+	segs := AllTopK2D([]vec.Point{{1, 2}, {2, 1}}, 10)
+	for _, s := range segs {
+		if len(s.IDs) != 2 {
+			t.Errorf("segment IDs = %v, want both points", s.IDs)
+		}
+	}
+	// Single point: one segment covering everything.
+	segs = AllTopK2D([]vec.Point{{3, 4}}, 1)
+	if len(segs) != 1 || segs[0].Lo != 0 || segs[0].Hi != 1 {
+		t.Errorf("single point segments = %v", segs)
+	}
+}
+
+func TestLinearNonPositiveRange(t *testing.T) {
+	cases := []struct {
+		a, b, lo, hi   float64
+		wantLo, wantHi float64
+		ok             bool
+	}{
+		{0, -1, 0.2, 0.8, 0.2, 0.8, true}, // always satisfied
+		{0, 1, 0.2, 0.8, 0, 0, false},     // never satisfied
+		{1, -0.5, 0, 1, 0, 0.5, true},     // λ <= 0.5
+		{-1, 0.5, 0, 1, 0.5, 1, true},     // λ >= 0.5
+		{1, -2, 0, 1, 0, 1, true},         // edge beyond hi
+		{1, 1, 0, 1, 0, 0, false},         // edge below lo
+	}
+	for _, tc := range cases {
+		lo, hi, ok := linearNonPositiveRange(tc.a, tc.b, tc.lo, tc.hi)
+		if ok != tc.ok || (ok && (lo != tc.wantLo || hi != tc.wantHi)) {
+			t.Errorf("linearNonPositiveRange(%v,%v,%v,%v) = %v,%v,%v want %v,%v,%v",
+				tc.a, tc.b, tc.lo, tc.hi, lo, hi, ok, tc.wantLo, tc.wantHi, tc.ok)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+// Package topk implements linear top-k queries over an R-tree: the
+// branch-and-bound ranked search (BRS) of Tao et al. [29], which the paper
+// uses to find the top k-th point of each why-not weighting vector in MQP
+// (Algorithm 1, lines 1–12), a progressive ranked iterator for why-not
+// explanations, and a count-pruned rank counter used when evaluating
+// candidate weighting vectors.
+//
+// BRS is I/O optimal for ranked retrieval: it maintains a min-heap of tree
+// entries keyed by the smallest score attainable inside each entry's MBR
+// (the lower corner under non-negative weights) and pops entries in score
+// order, so data points emerge in exact rank order.
+package topk
+
+import (
+	"container/heap"
+
+	"wqrtq/internal/rtree"
+	"wqrtq/internal/vec"
+)
+
+// Result is one ranked point.
+type Result struct {
+	ID    int32
+	Point vec.Point
+	Score float64
+}
+
+// heapItem is either an R-tree node or a data point, keyed by min score.
+type heapItem struct {
+	score float64
+	node  *rtree.Node // nil for data points
+	id    int32
+	point vec.Point
+}
+
+type minHeap []heapItem
+
+func (h minHeap) Len() int            { return len(h) }
+func (h minHeap) Less(i, j int) bool  { return h[i].score < h[j].score }
+func (h minHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *minHeap) Push(x interface{}) { *h = append(*h, x.(heapItem)) }
+func (h *minHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Iterator streams the points of an R-tree in ascending score order under a
+// fixed weighting vector (progressive top-k). It implements the paper's
+// requirement of an algorithm that "reports incrementally every ranking
+// object one-by-one" (§3).
+type Iterator struct {
+	w       vec.Weight
+	h       minHeap
+	visited int // nodes popped, for cost accounting
+}
+
+// NewIterator starts a progressive ranked scan of t under w.
+func NewIterator(t *rtree.Tree, w vec.Weight) *Iterator {
+	it := &Iterator{w: w}
+	root := t.Root()
+	if root.IsLeaf() && root.NumEntries() == 0 {
+		return it
+	}
+	it.h = minHeap{{score: 0, node: root}}
+	heap.Init(&it.h)
+	return it
+}
+
+// Next returns the next point in rank order, or ok=false when exhausted.
+func (it *Iterator) Next() (Result, bool) {
+	for len(it.h) > 0 {
+		top := heap.Pop(&it.h).(heapItem)
+		if top.node == nil {
+			return Result{ID: top.id, Point: top.point, Score: top.score}, true
+		}
+		it.visited++
+		n := top.node
+		if n.IsLeaf() {
+			for i := 0; i < n.NumEntries(); i++ {
+				p := n.Point(i)
+				heap.Push(&it.h, heapItem{score: vec.Score(it.w, p), id: n.PointID(i), point: p})
+			}
+		} else {
+			for i := 0; i < n.NumEntries(); i++ {
+				heap.Push(&it.h, heapItem{score: n.EntryRect(i).MinScore(it.w), node: n.Child(i)})
+			}
+		}
+	}
+	return Result{}, false
+}
+
+// NodesVisited returns the number of R-tree nodes expanded so far.
+func (it *Iterator) NodesVisited() int { return it.visited }
+
+// TopK returns the k best points of t under w in rank order (fewer if the
+// tree holds fewer than k points).
+func TopK(t *rtree.Tree, w vec.Weight, k int) []Result {
+	if k <= 0 {
+		return nil
+	}
+	it := NewIterator(t, w)
+	out := make([]Result, 0, k)
+	for len(out) < k {
+		r, ok := it.Next()
+		if !ok {
+			break
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// KthPoint returns the point ranked exactly k-th under w (1-based), as used
+// by MQP to build the safe-region constraints. ok is false when the tree has
+// fewer than k points.
+func KthPoint(t *rtree.Tree, w vec.Weight, k int) (Result, bool) {
+	rs := TopK(t, w, k)
+	if len(rs) < k {
+		return Result{}, false
+	}
+	return rs[k-1], true
+}
+
+// Rank returns the rank the score fq would take under w: one plus the number
+// of indexed points with a strictly smaller score (ties rank the query
+// first, matching Definition 1's tie handling where q wins at equality).
+//
+// Subtrees whose maximum attainable score is below fq are counted through
+// the per-node point counts without being descended into; subtrees whose
+// minimum attainable score is at least fq are pruned outright.
+func Rank(t *rtree.Tree, w vec.Weight, fq float64) int {
+	return 1 + countBelow(t.Root(), w, fq)
+}
+
+func countBelow(n *rtree.Node, w vec.Weight, fq float64) int {
+	cnt := 0
+	if n.IsLeaf() {
+		for i := 0; i < n.NumEntries(); i++ {
+			if vec.Score(w, n.Point(i)) < fq {
+				cnt++
+			}
+		}
+		return cnt
+	}
+	for i := 0; i < n.NumEntries(); i++ {
+		r := n.EntryRect(i)
+		if r.MinScore(w) >= fq {
+			continue // nothing inside can beat fq
+		}
+		if r.MaxScore(w) < fq {
+			cnt += n.Child(i).Count() // everything inside beats fq
+			continue
+		}
+		cnt += countBelow(n.Child(i), w, fq)
+	}
+	return cnt
+}
+
+// InTopK reports whether a query point with score f(w, q) belongs to the
+// top-k of w per Definition 2/3: at most k-1 indexed points score strictly
+// better.
+func InTopK(t *rtree.Tree, w vec.Weight, q vec.Point, k int) bool {
+	return Rank(t, w, vec.Score(w, q)) <= k
+}
+
+// Explain answers the first aspect of a why-not question (§3): it returns,
+// in rank order, the points that score strictly better than q under w.
+// Those are exactly the points "responsible for excluding the why-not
+// weighting vector from the query result". The scan is progressive and
+// stops as soon as q's score is reached.
+func Explain(t *rtree.Tree, w vec.Weight, q vec.Point) []Result {
+	fq := vec.Score(w, q)
+	it := NewIterator(t, w)
+	var out []Result
+	for {
+		r, ok := it.Next()
+		if !ok || r.Score >= fq {
+			return out
+		}
+		out = append(out, r)
+	}
+}
+
+// TopKNaive computes the top-k by scanning a point slice; baseline for
+// tests and benchmarks. Ties are broken by insertion order.
+func TopKNaive(points []vec.Point, w vec.Weight, k int) []Result {
+	if k <= 0 {
+		return nil
+	}
+	// Bounded insertion into a sorted slice of size k: O(n·k) worst case but
+	// allocation-free and exact; datasets in tests are small.
+	out := make([]Result, 0, k)
+	for i, p := range points {
+		s := vec.Score(w, p)
+		if len(out) == k && s >= out[k-1].Score {
+			continue
+		}
+		pos := len(out)
+		for pos > 0 && out[pos-1].Score > s {
+			pos--
+		}
+		if len(out) < k {
+			out = append(out, Result{})
+		}
+		copy(out[pos+1:], out[pos:len(out)-1])
+		out[pos] = Result{ID: int32(i), Point: p, Score: s}
+	}
+	return out
+}
+
+// RankNaive counts the rank of score fq by linear scan.
+func RankNaive(points []vec.Point, w vec.Weight, fq float64) int {
+	cnt := 0
+	for _, p := range points {
+		if vec.Score(w, p) < fq {
+			cnt++
+		}
+	}
+	return cnt + 1
+}

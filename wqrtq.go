@@ -1,0 +1,263 @@
+// Package wqrtq answers why-not questions on reverse top-k queries.
+//
+// It is a from-scratch Go implementation of the WQRTQ framework of
+// Gao, Liu, Chen, Zheng and Zhou, "Answering Why-not Questions on Reverse
+// Top-k Queries", PVLDB 8(7), 2015, together with every substrate the paper
+// relies on: an R*-tree/STR spatial index with page-size-derived fanout,
+// branch-and-bound top-k search, monochromatic and bichromatic reverse
+// top-k queries, an interior-point convex quadratic-programming solver, and
+// hyperplane sampling over the weighting simplex.
+//
+// # Model
+//
+// A dataset P holds d-dimensional non-negative points; smaller attribute
+// values are preferable. A customer preference is a weighting vector w
+// (non-negative, summing to 1) scoring a point p as f(w, p) = Σ w[i]·p[i];
+// smaller scores rank higher. A product q belongs to the top-k of w when at
+// most k-1 points of P score strictly better (ties are won by q). The
+// bichromatic reverse top-k of q over a preference set W is every w ∈ W
+// whose top-k contains q; the monochromatic variant describes all of
+// weighting space.
+//
+// A why-not question names preferences Wm missing from that result. The
+// framework explains the omission (Index.Explain) and refines the query
+// with minimum penalty so the missing preferences join the result, three
+// ways:
+//
+//   - Index.ModifyQuery (MQP): change the product q — quadratic programming
+//     over the safe region.
+//   - Index.ModifyPreferences (MWK): change Wm and k — sampling on the
+//     rank-boundary hyperplanes.
+//   - Index.ModifyAll (MQWK): change q, Wm and k together — query-point
+//     sampling plus the other two techniques with R-tree traversal reuse.
+//
+// Index.WhyNot runs the whole pipeline in one call.
+//
+// All methods are safe for concurrent use once the Index is built.
+package wqrtq
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"wqrtq/internal/core"
+	"wqrtq/internal/rtopk"
+	"wqrtq/internal/rtree"
+	"wqrtq/internal/topk"
+	"wqrtq/internal/vec"
+)
+
+// Index is an immutable dataset indexed for reverse top-k and why-not
+// processing.
+type Index struct {
+	tree   *rtree.Tree
+	points []vec.Point
+}
+
+// NewIndex validates and bulk-loads a dataset. Every point must be
+// non-negative, finite and of equal dimensionality. The input slices are
+// retained; callers must not mutate them afterwards.
+func NewIndex(points [][]float64) (*Index, error) {
+	if len(points) == 0 {
+		return nil, errors.New("wqrtq: empty dataset")
+	}
+	d := len(points[0])
+	ps := make([]vec.Point, len(points))
+	for i, p := range points {
+		if len(p) != d {
+			return nil, fmt.Errorf("wqrtq: point %d has dimension %d, want %d", i, len(p), d)
+		}
+		if err := vec.ValidatePoint(p); err != nil {
+			return nil, fmt.Errorf("wqrtq: point %d: %w", i, err)
+		}
+		ps[i] = p
+	}
+	return &Index{tree: rtree.Bulk(ps, nil), points: ps}, nil
+}
+
+// Len returns the number of indexed points.
+func (ix *Index) Len() int { return ix.tree.Len() }
+
+// Dim returns the dimensionality of the indexed points.
+func (ix *Index) Dim() int { return ix.tree.Dim() }
+
+// Ranked is one scored point of a query answer.
+type Ranked struct {
+	ID    int // index into the dataset passed to NewIndex
+	Point []float64
+	Score float64
+}
+
+func toRanked(rs []topk.Result) []Ranked {
+	out := make([]Ranked, len(rs))
+	for i, r := range rs {
+		out[i] = Ranked{ID: int(r.ID), Point: r.Point, Score: r.Score}
+	}
+	return out
+}
+
+// TopK returns the k best points under the weighting vector w, in rank
+// order.
+func (ix *Index) TopK(w []float64, k int) ([]Ranked, error) {
+	if err := ix.checkWeight(w); err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		return nil, errors.New("wqrtq: k must be positive")
+	}
+	return toRanked(topk.TopK(ix.tree, w, k)), nil
+}
+
+// Rank returns the 1-based rank a query point q would take under w: one
+// plus the number of indexed points scoring strictly better.
+func (ix *Index) Rank(w, q []float64) (int, error) {
+	if err := ix.checkWeight(w); err != nil {
+		return 0, err
+	}
+	if err := ix.checkPoint(q); err != nil {
+		return 0, err
+	}
+	return topk.Rank(ix.tree, w, vec.Score(w, q)), nil
+}
+
+// ReverseTopK answers the bichromatic reverse top-k query: the indices into
+// W of the weighting vectors whose top-k contains q.
+func (ix *Index) ReverseTopK(W [][]float64, q []float64, k int) ([]int, error) {
+	ws, err := ix.checkWeights(W)
+	if err != nil {
+		return nil, err
+	}
+	if err := ix.checkPoint(q); err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		return nil, errors.New("wqrtq: k must be positive")
+	}
+	res, _ := rtopk.Bichromatic(ix.tree, ws, q, k)
+	return res, nil
+}
+
+// Interval is a closed range [Lo, Hi] of the first weight component λ (the
+// second being 1-λ) in a 2-D monochromatic reverse top-k answer.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// ReverseTopKMono2D answers the monochromatic reverse top-k query for 2-D
+// datasets exactly: the maximal λ-intervals whose top-k contains q.
+func (ix *Index) ReverseTopKMono2D(q []float64, k int) ([]Interval, error) {
+	if ix.Dim() != 2 {
+		return nil, errors.New("wqrtq: monochromatic reverse top-k is defined here for 2-D data")
+	}
+	if err := ix.checkPoint(q); err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		return nil, errors.New("wqrtq: k must be positive")
+	}
+	ivs := rtopk.Monochromatic2D(ix.points, q, k)
+	out := make([]Interval, len(ivs))
+	for i, iv := range ivs {
+		out[i] = Interval{Lo: iv.Lo, Hi: iv.Hi}
+	}
+	return out, nil
+}
+
+// Explain answers the first aspect of a why-not question: for each
+// weighting vector, the points scoring strictly better than q, in rank
+// order. When q misses the top-k of Wm[i], Explanations[i] holds the at
+// least k points responsible.
+func (ix *Index) Explain(q []float64, Wm [][]float64) ([][]Ranked, error) {
+	ws, err := ix.checkWeights(Wm)
+	if err != nil {
+		return nil, err
+	}
+	if err := ix.checkPoint(q); err != nil {
+		return nil, err
+	}
+	ex := core.Explain(ix.tree, q, ws)
+	out := make([][]Ranked, len(ex))
+	for i, e := range ex {
+		out[i] = toRanked(e)
+	}
+	return out, nil
+}
+
+func (ix *Index) checkPoint(q []float64) error {
+	if len(q) != ix.Dim() {
+		return fmt.Errorf("wqrtq: point dimension %d, index dimension %d", len(q), ix.Dim())
+	}
+	return vec.ValidatePoint(q)
+}
+
+func (ix *Index) checkWeight(w []float64) error {
+	if len(w) != ix.Dim() {
+		return fmt.Errorf("wqrtq: weight dimension %d, index dimension %d", len(w), ix.Dim())
+	}
+	return vec.ValidateWeight(w)
+}
+
+func (ix *Index) checkWeights(W [][]float64) ([]vec.Weight, error) {
+	if len(W) == 0 {
+		return nil, errors.New("wqrtq: empty weighting vector set")
+	}
+	ws := make([]vec.Weight, len(W))
+	for i, w := range W {
+		if err := ix.checkWeight(w); err != nil {
+			return nil, fmt.Errorf("wqrtq: weighting vector %d: %w", i, err)
+		}
+		ws[i] = w
+	}
+	return ws, nil
+}
+
+// rngFor builds the deterministic random source used by the sampling
+// algorithms.
+func rngFor(seed int64) *rand.Rand {
+	if seed == 0 {
+		seed = 1
+	}
+	return rand.New(rand.NewSource(seed))
+}
+
+// Neighbor is one result of a nearest-neighbor query.
+type Neighbor struct {
+	ID       int
+	Point    []float64
+	Distance float64
+}
+
+// Nearest returns the n indexed points closest to p in Euclidean distance,
+// ascending — e.g. the competitors nearest a product in attribute space.
+func (ix *Index) Nearest(p []float64, n int) ([]Neighbor, error) {
+	if err := ix.checkPoint(p); err != nil {
+		return nil, err
+	}
+	ns := ix.tree.Nearest(p, n)
+	out := make([]Neighbor, len(ns))
+	for i, nb := range ns {
+		out[i] = Neighbor{ID: int(nb.ID), Point: nb.Point, Distance: nb.Distance}
+	}
+	return out, nil
+}
+
+// ReverseTopKMonoSample estimates the monochromatic reverse top-k result
+// for any dimensionality by Monte Carlo sampling of the weighting simplex:
+// it returns sample weighting vectors whose top-k contains q, plus the
+// fraction of the simplex they represent. Exact monochromatic algorithms
+// exist only in 2-D (use ReverseTopKMono2D there).
+func (ix *Index) ReverseTopKMonoSample(q []float64, k, samples int, seed int64) ([][]float64, float64, error) {
+	if err := ix.checkPoint(q); err != nil {
+		return nil, 0, err
+	}
+	if k <= 0 {
+		return nil, 0, errors.New("wqrtq: k must be positive")
+	}
+	ws, frac := rtopk.MonochromaticSample(ix.tree, q, k, samples, rngFor(seed))
+	out := make([][]float64, len(ws))
+	for i, w := range ws {
+		out[i] = w
+	}
+	return out, frac, nil
+}
