@@ -15,7 +15,10 @@ package wqrtq
 import (
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"wqrtq/internal/core"
 	"wqrtq/internal/dataset"
@@ -430,5 +433,110 @@ func BenchmarkAblationBichromaticParallel(b *testing.B) {
 				rtopk.BichromaticParallel(e.tr, W, e.wl.Q, e.wl.K, workers)
 			}
 		})
+	}
+}
+
+// BenchmarkEngineReverseTopK measures serving-engine throughput for
+// bichromatic reverse top-k requests at 1, 4 and 16 concurrent clients over
+// the UN (independent) dataset. Each request carries its own small
+// weighting-vector set against a shared competitive query point — the shape
+// of production reverse top-k traffic ("which of these customer segments
+// would see my product?"). The result cache is disabled so the measurement
+// excludes memoization; ns/op is the end-to-end latency-throughput inverse:
+// requests/sec = 1e9 / (ns/op).
+//
+// Two batching effects drive the client scaling, and the linger dimension
+// separates them. With linger=2ms (throughput-tuned serving), a lone client
+// pays the full linger per request while 16 concurrent clients amortize one
+// window across a whole batch — the classic latency-for-throughput trade,
+// and the dominant term. With linger=0 (latency-tuned), only requests
+// already queued coalesce, so any remaining scaling isolates the merged-RTA
+// effect: batched requests sharing (q, k) run as one traversal whose
+// threshold buffer prunes across the union of their weight sets.
+func BenchmarkEngineReverseTopK(b *testing.B) {
+	ds := dataset.Independent(benchN, benchDim, 1)
+	pts := make([][]float64, len(ds.Points))
+	for i, p := range ds.Points {
+		pts[i] = p
+	}
+	ix, err := NewIndex(pts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := []float64{0.02, 0.03, 0.02}
+	const vectorsPerRequest = 2
+	rng := rand.New(rand.NewSource(11))
+	workload := make([][][]float64, 512)
+	for i := range workload {
+		W := make([][]float64, vectorsPerRequest)
+		for j := range W {
+			W[j] = sample.RandSimplex(rng, benchDim)
+		}
+		workload[i] = W
+	}
+	for _, linger := range []time.Duration{2 * time.Millisecond, 0} {
+		for _, clients := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("linger=%v/clients=%d", linger, clients), func(b *testing.B) {
+				e, err := NewEngine(ix.Clone(), EngineConfig{
+					Workers:     1,
+					MaxBatch:    64,
+					BatchLinger: linger,
+					CacheSize:   -1, // exclude memoization from the measurement
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer e.Close()
+				var next atomic.Int64
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for c := 0; c < clients; c++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for {
+							i := next.Add(1)
+							if i > int64(b.N) {
+								return
+							}
+							if _, _, err := e.ReverseTopK(workload[i%int64(len(workload))], q, benchK); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}()
+				}
+				wg.Wait()
+			})
+		}
+	}
+}
+
+// BenchmarkEngineTopKCached measures the cache-hit fast path: a hot query
+// served straight from the (epoch, query)-keyed LRU.
+func BenchmarkEngineTopKCached(b *testing.B) {
+	ds := dataset.Independent(benchN, benchDim, 1)
+	pts := make([][]float64, len(ds.Points))
+	for i, p := range ds.Points {
+		pts[i] = p
+	}
+	ix, err := NewIndex(pts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := NewEngine(ix, EngineConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	w := []float64{0.2, 0.3, 0.5}
+	if _, _, err := e.TopK(w, benchK); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := e.TopK(w, benchK); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

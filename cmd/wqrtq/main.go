@@ -9,6 +9,7 @@
 //	wqrtq rtopk  -data data.csv -q 0.1,0.2,0.3 -k 10 -weights w.csv
 //	wqrtq mono   -data data2d.csv -q 4,4 -k 3
 //	wqrtq whynot -data data.csv -q 0.1,0.2,0.3 -k 10 -weights w.csv -missing 0,3 [-samples 800] [-seed 1]
+//	wqrtq serve  -data data.csv -addr :8080
 //
 // Data files are CSV with one point per row; weight files are CSV with one
 // weighting vector per row (components summing to 1).
@@ -48,6 +49,8 @@ func main() {
 		err = cmdNearest(os.Args[2:])
 	case "monosample":
 		err = cmdMonoSample(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -74,6 +77,7 @@ commands:
   skyline list the Pareto-optimal (undominated) points
   nearest find the points closest to a given point
   monosample  estimate a monochromatic reverse top-k result in any dimension
+  serve   serve queries and mutations over JSON/HTTP with snapshot isolation
 
 run "wqrtq <command> -h" for flags`)
 }

@@ -1,0 +1,318 @@
+package main
+
+// The `wqrtq serve` subcommand: JSON-over-HTTP access to the concurrent
+// serving engine. Queries and mutations share one wqrtq.Engine, so inserts
+// and deletes proceed under snapshot isolation while query traffic runs;
+// every response carries the epoch of the snapshot that produced it.
+//
+// Endpoints (request/response bodies are JSON):
+//
+//	POST /v1/topk    {"w":[...],"k":n}            → {"epoch":e,"result":[{"id","point","score"},...]}
+//	POST /v1/rank    {"w":[...],"q":[...]}        → {"epoch":e,"rank":r}
+//	POST /v1/rtopk   {"q":[...],"k":n,"weights":[[...],...]} → {"epoch":e,"result":[i,...]}
+//	POST /v1/explain {"q":[...],"weights":[[...],...]}       → {"epoch":e,"explanations":[[...],...]}
+//	POST /v1/whynot  {"q":[...],"k":n,"weights":[[...]],"samples":s,"seed":d} → full answer
+//	POST /v1/insert  {"point":[...]}              → {"epoch":e,"id":i}
+//	POST /v1/delete  {"id":i}                     → {"epoch":e,"deleted":b}
+//	GET  /v1/stats                                → engine counters
+//	GET  /healthz                                 → 200 ok
+//
+// Errors are {"error":"..."} with status 400 (bad input) or 405/404 from
+// the router.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"wqrtq"
+)
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	data := fs.String("data", "", "dataset CSV path")
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "query workers (0 = GOMAXPROCS)")
+	maxBatch := fs.Int("batch", 32, "max requests coalesced per batch")
+	linger := fs.Duration("linger", 200*time.Microsecond, "batch linger window (0 disables)")
+	cacheSize := fs.Int("cache", 4096, "result cache entries (negative disables)")
+	fs.Parse(args)
+	ix, _, err := loadIndex(*data)
+	if err != nil {
+		return err
+	}
+	eng, err := wqrtq.NewEngine(ix, wqrtq.EngineConfig{
+		Workers:     *workers,
+		MaxBatch:    *maxBatch,
+		BatchLinger: *linger,
+		CacheSize:   *cacheSize,
+	})
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Addr: *addr, Handler: newServeHandler(eng)}
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "wqrtq: serving %d points on %s\n", ix.Len(), *addr)
+		errCh <- srv.ListenAndServe()
+	}()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		eng.Close()
+		return err
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "wqrtq: %v, draining\n", s)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err = srv.Shutdown(ctx) // stop accepting, wait for in-flight handlers
+	eng.Close()             // then drain the engine's queue
+	return err
+}
+
+// newServeHandler builds the HTTP API around an engine. Factored out so
+// tests can drive it with httptest.
+func newServeHandler(e *wqrtq.Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/topk", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			W []float64 `json:"w"`
+			K int       `json:"k"`
+		}
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		res, epoch, err := e.TopK(req.W, req.K)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, struct {
+			Epoch  uint64       `json:"epoch"`
+			Result []rankedJSON `json:"result"`
+		}{epoch, toRankedJSON(res)})
+	})
+	mux.HandleFunc("POST /v1/rank", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			W []float64 `json:"w"`
+			Q []float64 `json:"q"`
+		}
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		rank, epoch, err := e.Rank(req.W, req.Q)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, struct {
+			Epoch uint64 `json:"epoch"`
+			Rank  int    `json:"rank"`
+		}{epoch, rank})
+	})
+	mux.HandleFunc("POST /v1/rtopk", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Q       []float64   `json:"q"`
+			K       int         `json:"k"`
+			Weights [][]float64 `json:"weights"`
+		}
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		res, epoch, err := e.ReverseTopK(req.Weights, req.Q, req.K)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		if res == nil {
+			res = []int{}
+		}
+		writeJSON(w, struct {
+			Epoch  uint64 `json:"epoch"`
+			Result []int  `json:"result"`
+		}{epoch, res})
+	})
+	mux.HandleFunc("POST /v1/explain", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Q       []float64   `json:"q"`
+			Weights [][]float64 `json:"weights"`
+		}
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		exps, epoch, err := e.Explain(req.Q, req.Weights)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		out := make([][]rankedJSON, len(exps))
+		for i, ex := range exps {
+			out[i] = toRankedJSON(ex)
+		}
+		writeJSON(w, struct {
+			Epoch        uint64         `json:"epoch"`
+			Explanations [][]rankedJSON `json:"explanations"`
+		}{epoch, out})
+	})
+	mux.HandleFunc("POST /v1/whynot", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Q       []float64   `json:"q"`
+			K       int         `json:"k"`
+			Weights [][]float64 `json:"weights"`
+			Samples int         `json:"samples"`
+			Seed    int64       `json:"seed"`
+		}
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		ans, epoch, err := e.WhyNot(req.Q, req.K, req.Weights, wqrtq.Options{
+			SampleSize: req.Samples,
+			Seed:       req.Seed,
+		})
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, whyNotJSON(epoch, ans))
+	})
+	mux.HandleFunc("POST /v1/insert", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Point []float64 `json:"point"`
+		}
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		id, epoch, err := e.Insert(req.Point)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, struct {
+			Epoch uint64 `json:"epoch"`
+			ID    int    `json:"id"`
+		}{epoch, id})
+	})
+	mux.HandleFunc("POST /v1/delete", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			ID *int `json:"id"`
+		}
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		if req.ID == nil {
+			writeErr(w, http.StatusBadRequest, errors.New("missing id"))
+			return
+		}
+		deleted, epoch, err := e.Delete(*req.ID)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, struct {
+			Epoch   uint64 `json:"epoch"`
+			Deleted bool   `json:"deleted"`
+		}{epoch, deleted})
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, e.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+type rankedJSON struct {
+	ID    int       `json:"id"`
+	Point []float64 `json:"point"`
+	Score float64   `json:"score"`
+}
+
+func toRankedJSON(rs []wqrtq.Ranked) []rankedJSON {
+	out := make([]rankedJSON, len(rs))
+	for i, r := range rs {
+		out[i] = rankedJSON{ID: r.ID, Point: r.Point, Score: r.Score}
+	}
+	return out
+}
+
+func whyNotJSON(epoch uint64, ans *wqrtq.WhyNotAnswer) any {
+	type refineQ struct {
+		Q       []float64 `json:"q"`
+		Penalty float64   `json:"penalty"`
+	}
+	type refineW struct {
+		Wm      [][]float64 `json:"wm"`
+		K       int         `json:"k"`
+		Penalty float64     `json:"penalty"`
+	}
+	type refineAll struct {
+		Q       []float64   `json:"q"`
+		Wm      [][]float64 `json:"wm"`
+		K       int         `json:"k"`
+		Penalty float64     `json:"penalty"`
+	}
+	exps := make([][]rankedJSON, len(ans.Explanations))
+	for i, ex := range ans.Explanations {
+		exps[i] = toRankedJSON(ex)
+	}
+	result := ans.Result
+	if result == nil {
+		result = []int{}
+	}
+	missing := ans.Missing
+	if missing == nil {
+		missing = []int{}
+	}
+	out := struct {
+		Epoch        uint64         `json:"epoch"`
+		Result       []int          `json:"result"`
+		Missing      []int          `json:"missing"`
+		Explanations [][]rankedJSON `json:"explanations"`
+		ModifyQuery  *refineQ       `json:"modify_query,omitempty"`
+		ModifyPrefs  *refineW       `json:"modify_preferences,omitempty"`
+		ModifyAll    *refineAll     `json:"modify_all,omitempty"`
+	}{Epoch: epoch, Result: result, Missing: missing, Explanations: exps}
+	if len(ans.Missing) > 0 {
+		out.ModifyQuery = &refineQ{Q: ans.ModifiedQuery.Q, Penalty: ans.ModifiedQuery.Penalty}
+		out.ModifyPrefs = &refineW{Wm: ans.ModifiedPreferences.Wm, K: ans.ModifiedPreferences.K, Penalty: ans.ModifiedPreferences.Penalty}
+		out.ModifyAll = &refineAll{Q: ans.ModifiedAll.Q, Wm: ans.ModifiedAll.Wm, K: ans.ModifiedAll.K, Penalty: ans.ModifiedAll.Penalty}
+	}
+	return out
+}
+
+// maxBodyBytes caps request bodies so a single oversized JSON document
+// cannot exhaust server memory.
+const maxBodyBytes = 8 << 20
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err := dec.Decode(dst); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("malformed request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(struct {
+		Error string `json:"error"`
+	}{err.Error()})
+}

@@ -1,0 +1,200 @@
+package main
+
+// HTTP handler tests for `wqrtq serve`: golden JSON responses over a fixed
+// five-point dataset whose scores are exact binary fractions (so the JSON
+// encodings are stable), plus the error paths.
+//
+// Dataset (id: point), weights chosen so w=[0.25,0.75] ranks are distinct:
+//
+//	0: [1,8]  1: [2,5]  2: [4,3]  3: [8,2]  4: [9,1]
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"wqrtq"
+)
+
+func serveTestHandler(t *testing.T) http.Handler {
+	t.Helper()
+	ix, err := wqrtq.NewIndex([][]float64{
+		{1, 8}, {2, 5}, {4, 3}, {8, 2}, {9, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := wqrtq.NewEngine(ix, wqrtq.EngineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	return newServeHandler(e)
+}
+
+func post(t *testing.T, h http.Handler, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func wantGolden(t *testing.T, rec *httptest.ResponseRecorder, wantCode int, golden string) {
+	t.Helper()
+	if rec.Code != wantCode {
+		t.Fatalf("status %d, want %d; body %s", rec.Code, wantCode, rec.Body.String())
+	}
+	if got := rec.Body.String(); got != golden {
+		t.Fatalf("response mismatch\n got: %s\nwant: %s", got, golden)
+	}
+}
+
+func TestServeTopKGolden(t *testing.T) {
+	h := serveTestHandler(t)
+	rec := post(t, h, "/v1/topk", `{"w":[0.25,0.75],"k":3}`)
+	wantGolden(t, rec, http.StatusOK,
+		`{"epoch":0,"result":[{"id":4,"point":[9,1],"score":3},{"id":2,"point":[4,3],"score":3.25},{"id":3,"point":[8,2],"score":3.5}]}`+"\n")
+}
+
+func TestServeRankGolden(t *testing.T) {
+	h := serveTestHandler(t)
+	rec := post(t, h, "/v1/rank", `{"w":[0.75,0.25],"q":[3,3]}`)
+	wantGolden(t, rec, http.StatusOK, `{"epoch":0,"rank":3}`+"\n")
+}
+
+func TestServeRTopKGolden(t *testing.T) {
+	h := serveTestHandler(t)
+	rec := post(t, h, "/v1/rtopk",
+		`{"q":[3,3],"k":2,"weights":[[0.25,0.75],[0.75,0.25],[0.5,0.5]]}`)
+	wantGolden(t, rec, http.StatusOK, `{"epoch":0,"result":[0,2]}`+"\n")
+}
+
+func TestServeWhyNotGolden(t *testing.T) {
+	h := serveTestHandler(t)
+	rec := post(t, h, "/v1/whynot",
+		`{"q":[3,3],"k":2,"weights":[[0.25,0.75],[0.75,0.25],[0.5,0.5]],"samples":64,"seed":1}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	golden := `{"epoch":0,"result":[0,2],"missing":[1],"explanations":[[{"id":0,"point":[1,8],"score":2.75},{"id":1,"point":[2,5],"score":2.75}]],"modify_query":{"q":[2.69999999983292,2.899999996320959],"penalty":0.07453559956157275},"modify_preferences":{"wm":[[0.7142857142857143,0.2857142857142857]],"k":2,"penalty":0.025253813613805257},"modify_all":{"q":[3,3],"wm":[[0.7142857142857143,0.2857142857142857]],"k":2,"penalty":0.012626906806902628}}`
+	if got := rec.Body.String(); got != golden+"\n" {
+		t.Fatalf("response mismatch\n got: %s\nwant: %s", got, golden)
+	}
+}
+
+func TestServeInsertDeleteRoundTrip(t *testing.T) {
+	h := serveTestHandler(t)
+	rec := post(t, h, "/v1/insert", `{"point":[1,1]}`)
+	wantGolden(t, rec, http.StatusOK, `{"epoch":2,"id":5}`+"\n")
+
+	// The new point dominates everything: it is now the top-1.
+	rec = post(t, h, "/v1/topk", `{"w":[0.5,0.5],"k":1}`)
+	wantGolden(t, rec, http.StatusOK,
+		`{"epoch":2,"result":[{"id":5,"point":[1,1],"score":1}]}`+"\n")
+
+	rec = post(t, h, "/v1/delete", `{"id":5}`)
+	wantGolden(t, rec, http.StatusOK, `{"epoch":4,"deleted":true}`+"\n")
+
+	rec = post(t, h, "/v1/delete", `{"id":5}`)
+	wantGolden(t, rec, http.StatusOK, `{"epoch":4,"deleted":false}`+"\n")
+}
+
+func TestServeExplain(t *testing.T) {
+	h := serveTestHandler(t)
+	rec := post(t, h, "/v1/explain", `{"q":[3,3],"weights":[[0.75,0.25]]}`)
+	wantGolden(t, rec, http.StatusOK,
+		`{"epoch":0,"explanations":[[{"id":0,"point":[1,8],"score":2.75},{"id":1,"point":[2,5],"score":2.75}]]}`+"\n")
+}
+
+func TestServeStatsAndHealth(t *testing.T) {
+	h := serveTestHandler(t)
+	post(t, h, "/v1/topk", `{"w":[0.25,0.75],"k":3}`)
+	req := httptest.NewRequest(http.MethodGet, "/v1/stats", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats status %d", rec.Code)
+	}
+	var stats struct {
+		Epoch     uint64 `json:"epoch"`
+		Live      int    `json:"live"`
+		Endpoints map[string]struct {
+			Count int64 `json:"count"`
+		} `json:"endpoints"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatalf("stats not JSON: %v", err)
+	}
+	if stats.Live != 5 {
+		t.Fatalf("live = %d, want 5", stats.Live)
+	}
+	if stats.Endpoints["topk"].Count != 1 {
+		t.Fatalf("topk count = %d, want 1", stats.Endpoints["topk"].Count)
+	}
+
+	req = httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK || rec.Body.String() != "ok\n" {
+		t.Fatalf("healthz: %d %q", rec.Code, rec.Body.String())
+	}
+}
+
+func TestServeErrorPaths(t *testing.T) {
+	h := serveTestHandler(t)
+	cases := []struct {
+		name, path, body, wantErr string
+	}{
+		{"bad dimension", "/v1/topk", `{"w":[0.2,0.3,0.5],"k":3}`, "dimension"},
+		{"k zero", "/v1/topk", `{"w":[0.5,0.5],"k":0}`, "k must be positive"},
+		{"k negative rtopk", "/v1/rtopk", `{"q":[3,3],"k":-1,"weights":[[0.5,0.5]]}`, "k must be positive"},
+		{"malformed body", "/v1/topk", `{"w":[0.5`, "malformed request body"},
+		{"not json", "/v1/rank", `hello`, "malformed request body"},
+		{"empty weights", "/v1/rtopk", `{"q":[3,3],"k":2,"weights":[]}`, "empty weighting vector set"},
+		{"bad weight sum", "/v1/topk", `{"w":[0.9,0.9],"k":1}`, "sum"},
+		{"bad query dim", "/v1/rank", `{"w":[0.5,0.5],"q":[1,2,3]}`, "dimension"},
+		{"insert bad dim", "/v1/insert", `{"point":[1]}`, "dimension"},
+		{"delete missing id", "/v1/delete", `{}`, "missing id"},
+		{"delete out of range", "/v1/delete", `{"id":99}`, "out of range"},
+		{"whynot k zero", "/v1/whynot", `{"q":[3,3],"k":0,"weights":[[0.5,0.5]]}`, "k must be positive"},
+		{"oversized body", "/v1/topk",
+			`{"w":[0.5,0.5],"k":1,"pad":"` + strings.Repeat("x", 9<<20) + `"}`,
+			"request body too large"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := post(t, h, tc.path, tc.body)
+			if rec.Code != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400; body %s", rec.Code, rec.Body.String())
+			}
+			var e struct {
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil {
+				t.Fatalf("error body not JSON: %s", rec.Body.String())
+			}
+			if !strings.Contains(e.Error, tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", e.Error, tc.wantErr)
+			}
+		})
+	}
+
+	// Wrong method on a POST route.
+	req := httptest.NewRequest(http.MethodGet, "/v1/topk", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/topk status %d, want 405", rec.Code)
+	}
+	// Unknown route.
+	req = httptest.NewRequest(http.MethodPost, "/v1/nope", strings.NewReader("{}"))
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("POST /v1/nope status %d, want 404", rec.Code)
+	}
+}

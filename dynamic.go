@@ -13,12 +13,15 @@ import (
 // Insert adds a point to the index and returns its id (the position it
 // would have had in the NewIndex input). The point slice is retained.
 //
-// Mutations are not safe concurrently with queries or other mutations;
-// queries from multiple goroutines remain safe between mutations.
+// Mutations are not safe concurrently with queries or other mutations on the
+// same Index; queries from multiple goroutines remain safe between
+// mutations. To mutate while queries are in flight, take a Clone and mutate
+// that (or use Engine, which does exactly this).
 func (ix *Index) Insert(p []float64) (int, error) {
 	if err := ix.checkPoint(p); err != nil {
 		return 0, err
 	}
+	ix.ownPoints()
 	id := len(ix.points)
 	ix.points = append(ix.points, vec.Point(p))
 	ix.tree.Insert(p, int32(id))
@@ -39,8 +42,69 @@ func (ix *Index) Delete(id int) (bool, error) {
 	if !ix.tree.Delete(p, int32(id)) {
 		return false, nil
 	}
+	ix.ownPoints()
 	ix.points[id] = nil
 	return true, nil
+}
+
+// Clone returns a copy-on-write snapshot of the index in O(1). The snapshot
+// and the receiver share all index structure; a later Insert or Delete on
+// either side copies the nodes it touches first, so the other side is never
+// affected. Clones are how mutations coexist with concurrent queries:
+// publish a Clone, keep querying it from any number of goroutines, and
+// mutate the other copy.
+//
+// Clone and mutations of indexes in the same clone family must be
+// externally serialized with each other; queries need no synchronization.
+func (ix *Index) Clone() *Index {
+	c := &Index{
+		tree:   ix.tree.Clone(),
+		points: ix.points[:len(ix.points):len(ix.points)],
+		shared: true,
+	}
+	ix.shared = true
+	return c
+}
+
+// Epoch returns the index's mutation epoch, bumped on every Clone. Two
+// indexes of the same clone family never share an epoch, which makes
+// (epoch, query) a sound cache key for query results.
+func (ix *Index) Epoch() uint64 { return ix.tree.Epoch() }
+
+// NumIDs returns the size of the id space: ids 0 ≤ id < NumIDs() have been
+// allocated by NewIndex or Insert (some may since have been deleted; Point
+// reports nil for those). Len() counts only live points.
+func (ix *Index) NumIDs() int { return len(ix.points) }
+
+// CheckInvariants verifies the structural invariants of the underlying
+// R-tree and the id table; it is intended for tests.
+func (ix *Index) CheckInvariants() error {
+	if err := ix.tree.CheckInvariants(); err != nil {
+		return err
+	}
+	live := 0
+	for _, p := range ix.points {
+		if p != nil {
+			live++
+		}
+	}
+	if live != ix.tree.Len() {
+		return fmt.Errorf("wqrtq: %d live ids but %d indexed points", live, ix.tree.Len())
+	}
+	return nil
+}
+
+// ownPoints gives the index a private copy of the id table when its backing
+// array is shared with a clone, so in-place writes cannot leak across
+// snapshots.
+func (ix *Index) ownPoints() {
+	if !ix.shared {
+		return
+	}
+	pts := make([]vec.Point, len(ix.points), len(ix.points)+1)
+	copy(pts, ix.points)
+	ix.points = pts
+	ix.shared = false
 }
 
 // Point returns the point stored under id, or nil if it was deleted.

@@ -1,0 +1,353 @@
+package wqrtq
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"wqrtq/internal/dataset"
+	"wqrtq/internal/sample"
+)
+
+func testEngine(t *testing.T, n, d int, cfg EngineConfig) (*Engine, *Index) {
+	t.Helper()
+	ds := dataset.Independent(n, d, 7)
+	pts := make([][]float64, len(ds.Points))
+	for i, p := range ds.Points {
+		pts[i] = p
+	}
+	ix, err := NewIndex(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(ix, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	return e, ix
+}
+
+func TestEngineMatchesIndex(t *testing.T) {
+	e, _ := testEngine(t, 500, 3, EngineConfig{})
+	snap := e.Snapshot()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		w := []float64(sample.RandSimplex(rng, 3))
+		q := []float64{rng.Float64() * 0.1, rng.Float64() * 0.1, rng.Float64() * 0.1}
+		k := 1 + rng.Intn(10)
+
+		got, _, err := e.TopK(w, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := snap.TopK(w, k)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("TopK mismatch: %v vs %v", got, want)
+		}
+
+		gr, _, err := e.Rank(w, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wr, _ := snap.Rank(w, q)
+		if gr != wr {
+			t.Fatalf("Rank mismatch: %d vs %d", gr, wr)
+		}
+
+		W := make([][]float64, 1+rng.Intn(5))
+		for j := range W {
+			W[j] = sample.RandSimplex(rng, 3)
+		}
+		gi, _, err := e.ReverseTopK(W, q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wi, _ := snap.ReverseTopK(W, q, k)
+		if !reflect.DeepEqual(gi, wi) {
+			t.Fatalf("ReverseTopK mismatch: %v vs %v", gi, wi)
+		}
+
+		ge, _, err := e.Explain(q, W)
+		if err != nil {
+			t.Fatal(err)
+		}
+		we, _ := snap.Explain(q, W)
+		if !reflect.DeepEqual(ge, we) {
+			t.Fatal("Explain mismatch")
+		}
+	}
+}
+
+func TestEngineWhyNot(t *testing.T) {
+	e, _ := testEngine(t, 300, 2, EngineConfig{})
+	rng := rand.New(rand.NewSource(2))
+	q := []float64{0.05, 0.08}
+	W := make([][]float64, 6)
+	for j := range W {
+		W[j] = sample.RandSimplex(rng, 2)
+	}
+	opts := Options{SampleSize: 64, Seed: 3}
+	got, epoch, err := e.WhyNot(q, 3, W, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != e.Epoch() {
+		t.Fatalf("epoch %d, current %d", epoch, e.Epoch())
+	}
+	want, err := e.Snapshot().WhyNot(q, 3, W, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Result, want.Result) || !reflect.DeepEqual(got.Missing, want.Missing) {
+		t.Fatalf("WhyNot mismatch: %+v vs %+v", got, want)
+	}
+}
+
+func TestEngineValidation(t *testing.T) {
+	e, _ := testEngine(t, 100, 3, EngineConfig{})
+	if _, _, err := e.TopK([]float64{0.5, 0.5}, 3); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	if _, _, err := e.TopK([]float64{0.2, 0.3, 0.5}, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, _, err := e.Rank([]float64{0.2, 0.3, 0.5}, []float64{1}); err == nil {
+		t.Fatal("bad point accepted")
+	}
+	if _, _, err := e.ReverseTopK(nil, []float64{1, 2, 3}, 5); err == nil {
+		t.Fatal("empty weight set accepted")
+	}
+	if _, _, err := e.Insert([]float64{1, 2}); err == nil {
+		t.Fatal("bad insert accepted")
+	}
+	if _, _, err := e.Delete(-1); err == nil {
+		t.Fatal("negative id accepted")
+	}
+}
+
+func TestEngineMutationsPublishNewSnapshots(t *testing.T) {
+	e, _ := testEngine(t, 50, 2, EngineConfig{})
+	before := e.Snapshot()
+	e0 := e.Epoch()
+
+	id, e1, err := e.Insert([]float64{0.001, 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 50 {
+		t.Fatalf("id = %d, want 50", id)
+	}
+	if e1 <= e0 {
+		t.Fatalf("epoch did not advance: %d → %d", e0, e1)
+	}
+	if before.Len() != 50 || before.NumIDs() != 50 {
+		t.Fatalf("old snapshot changed: Len %d NumIDs %d", before.Len(), before.NumIDs())
+	}
+	after := e.Snapshot()
+	if after.Len() != 51 || after.Point(50) == nil {
+		t.Fatalf("new snapshot missing insert: Len %d", after.Len())
+	}
+
+	// The new point is cheap enough to rank first under any weight.
+	res, _, err := e.TopK([]float64{0.5, 0.5}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].ID != 50 {
+		t.Fatalf("top-1 is %d, want the inserted 50", res[0].ID)
+	}
+
+	ok, e2, err := e.Delete(50)
+	if err != nil || !ok {
+		t.Fatalf("delete: %v %v", ok, err)
+	}
+	if e2 <= e1 {
+		t.Fatalf("epoch did not advance on delete: %d → %d", e1, e2)
+	}
+	if after.Point(50) == nil {
+		t.Fatal("pre-delete snapshot lost the point")
+	}
+	if e.Snapshot().Point(50) != nil {
+		t.Fatal("current snapshot still has the deleted point")
+	}
+	// Deleting again reports not-found without a new epoch.
+	ok, e3, err := e.Delete(50)
+	if err != nil || ok {
+		t.Fatalf("second delete: %v %v", ok, err)
+	}
+	if e3 != e2 {
+		t.Fatalf("failed delete advanced the epoch: %d → %d", e2, e3)
+	}
+}
+
+func TestEngineCache(t *testing.T) {
+	e, _ := testEngine(t, 400, 3, EngineConfig{CacheSize: 64})
+	w := []float64{0.2, 0.3, 0.5}
+	r1, ep1, err := e.TopK(w, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, ep2, err := e.TopK(w, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep1 != ep2 || !reflect.DeepEqual(r1, r2) {
+		t.Fatal("cached result differs")
+	}
+	s := e.Stats()
+	if s.CacheHits == 0 {
+		t.Fatalf("no cache hits recorded: %+v", s)
+	}
+	// A mutation moves the epoch, so the same query recomputes against the
+	// new snapshot rather than serving the stale entry.
+	if _, _, err := e.Insert([]float64{0.0001, 0.0001, 0.0001}); err != nil {
+		t.Fatal(err)
+	}
+	r3, ep3, err := e.TopK(w, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep3 == ep1 {
+		t.Fatal("epoch unchanged after insert")
+	}
+	if r3[0].ID != 400 {
+		t.Fatalf("stale cache: top-1 is %d, want 400", r3[0].ID)
+	}
+}
+
+func TestEngineBatchMergeCorrectness(t *testing.T) {
+	// Many concurrent ReverseTopK requests sharing (q, k) exercise the
+	// merged-RTA path; each must get exactly its own per-request result.
+	e, ix := testEngine(t, 2000, 3, EngineConfig{
+		Workers: 2, MaxBatch: 16, BatchLinger: 2 * time.Millisecond, CacheSize: -1,
+	})
+	q := []float64{0.02, 0.03, 0.02}
+	const clients, reqs = 8, 20
+	rng := rand.New(rand.NewSource(9))
+	workloads := make([][][][]float64, clients)
+	for c := range workloads {
+		workloads[c] = make([][][]float64, reqs)
+		for r := range workloads[c] {
+			W := make([][]float64, 1+rng.Intn(4))
+			for j := range W {
+				W[j] = sample.RandSimplex(rng, 3)
+			}
+			workloads[c][r] = W
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for _, W := range workloads[c] {
+				got, _, err := e.ReverseTopK(W, q, 10)
+				if err != nil {
+					errs <- err
+					return
+				}
+				want, err := ix.ReverseTopK(W, q, 10)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(got) != len(want) {
+					t.Errorf("merged result %v, want %v", got, want)
+					return
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Errorf("merged result %v, want %v", got, want)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineClose(t *testing.T) {
+	e, _ := testEngine(t, 50, 2, EngineConfig{})
+	e.Close()
+	if _, _, err := e.TopK([]float64{0.5, 0.5}, 1); err != ErrEngineClosed {
+		t.Fatalf("TopK after close: %v", err)
+	}
+	if _, _, err := e.Insert([]float64{1, 1}); err != ErrEngineClosed {
+		t.Fatalf("Insert after close: %v", err)
+	}
+	if _, _, err := e.Delete(0); err != ErrEngineClosed {
+		t.Fatalf("Delete after close: %v", err)
+	}
+	e.Close() // idempotent
+}
+
+func TestEngineStatsEndpoints(t *testing.T) {
+	e, _ := testEngine(t, 100, 2, EngineConfig{})
+	if _, _, err := e.TopK([]float64{0.5, 0.5}, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Rank([]float64{0.5, 0.5}, []float64{0.1, 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Insert([]float64{0.3, 0.3}); err != nil {
+		t.Fatal(err)
+	}
+	s := e.Stats()
+	for _, ep := range []string{"topk", "rank", "insert"} {
+		if s.Endpoints[ep].Count == 0 {
+			t.Fatalf("endpoint %q unrecorded: %+v", ep, s.Endpoints)
+		}
+	}
+	if s.Live != 101 || s.NumIDs != 101 {
+		t.Fatalf("Live/NumIDs = %d/%d, want 101/101", s.Live, s.NumIDs)
+	}
+}
+
+func TestIndexCloneIsolation(t *testing.T) {
+	ds := dataset.Independent(300, 3, 11)
+	pts := make([][]float64, len(ds.Points))
+	for i, p := range ds.Points {
+		pts[i] = p
+	}
+	ix, err := NewIndex(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := ix.Clone()
+	for i := 0; i < 100; i++ {
+		if _, err := ix.Insert([]float64{float64(i) * 1e-4, 0.5, 0.5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for id := 0; id < 150; id++ {
+		if _, err := ix.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ix.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Len() != 300 || snap.NumIDs() != 300 {
+		t.Fatalf("snapshot changed: Len %d NumIDs %d", snap.Len(), snap.NumIDs())
+	}
+	if ix.Len() != 250 {
+		t.Fatalf("mutated index Len = %d, want 250", ix.Len())
+	}
+	for id := 0; id < 150; id++ {
+		if snap.Point(id) == nil {
+			t.Fatalf("snapshot lost point %d", id)
+		}
+	}
+}

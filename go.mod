@@ -1,0 +1,3 @@
+module wqrtq
+
+go 1.24

@@ -1,0 +1,84 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+)
+
+// LRU is a mutex-guarded least-recently-used cache. The serving engine keys
+// it by (snapshot epoch, exact query encoding), so entries for superseded
+// snapshots simply age out as traffic moves to the new epoch.
+type LRU[K comparable, V any] struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List
+	items    map[K]*list.Element
+	hits     int64
+	misses   int64
+}
+
+type lruEntry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// NewLRU creates a cache holding up to capacity entries (capacity must be
+// positive).
+func NewLRU[K comparable, V any](capacity int) *LRU[K, V] {
+	if capacity <= 0 {
+		panic("engine: LRU capacity must be positive")
+	}
+	return &LRU[K, V]{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[K]*list.Element, capacity),
+	}
+}
+
+// Get returns the cached value and marks it most recently used.
+func (c *LRU[K, V]) Get(k K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*lruEntry[K, V]).val, true
+	}
+	c.misses++
+	var zero V
+	return zero, false
+}
+
+// Add stores a value, evicting the least recently used entry if full.
+func (c *LRU[K, V]) Add(k K, v V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry[K, V]).val = v
+		return
+	}
+	el := c.ll.PushFront(&lruEntry[K, V]{key: k, val: v})
+	c.items[k] = el
+	if c.ll.Len() > c.capacity {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*lruEntry[K, V]).key)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *LRU[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns the lookup hit/miss counters. Lookups, not requests: a
+// request that misses the engine's pre-submit fast path and again at batch
+// execution counts two misses.
+func (c *LRU[K, V]) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

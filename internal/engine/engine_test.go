@@ -1,0 +1,185 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolProcessesEverything(t *testing.T) {
+	var sum atomic.Int64
+	var batches atomic.Int64
+	var maxBatch atomic.Int64
+	p := NewPool(2, 8, 0, func(b []int) {
+		batches.Add(1)
+		for {
+			cur := maxBatch.Load()
+			if int64(len(b)) <= cur || maxBatch.CompareAndSwap(cur, int64(len(b))) {
+				break
+			}
+		}
+		for _, v := range b {
+			sum.Add(int64(v))
+		}
+	})
+	const n = 1000
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < n/8; i++ {
+				if !p.Submit(1) {
+					t.Error("Submit returned false before Close")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	p.Close()
+	if sum.Load() != n {
+		t.Fatalf("processed %d requests, want %d", sum.Load(), n)
+	}
+	if maxBatch.Load() > 8 {
+		t.Fatalf("batch of %d exceeds MaxBatch 8", maxBatch.Load())
+	}
+}
+
+func TestPoolLingerCoalesces(t *testing.T) {
+	// With a generous linger and slow submission of n requests from one
+	// goroutine followed by a burst, the burst must coalesce into few
+	// batches.
+	var batches atomic.Int64
+	var served atomic.Int64
+	p := NewPool(1, 16, 50*time.Millisecond, func(b []int) {
+		batches.Add(1)
+		served.Add(int64(len(b)))
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Submit(1)
+		}()
+	}
+	wg.Wait()
+	p.Close()
+	if served.Load() != 32 {
+		t.Fatalf("served %d, want 32", served.Load())
+	}
+	if b := batches.Load(); b > 4 {
+		t.Fatalf("32 concurrent requests ran in %d batches; linger should coalesce them into ≤4", b)
+	}
+}
+
+func TestPoolCloseRejectsAndDrains(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var served atomic.Int64
+	p := NewPool(1, 1, 0, func(b []int) {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		<-release
+		served.Add(int64(len(b)))
+	})
+	p.Submit(1)
+	<-started
+	p.Submit(2) // queued behind the in-flight batch
+	done := make(chan struct{})
+	go func() {
+		p.Close()
+		close(done)
+	}()
+	close(release)
+	<-done
+	if served.Load() != 2 {
+		t.Fatalf("Close dropped queued work: served %d, want 2", served.Load())
+	}
+	if p.Submit(3) {
+		t.Fatal("Submit accepted a request after Close")
+	}
+	p.Close() // idempotent
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	c := NewLRU[int, string](2)
+	c.Add(1, "a")
+	c.Add(2, "b")
+	if _, ok := c.Get(1); !ok {
+		t.Fatal("1 missing")
+	}
+	c.Add(3, "c") // evicts 2 (least recently used)
+	if _, ok := c.Get(2); ok {
+		t.Fatal("2 should have been evicted")
+	}
+	if v, ok := c.Get(1); !ok || v != "a" {
+		t.Fatalf("1 = %q,%v", v, ok)
+	}
+	if v, ok := c.Get(3); !ok || v != "c" {
+		t.Fatalf("3 = %q,%v", v, ok)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	hits, misses := c.Stats()
+	if hits != 3 || misses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 3/1", hits, misses)
+	}
+}
+
+func TestLRUOverwrite(t *testing.T) {
+	c := NewLRU[string, int](2)
+	c.Add("k", 1)
+	c.Add("k", 2)
+	if v, _ := c.Get("k"); v != 2 {
+		t.Fatalf("overwrite lost: %d", v)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	m := NewMetrics()
+	m.Observe("topk", 10*time.Millisecond, false)
+	m.Observe("topk", 30*time.Millisecond, true)
+	m.Observe("rank", 5*time.Millisecond, false)
+	s := m.Snapshot()
+	tk := s["topk"]
+	if tk.Count != 2 || tk.Errors != 1 {
+		t.Fatalf("topk count/errors = %d/%d", tk.Count, tk.Errors)
+	}
+	if tk.Max != 30*time.Millisecond {
+		t.Fatalf("topk max = %v", tk.Max)
+	}
+	if tk.Avg != 20*time.Millisecond {
+		t.Fatalf("topk avg = %v", tk.Avg)
+	}
+	if s["rank"].Count != 1 {
+		t.Fatalf("rank count = %d", s["rank"].Count)
+	}
+}
+
+func TestMetricsConcurrent(t *testing.T) {
+	m := NewMetrics()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				m.Observe("e", time.Microsecond, i%10 == 0)
+			}
+		}()
+	}
+	wg.Wait()
+	s := m.Snapshot()["e"]
+	if s.Count != 4000 || s.Errors != 400 {
+		t.Fatalf("count/errors = %d/%d, want 4000/400", s.Count, s.Errors)
+	}
+}

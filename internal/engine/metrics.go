@@ -1,0 +1,89 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics aggregates per-endpoint latency counters. Observe is safe for
+// concurrent use and allocation-free on the hot path once an endpoint's
+// counter exists.
+type Metrics struct {
+	mu       sync.RWMutex
+	counters map[string]*counter
+}
+
+type counter struct {
+	count   atomic.Int64
+	errors  atomic.Int64
+	totalNs atomic.Int64
+	maxNs   atomic.Int64
+}
+
+// CounterSnapshot is a point-in-time copy of one endpoint's counters.
+type CounterSnapshot struct {
+	Count  int64         `json:"count"`
+	Errors int64         `json:"errors"`
+	Total  time.Duration `json:"total_ns"`
+	Max    time.Duration `json:"max_ns"`
+	Avg    time.Duration `json:"avg_ns"`
+}
+
+// NewMetrics creates an empty metrics registry.
+func NewMetrics() *Metrics {
+	return &Metrics{counters: make(map[string]*counter)}
+}
+
+func (m *Metrics) counterFor(endpoint string) *counter {
+	m.mu.RLock()
+	c := m.counters[endpoint]
+	m.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c = m.counters[endpoint]; c == nil {
+		c = &counter{}
+		m.counters[endpoint] = c
+	}
+	return c
+}
+
+// Observe records one request against the endpoint.
+func (m *Metrics) Observe(endpoint string, d time.Duration, isErr bool) {
+	c := m.counterFor(endpoint)
+	c.count.Add(1)
+	if isErr {
+		c.errors.Add(1)
+	}
+	ns := d.Nanoseconds()
+	c.totalNs.Add(ns)
+	for {
+		cur := c.maxNs.Load()
+		if ns <= cur || c.maxNs.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+}
+
+// Snapshot copies all counters.
+func (m *Metrics) Snapshot() map[string]CounterSnapshot {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make(map[string]CounterSnapshot, len(m.counters))
+	for name, c := range m.counters {
+		s := CounterSnapshot{
+			Count:  c.count.Load(),
+			Errors: c.errors.Load(),
+			Total:  time.Duration(c.totalNs.Load()),
+			Max:    time.Duration(c.maxNs.Load()),
+		}
+		if s.Count > 0 {
+			s.Avg = s.Total / time.Duration(s.Count)
+		}
+		out[name] = s
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Pool is a bounded worker pool that drains submitted requests in batches.
+// A worker blocks for the first request of a batch; it then gathers more
+// until MaxBatch is reached, the linger window expires, or (with no linger)
+// the queue is momentarily empty. Batching is what lets the run callback
+// amortize shared work — one snapshot load, merged index traversals — over
+// many concurrent callers, trading a bounded amount of latency for
+// throughput.
+type Pool[R any] struct {
+	ch       chan R
+	run      func([]R)
+	maxBatch int
+	linger   time.Duration
+
+	mu     sync.RWMutex // guards closed vs Submit
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewPool starts workers goroutines serving batches of at most maxBatch
+// requests through run. workers <= 0 defaults to GOMAXPROCS; maxBatch <= 0
+// defaults to 1 (no batching). linger > 0 makes a worker wait up to that
+// long to fill its batch after the first request arrives; linger == 0
+// batches only what is already queued.
+//
+// run is called from worker goroutines and must not retain the batch slice.
+func NewPool[R any](workers, maxBatch int, linger time.Duration, run func([]R)) *Pool[R] {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if maxBatch <= 0 {
+		maxBatch = 1
+	}
+	p := &Pool[R]{
+		ch:       make(chan R, 4*workers*maxBatch),
+		run:      run,
+		maxBatch: maxBatch,
+		linger:   linger,
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// Submit enqueues a request, blocking while the queue is full. It reports
+// false (dropping the request) once the pool is closed.
+func (p *Pool[R]) Submit(r R) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return false
+	}
+	p.ch <- r
+	return true
+}
+
+// Close stops accepting requests, waits for the queue to drain and for all
+// in-flight batches to finish. It is idempotent.
+func (p *Pool[R]) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.ch)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+func (p *Pool[R]) worker() {
+	defer p.wg.Done()
+	batch := make([]R, 0, p.maxBatch)
+	for {
+		r, ok := <-p.ch
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], r)
+		if p.linger > 0 && p.maxBatch > 1 {
+			timer := time.NewTimer(p.linger)
+		fill:
+			for len(batch) < p.maxBatch {
+				select {
+				case r2, ok2 := <-p.ch:
+					if !ok2 {
+						break fill
+					}
+					batch = append(batch, r2)
+				case <-timer.C:
+					break fill
+				}
+			}
+			timer.Stop()
+		} else {
+		drain:
+			for len(batch) < p.maxBatch {
+				select {
+				case r2, ok2 := <-p.ch:
+					if !ok2 {
+						break drain
+					}
+					batch = append(batch, r2)
+				default:
+					break drain
+				}
+			}
+		}
+		p.run(batch)
+	}
+}

@@ -53,6 +53,11 @@ type Tree struct {
 	root      *Node
 	size      int
 	nodeCount int
+
+	// Copy-on-write state (clone.go): epoch is read atomically by Epoch,
+	// family is the counter shared across the clone family.
+	epoch  uint64
+	family *uint64
 }
 
 // Node is a tree node. Exported read-only accessors let the search
@@ -61,7 +66,8 @@ type Tree struct {
 type Node struct {
 	leaf    bool
 	entries []entry
-	count   int // data points in this subtree
+	count   int    // data points in this subtree
+	epoch   uint64 // epoch of the tree that owns (may mutate) this node
 }
 
 type entry struct {
@@ -98,7 +104,7 @@ func New(dim int, opts ...Options) *Tree {
 
 func (t *Tree) newNode(leaf bool) *Node {
 	t.nodeCount++
-	return &Node{leaf: leaf}
+	return &Node{leaf: leaf, epoch: t.epoch}
 }
 
 // Dim returns the dimensionality of indexed points.
@@ -184,15 +190,19 @@ func entryCount(e entry) int {
 }
 
 // chooseLeaf descends to the leaf best suited for the rectangle, returning
-// the leaf and the path of ancestors (root first).
+// the leaf and the path of ancestors (root first). Every node on the path is
+// owned (copied on write if shared with a clone) before it is mutated.
 func (t *Tree) chooseLeaf(r Rect, _ bool) (*Node, []*Node) {
 	var path []*Node
+	t.root = t.own(t.root)
 	n := t.root
 	for !n.leaf {
 		path = append(path, n)
 		best := t.chooseSubtree(n, r)
+		child := t.own(n.entries[best].child)
+		n.entries[best].child = child
 		n.entries[best].rect.extend(r)
-		n = n.entries[best].child
+		n = child
 	}
 	return n, path
 }
@@ -346,6 +356,7 @@ func nodeRect(n *Node) Rect {
 // Delete removes one entry matching (p, id). It reports whether an entry was
 // found. Underfull nodes are dissolved and their points reinserted.
 func (t *Tree) Delete(p vec.Point, id int32) bool {
+	t.root = t.own(t.root)
 	leaf, path := t.findLeaf(t.root, nil, p, id)
 	if leaf == nil {
 		return false
@@ -378,7 +389,10 @@ func (t *Tree) Delete(p vec.Point, id int32) bool {
 	return true
 }
 
-// findLeaf locates the leaf containing (p, id) and the ancestor path.
+// findLeaf locates the leaf containing (p, id) and the ancestor path. The
+// caller must pass an owned node; every descended child is owned in turn so
+// the subsequent removal and condensation only touch nodes of this epoch
+// (dead-end branches may be copied needlessly, which is harmless).
 func (t *Tree) findLeaf(n *Node, path []*Node, p vec.Point, id int32) (*Node, []*Node) {
 	if n.leaf {
 		for i := range n.entries {
@@ -392,7 +406,9 @@ func (t *Tree) findLeaf(n *Node, path []*Node, p vec.Point, id int32) (*Node, []
 		if !n.entries[i].rect.ContainsPoint(p) {
 			continue
 		}
-		if leaf, lp := t.findLeaf(n.entries[i].child, append(path, n), p, id); leaf != nil {
+		child := t.own(n.entries[i].child)
+		n.entries[i].child = child
+		if leaf, lp := t.findLeaf(child, append(path, n), p, id); leaf != nil {
 			return leaf, lp
 		}
 	}

@@ -1,0 +1,517 @@
+package wqrtq
+
+// The concurrent query-serving engine: copy-on-write snapshots let
+// Insert/Delete proceed while TopK/ReverseTopK/Explain/WhyNot queries run
+// from any number of goroutines, a bounded worker pool coalesces concurrent
+// queries into batches (merging reverse top-k requests against the same
+// query point into a single RTA run), and an LRU cache keyed by
+// (snapshot epoch, query) serves repeated traffic without touching the
+// index. The concurrency substrate (pool, cache, metrics) lives in
+// internal/engine; this file binds it to the Index.
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wqrtq/internal/core"
+	"wqrtq/internal/engine"
+	"wqrtq/internal/rtopk"
+	"wqrtq/internal/topk"
+	"wqrtq/internal/vec"
+)
+
+// ErrEngineClosed is returned by every Engine method called after Close.
+var ErrEngineClosed = errors.New("wqrtq: engine is closed")
+
+// EngineConfig tunes the serving engine. The zero value is a sensible
+// latency-oriented default.
+type EngineConfig struct {
+	// Workers is the number of query worker goroutines; <= 0 uses
+	// GOMAXPROCS.
+	Workers int
+	// MaxBatch caps how many concurrent requests one worker coalesces into
+	// a batch; <= 0 uses 32.
+	MaxBatch int
+	// BatchLinger is how long a worker waits to fill its batch after the
+	// first request arrives. Zero (the default) batches only requests
+	// already queued — lowest latency; a sub-millisecond linger trades that
+	// latency for substantially higher throughput under concurrent load,
+	// because reverse top-k requests sharing a query point merge into one
+	// index traversal.
+	BatchLinger time.Duration
+	// CacheSize is the capacity of the (epoch, query)-keyed LRU result
+	// cache. 0 uses 4096; negative disables caching.
+	CacheSize int
+}
+
+func (c EngineConfig) withDefaults() EngineConfig {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 4096
+	}
+	return c
+}
+
+// Engine serves queries and mutations over an Index with snapshot
+// isolation. Queries always observe one consistent point set: the engine
+// publishes an immutable snapshot, and every mutation clones the current
+// snapshot (copy-on-write, so the clone is cheap), applies itself, and
+// publishes the result. Mutations are serialized; queries never block them
+// and are never blocked by them.
+//
+// Results returned by the engine (and by the snapshots it hands out) are
+// shared — with the cache and with other callers — and must be treated as
+// read-only.
+type Engine struct {
+	cfg     EngineConfig
+	mu      sync.Mutex // serializes mutations
+	current atomic.Pointer[Index]
+	pool    *engine.Pool[*engineReq]
+	cache   *engine.LRU[string, any] // nil when disabled
+	metrics *engine.Metrics
+	closed  atomic.Bool
+}
+
+// NewEngine wraps ix in a serving engine. The engine takes ownership of the
+// index: the caller must not mutate ix afterwards (queries on it remain
+// fine).
+func NewEngine(ix *Index, cfg EngineConfig) (*Engine, error) {
+	if ix == nil {
+		return nil, errors.New("wqrtq: NewEngine requires an index")
+	}
+	cfg = cfg.withDefaults()
+	e := &Engine{cfg: cfg, metrics: engine.NewMetrics()}
+	e.current.Store(ix)
+	if cfg.CacheSize > 0 {
+		e.cache = engine.NewLRU[string, any](cfg.CacheSize)
+	}
+	e.pool = engine.NewPool(cfg.Workers, cfg.MaxBatch, cfg.BatchLinger, e.exec)
+	return e, nil
+}
+
+// Close stops the engine: in-flight and already-queued requests finish,
+// later calls fail with ErrEngineClosed. Close is idempotent.
+func (e *Engine) Close() {
+	e.closed.Store(true)
+	e.pool.Close()
+}
+
+// Snapshot returns the currently published immutable snapshot. It is safe
+// to query from any goroutine for as long as desired — later mutations
+// publish new snapshots and never touch this one.
+func (e *Engine) Snapshot() *Index { return e.current.Load() }
+
+// Epoch returns the epoch of the current snapshot.
+func (e *Engine) Epoch() uint64 { return e.current.Load().Epoch() }
+
+// Insert adds a point through a copy-on-write snapshot swap and returns its
+// id and the epoch of the snapshot that includes it.
+func (e *Engine) Insert(p []float64) (int, uint64, error) {
+	start := time.Now()
+	id, epoch, err := e.insert(p)
+	e.metrics.Observe("insert", time.Since(start), err != nil)
+	return id, epoch, err
+}
+
+func (e *Engine) insert(p []float64) (int, uint64, error) {
+	if e.closed.Load() {
+		return 0, 0, ErrEngineClosed
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cur := e.current.Load()
+	if err := cur.checkPoint(p); err != nil {
+		return 0, cur.Epoch(), err
+	}
+	next := cur.Clone()
+	id, err := next.Insert(p)
+	if err != nil {
+		return 0, cur.Epoch(), err
+	}
+	e.current.Store(next)
+	return id, next.Epoch(), nil
+}
+
+// Delete removes the point with the given id through a copy-on-write
+// snapshot swap. It reports whether the id was live, and the epoch of the
+// snapshot without it.
+func (e *Engine) Delete(id int) (bool, uint64, error) {
+	start := time.Now()
+	ok, epoch, err := e.delete(id)
+	e.metrics.Observe("delete", time.Since(start), err != nil)
+	return ok, epoch, err
+}
+
+func (e *Engine) delete(id int) (bool, uint64, error) {
+	if e.closed.Load() {
+		return false, 0, ErrEngineClosed
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cur := e.current.Load()
+	if id < 0 || id >= cur.NumIDs() {
+		ok, err := cur.Delete(id) // delegate for the canonical error
+		return ok, cur.Epoch(), err
+	}
+	if cur.Point(id) == nil {
+		return false, cur.Epoch(), nil // already deleted
+	}
+	next := cur.Clone()
+	ok, err := next.Delete(id)
+	if err != nil || !ok {
+		return ok, cur.Epoch(), err
+	}
+	e.current.Store(next)
+	return true, next.Epoch(), nil
+}
+
+// TopK serves Index.TopK from the current snapshot, batched and cached. The
+// returned epoch identifies the snapshot that produced the result.
+func (e *Engine) TopK(w []float64, k int) ([]Ranked, uint64, error) {
+	if err := e.Snapshot().checkWeight(w); err != nil {
+		return nil, 0, err
+	}
+	if k <= 0 {
+		return nil, 0, errors.New("wqrtq: k must be positive")
+	}
+	v, epoch, err := e.do(&engineReq{kind: "topk", w: w, k: k})
+	if err != nil {
+		return nil, epoch, err
+	}
+	return v.([]Ranked), epoch, nil
+}
+
+// Rank serves Index.Rank from the current snapshot.
+func (e *Engine) Rank(w, q []float64) (int, uint64, error) {
+	snap := e.Snapshot()
+	if err := snap.checkWeight(w); err != nil {
+		return 0, 0, err
+	}
+	if err := snap.checkPoint(q); err != nil {
+		return 0, 0, err
+	}
+	v, epoch, err := e.do(&engineReq{kind: "rank", w: w, q: q})
+	if err != nil {
+		return 0, epoch, err
+	}
+	return v.(int), epoch, nil
+}
+
+// ReverseTopK serves the bichromatic reverse top-k query from the current
+// snapshot. Concurrent calls with the same q and k are merged into a single
+// RTA evaluation over the union of their weighting-vector sets, amortizing
+// the R-tree traversals across the whole batch.
+func (e *Engine) ReverseTopK(W [][]float64, q []float64, k int) ([]int, uint64, error) {
+	snap := e.Snapshot()
+	if _, err := snap.checkWeights(W); err != nil {
+		return nil, 0, err
+	}
+	if err := snap.checkPoint(q); err != nil {
+		return nil, 0, err
+	}
+	if k <= 0 {
+		return nil, 0, errors.New("wqrtq: k must be positive")
+	}
+	v, epoch, err := e.do(&engineReq{kind: "rtopk", W: W, q: q, k: k})
+	if err != nil {
+		return nil, epoch, err
+	}
+	return v.([]int), epoch, nil
+}
+
+// Explain serves Index.Explain from the current snapshot.
+func (e *Engine) Explain(q []float64, Wm [][]float64) ([][]Ranked, uint64, error) {
+	snap := e.Snapshot()
+	if _, err := snap.checkWeights(Wm); err != nil {
+		return nil, 0, err
+	}
+	if err := snap.checkPoint(q); err != nil {
+		return nil, 0, err
+	}
+	v, epoch, err := e.do(&engineReq{kind: "explain", W: Wm, q: q})
+	if err != nil {
+		return nil, epoch, err
+	}
+	return v.([][]Ranked), epoch, nil
+}
+
+// WhyNot serves the full why-not pipeline from the current snapshot.
+func (e *Engine) WhyNot(q []float64, k int, W [][]float64, opts Options) (*WhyNotAnswer, uint64, error) {
+	snap := e.Snapshot()
+	if _, err := snap.checkWeights(W); err != nil {
+		return nil, 0, err
+	}
+	if err := snap.checkPoint(q); err != nil {
+		return nil, 0, err
+	}
+	if k <= 0 {
+		return nil, 0, errors.New("wqrtq: k must be positive")
+	}
+	v, epoch, err := e.do(&engineReq{kind: "whynot", W: W, q: q, k: k, opts: opts})
+	if err != nil {
+		return nil, epoch, err
+	}
+	return v.(*WhyNotAnswer), epoch, nil
+}
+
+// EngineStats is a point-in-time view of the engine's serving counters.
+type EngineStats struct {
+	// Epoch of the current snapshot.
+	Epoch uint64 `json:"epoch"`
+	// Live points and allocated ids in the current snapshot.
+	Live   int `json:"live"`
+	NumIDs int `json:"num_ids"`
+	// Per-endpoint latency counters (topk, rank, rtopk, explain, whynot,
+	// insert, delete).
+	Endpoints map[string]engine.CounterSnapshot `json:"endpoints"`
+	// Result cache counters; hits/misses count lookups.
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	CacheLen    int   `json:"cache_len"`
+}
+
+// Stats returns the engine's serving counters.
+func (e *Engine) Stats() EngineStats {
+	snap := e.Snapshot()
+	s := EngineStats{
+		Epoch:     snap.Epoch(),
+		Live:      snap.Len(),
+		NumIDs:    snap.NumIDs(),
+		Endpoints: e.metrics.Snapshot(),
+	}
+	if e.cache != nil {
+		s.CacheHits, s.CacheMisses = e.cache.Stats()
+		s.CacheLen = e.cache.Len()
+	}
+	return s
+}
+
+// engineReq is one queued query. key is the exact binary encoding of the
+// arguments (without the epoch, which is prefixed at execution time).
+type engineReq struct {
+	kind string
+	w, q []float64
+	W    [][]float64
+	k    int
+	opts Options
+	key  string
+	done chan engineResp
+}
+
+type engineResp struct {
+	val   any
+	epoch uint64
+	err   error
+}
+
+// do runs one request through the cache fast path and the worker pool.
+func (e *Engine) do(r *engineReq) (any, uint64, error) {
+	start := time.Now()
+	r.key = argKey(r)
+	if e.cache != nil {
+		epoch := e.Epoch()
+		if v, ok := e.cache.Get(epochKey(epoch, r.key)); ok {
+			e.metrics.Observe(r.kind, time.Since(start), false)
+			return v, epoch, nil
+		}
+	}
+	r.done = make(chan engineResp, 1)
+	if !e.pool.Submit(r) {
+		return nil, 0, ErrEngineClosed
+	}
+	resp := <-r.done
+	e.metrics.Observe(r.kind, time.Since(start), resp.err != nil)
+	return resp.val, resp.epoch, resp.err
+}
+
+// exec serves one batch: it loads the snapshot once (the batch's
+// linearization point), answers cache hits, deduplicates identical
+// requests, merges reverse top-k requests that share (q, k) into one RTA
+// run over the union of their weight sets, and fans results back out.
+func (e *Engine) exec(batch []*engineReq) {
+	snap := e.current.Load()
+	epoch := snap.Epoch()
+
+	waiters := make(map[string][]*engineReq, len(batch))
+	var unique []*engineReq
+	rtopkGroups := make(map[string][]*engineReq)
+	for _, r := range batch {
+		full := epochKey(epoch, r.key)
+		if e.cache != nil {
+			if v, ok := e.cache.Get(full); ok {
+				r.done <- engineResp{val: v, epoch: epoch}
+				continue
+			}
+		}
+		if _, dup := waiters[full]; dup {
+			waiters[full] = append(waiters[full], r)
+			continue
+		}
+		waiters[full] = []*engineReq{r}
+		if r.kind == "rtopk" {
+			rtopkGroups[qkKey(r.q, r.k)] = append(rtopkGroups[qkKey(r.q, r.k)], r)
+		} else {
+			unique = append(unique, r)
+		}
+	}
+
+	finish := func(r *engineReq, val any, err error) {
+		full := epochKey(epoch, r.key)
+		if err == nil && e.cache != nil {
+			e.cache.Add(full, val)
+		}
+		for _, w := range waiters[full] {
+			w.done <- engineResp{val: val, epoch: epoch, err: err}
+		}
+	}
+
+	for _, grp := range rtopkGroups {
+		e.execRTopK(snap, grp, finish)
+	}
+	// Arguments were validated at the Engine entry points (and dimensions
+	// cannot change across snapshots), so the workers dispatch straight to
+	// the internal implementations rather than re-validating through the
+	// public Index methods.
+	for _, r := range unique {
+		var val any
+		var err error
+		switch r.kind {
+		case "topk":
+			val = toRanked(topk.TopK(snap.tree, vec.Weight(r.w), r.k))
+		case "rank":
+			val = topk.Rank(snap.tree, vec.Weight(r.w), vec.Score(vec.Weight(r.w), vec.Point(r.q)))
+		case "explain":
+			ex := core.Explain(snap.tree, vec.Point(r.q), toWeights(r.W))
+			out := make([][]Ranked, len(ex))
+			for i, x := range ex {
+				out[i] = toRanked(x)
+			}
+			val = out
+		case "whynot":
+			// WhyNot runs the whole refinement pipeline; its re-validation
+			// cost is negligible against the sampling and QP work.
+			val, err = snap.WhyNot(r.q, r.k, r.W, r.opts)
+		default:
+			err = errors.New("wqrtq: unknown engine request kind " + r.kind)
+		}
+		finish(r, val, err)
+	}
+}
+
+func toWeights(W [][]float64) []vec.Weight {
+	ws := make([]vec.Weight, len(W))
+	for i, w := range W {
+		ws[i] = w
+	}
+	return ws
+}
+
+// execRTopK evaluates a group of reverse top-k requests sharing (q, k).
+// Distinct weight sets are concatenated so RTA's threshold buffer prunes
+// across the whole group; per-request results are recovered from the
+// offsets.
+func (e *Engine) execRTopK(snap *Index, grp []*engineReq, finish func(*engineReq, any, error)) {
+	if len(grp) == 1 {
+		r := grp[0]
+		val, _ := rtopk.Bichromatic(snap.tree, toWeights(r.W), vec.Point(r.q), r.k)
+		finish(r, val, nil)
+		return
+	}
+	offsets := make([]int, len(grp)+1)
+	total := 0
+	for i, r := range grp {
+		offsets[i] = total
+		total += len(r.W)
+	}
+	offsets[len(grp)] = total
+	merged := make([]vec.Weight, 0, total)
+	for _, r := range grp {
+		for _, w := range r.W {
+			merged = append(merged, w)
+		}
+	}
+	res, _ := rtopk.Bichromatic(snap.tree, merged, vec.Point(grp[0].q), grp[0].k)
+	// res is sorted ascending; split it by offset range.
+	pos := 0
+	for i, r := range grp {
+		lo, hi := offsets[i], offsets[i+1]
+		for pos < len(res) && res[pos] < lo {
+			pos++ // unreachable unless res unsorted; defensive
+		}
+		var part []int
+		for pos < len(res) && res[pos] < hi {
+			part = append(part, res[pos]-lo)
+			pos++
+		}
+		finish(r, part, nil)
+	}
+}
+
+// argKey encodes a request's kind and arguments exactly (no hashing, so no
+// collisions): kind byte, k, then length-prefixed float vectors.
+func argKey(r *engineReq) string {
+	n := 16 + 8*len(r.w) + 8*len(r.q)
+	for _, w := range r.W {
+		n += 8 + 8*len(w)
+	}
+	b := make([]byte, 0, n+len(r.kind)+64)
+	b = append(b, r.kind...)
+	b = append(b, 0)
+	b = binary.LittleEndian.AppendUint64(b, uint64(int64(r.k)))
+	b = appendVec(b, r.w)
+	b = appendVec(b, r.q)
+	b = binary.LittleEndian.AppendUint64(b, uint64(len(r.W)))
+	for _, w := range r.W {
+		b = appendVec(b, w)
+	}
+	if r.kind == "whynot" {
+		b = appendOptions(b, r.opts)
+	}
+	return string(b)
+}
+
+func appendVec(b []byte, v []float64) []byte {
+	b = binary.LittleEndian.AppendUint64(b, uint64(len(v)))
+	for _, x := range v {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(x))
+	}
+	return b
+}
+
+func appendOptions(b []byte, o Options) []byte {
+	for _, f := range []float64{o.Penalty.Alpha, o.Penalty.Beta, o.Penalty.Gamma, o.Penalty.Lambda} {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
+	}
+	flags := uint64(0)
+	if o.Penalty.NormalizeWeights {
+		flags |= 1
+	}
+	if o.PerVector {
+		flags |= 2
+	}
+	b = binary.LittleEndian.AppendUint64(b, flags)
+	b = binary.LittleEndian.AppendUint64(b, uint64(int64(o.SampleSize)))
+	b = binary.LittleEndian.AppendUint64(b, uint64(int64(o.QuerySampleSize)))
+	b = binary.LittleEndian.AppendUint64(b, uint64(o.Seed))
+	b = binary.LittleEndian.AppendUint64(b, uint64(int64(o.Workers)))
+	return b
+}
+
+func epochKey(epoch uint64, key string) string {
+	var p [8]byte
+	binary.LittleEndian.PutUint64(p[:], epoch)
+	return string(p[:]) + key
+}
+
+func qkKey(q []float64, k int) string {
+	b := make([]byte, 0, 16+8*len(q))
+	b = binary.LittleEndian.AppendUint64(b, uint64(int64(k)))
+	b = appendVec(b, q)
+	return string(b)
+}

@@ -33,7 +33,14 @@
 //
 // Index.WhyNot runs the whole pipeline in one call.
 //
-// All methods are safe for concurrent use once the Index is built.
+// All query methods are safe for concurrent use once the Index is built;
+// Insert and Delete require external serialization against queries. To mix
+// mutations with live query traffic, wrap the index in an Engine: it
+// publishes copy-on-write snapshots (Index.Clone) so mutations never
+// disturb in-flight queries, coalesces concurrent queries into batches
+// (merging reverse top-k requests that share a query point into one RTA
+// traversal), and caches results under (snapshot epoch, query) keys. The
+// wqrtq command's serve subcommand exposes the engine over JSON/HTTP.
 package wqrtq
 
 import (
@@ -53,6 +60,7 @@ import (
 type Index struct {
 	tree   *rtree.Tree
 	points []vec.Point
+	shared bool // points backing array is shared with a Clone
 }
 
 // NewIndex validates and bulk-loads a dataset. Every point must be
