@@ -13,6 +13,7 @@ package wqrtq
 // naive reverse top-k, and STR bulk loading vs one-by-one insertion.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -510,6 +511,95 @@ func BenchmarkEngineReverseTopK(b *testing.B) {
 			})
 		}
 	}
+}
+
+// --- Context-path overhead guard (DESIGN.md, "Cooperative cancellation") ---
+//
+// The positional API now delegates to the context path, so these benchmarks
+// bound what the redesign added to the hot read paths: Positional vs Request
+// isolates the wrapper + request-struct cost, and RequestWithDeadline arms
+// the cancellation tickers (a Background context leaves them as a single nil
+// check per interval). The guard target is <2% overhead vs Positional.
+
+func benchIndex(b *testing.B) *Index {
+	b.Helper()
+	ds := dataset.Independent(benchN, benchDim, 1)
+	pts := make([][]float64, len(ds.Points))
+	for i, p := range ds.Points {
+		pts[i] = p
+	}
+	ix, err := NewIndex(pts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ix
+}
+
+func BenchmarkContextOverheadTopK(b *testing.B) {
+	ix := benchIndex(b)
+	w := []float64{0.2, 0.3, 0.5}
+	b.Run("Positional", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ix.TopK(w, benchK); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Request", func(b *testing.B) {
+		ctx := context.Background()
+		req := TopKRequest{W: w, K: benchK}
+		for i := 0; i < b.N; i++ {
+			if _, err := ix.TopKCtx(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("RequestWithDeadline", func(b *testing.B) {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+		defer cancel()
+		req := TopKRequest{W: w, K: benchK}
+		for i := 0; i < b.N; i++ {
+			if _, err := ix.TopKCtx(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkContextOverheadReverseTopK(b *testing.B) {
+	ix := benchIndex(b)
+	rng := rand.New(rand.NewSource(9))
+	W := make([][]float64, 200)
+	for i := range W {
+		W[i] = sample.RandSimplex(rng, benchDim)
+	}
+	q := []float64{0.02, 0.03, 0.02}
+	b.Run("Positional", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ix.ReverseTopK(W, q, benchK); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Request", func(b *testing.B) {
+		ctx := context.Background()
+		req := ReverseTopKRequest{Q: q, K: benchK, W: W}
+		for i := 0; i < b.N; i++ {
+			if _, err := ix.ReverseTopKCtx(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("RequestWithDeadline", func(b *testing.B) {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+		defer cancel()
+		req := ReverseTopKRequest{Q: q, K: benchK, W: W}
+		for i := 0; i < b.N; i++ {
+			if _, err := ix.ReverseTopKCtx(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkEngineTopKCached measures the cache-hit fast path: a hot query

@@ -18,7 +18,14 @@ package main
 //	GET  /healthz                                 → 200 ok
 //
 // Errors are {"error":"..."} with status 400 (bad input) or 405/404 from
-// the router.
+// the router. Every query handler derives its context from the incoming
+// request — bounded by -query-timeout when set — so a client disconnect or
+// an expired deadline cancels the engine work cooperatively:
+//
+//	deadline exceeded → 503 {"error":"...","code":"deadline_exceeded"}
+//	client went away  → 499 {"error":"...","code":"canceled"}
+//
+// Cancellations are counted per endpoint (and in total) in /v1/stats.
 
 import (
 	"context"
@@ -43,6 +50,7 @@ func cmdServe(args []string) error {
 	maxBatch := fs.Int("batch", 32, "max requests coalesced per batch")
 	linger := fs.Duration("linger", 200*time.Microsecond, "batch linger window (0 disables)")
 	cacheSize := fs.Int("cache", 4096, "result cache entries (negative disables)")
+	queryTimeout := fs.Duration("query-timeout", 30*time.Second, "per-query deadline (0 disables); expired queries answer 503")
 	fs.Parse(args)
 	ix, _, err := loadIndex(*data)
 	if err != nil {
@@ -57,7 +65,7 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Addr: *addr, Handler: newServeHandler(eng)}
+	srv := &http.Server{Addr: *addr, Handler: newServeHandler(eng, *queryTimeout)}
 	errCh := make(chan error, 1)
 	go func() {
 		fmt.Fprintf(os.Stderr, "wqrtq: serving %d points on %s\n", ix.Len(), *addr)
@@ -79,9 +87,19 @@ func cmdServe(args []string) error {
 	return err
 }
 
-// newServeHandler builds the HTTP API around an engine. Factored out so
-// tests can drive it with httptest.
-func newServeHandler(e *wqrtq.Engine) http.Handler {
+// newServeHandler builds the HTTP API around an engine. Every query handler
+// derives its context from the request (plus queryTimeout when positive), so
+// deadlines and client disconnects cancel engine work. Factored out so tests
+// can drive it with httptest.
+func newServeHandler(e *wqrtq.Engine, queryTimeout time.Duration) http.Handler {
+	// queryCtx bounds a handler's work by the client connection and the
+	// configured per-query deadline.
+	queryCtx := func(r *http.Request) (context.Context, context.CancelFunc) {
+		if queryTimeout > 0 {
+			return context.WithTimeout(r.Context(), queryTimeout)
+		}
+		return context.WithCancel(r.Context())
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/topk", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
@@ -91,15 +109,17 @@ func newServeHandler(e *wqrtq.Engine) http.Handler {
 		if !decodeJSON(w, r, &req) {
 			return
 		}
-		res, epoch, err := e.TopK(req.W, req.K)
+		ctx, cancel := queryCtx(r)
+		defer cancel()
+		resp, err := e.TopKCtx(ctx, wqrtq.TopKRequest{W: req.W, K: req.K})
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
+			writeQueryErr(w, err)
 			return
 		}
 		writeJSON(w, struct {
 			Epoch  uint64       `json:"epoch"`
 			Result []rankedJSON `json:"result"`
-		}{epoch, toRankedJSON(res)})
+		}{resp.Epoch, toRankedJSON(resp.Result)})
 	})
 	mux.HandleFunc("POST /v1/rank", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
@@ -109,15 +129,17 @@ func newServeHandler(e *wqrtq.Engine) http.Handler {
 		if !decodeJSON(w, r, &req) {
 			return
 		}
-		rank, epoch, err := e.Rank(req.W, req.Q)
+		ctx, cancel := queryCtx(r)
+		defer cancel()
+		resp, err := e.RankCtx(ctx, wqrtq.RankRequest{W: req.W, Q: req.Q})
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
+			writeQueryErr(w, err)
 			return
 		}
 		writeJSON(w, struct {
 			Epoch uint64 `json:"epoch"`
 			Rank  int    `json:"rank"`
-		}{epoch, rank})
+		}{resp.Epoch, resp.Rank})
 	})
 	mux.HandleFunc("POST /v1/rtopk", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
@@ -128,18 +150,21 @@ func newServeHandler(e *wqrtq.Engine) http.Handler {
 		if !decodeJSON(w, r, &req) {
 			return
 		}
-		res, epoch, err := e.ReverseTopK(req.Weights, req.Q, req.K)
+		ctx, cancel := queryCtx(r)
+		defer cancel()
+		resp, err := e.ReverseTopKCtx(ctx, wqrtq.ReverseTopKRequest{Q: req.Q, K: req.K, W: req.Weights})
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
+			writeQueryErr(w, err)
 			return
 		}
+		res := resp.Result
 		if res == nil {
 			res = []int{}
 		}
 		writeJSON(w, struct {
 			Epoch  uint64 `json:"epoch"`
 			Result []int  `json:"result"`
-		}{epoch, res})
+		}{resp.Epoch, res})
 	})
 	mux.HandleFunc("POST /v1/explain", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
@@ -149,19 +174,21 @@ func newServeHandler(e *wqrtq.Engine) http.Handler {
 		if !decodeJSON(w, r, &req) {
 			return
 		}
-		exps, epoch, err := e.Explain(req.Q, req.Weights)
+		ctx, cancel := queryCtx(r)
+		defer cancel()
+		resp, err := e.ExplainCtx(ctx, wqrtq.ExplainRequest{Q: req.Q, Wm: req.Weights})
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
+			writeQueryErr(w, err)
 			return
 		}
-		out := make([][]rankedJSON, len(exps))
-		for i, ex := range exps {
+		out := make([][]rankedJSON, len(resp.Explanations))
+		for i, ex := range resp.Explanations {
 			out[i] = toRankedJSON(ex)
 		}
 		writeJSON(w, struct {
 			Epoch        uint64         `json:"epoch"`
 			Explanations [][]rankedJSON `json:"explanations"`
-		}{epoch, out})
+		}{resp.Epoch, out})
 	})
 	mux.HandleFunc("POST /v1/whynot", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
@@ -174,15 +201,17 @@ func newServeHandler(e *wqrtq.Engine) http.Handler {
 		if !decodeJSON(w, r, &req) {
 			return
 		}
-		ans, epoch, err := e.WhyNot(req.Q, req.K, req.Weights, wqrtq.Options{
-			SampleSize: req.Samples,
-			Seed:       req.Seed,
+		ctx, cancel := queryCtx(r)
+		defer cancel()
+		resp, err := e.WhyNotCtx(ctx, wqrtq.WhyNotRequest{
+			Q: req.Q, K: req.K, W: req.Weights,
+			Opts: wqrtq.Options{SampleSize: req.Samples, Seed: req.Seed},
 		})
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
+			writeQueryErr(w, err)
 			return
 		}
-		writeJSON(w, whyNotJSON(epoch, ans))
+		writeJSON(w, whyNotJSON(resp.Epoch, resp.Answer))
 	})
 	mux.HandleFunc("POST /v1/insert", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
@@ -315,4 +344,32 @@ func writeErr(w http.ResponseWriter, code int, err error) {
 	json.NewEncoder(w).Encode(struct {
 		Error string `json:"error"`
 	}{err.Error()})
+}
+
+// statusClientClosedRequest is the de-facto (nginx) status for a request
+// aborted by the client; the response is written only for the log's benefit.
+const statusClientClosedRequest = 499
+
+// writeQueryErr maps a query-path error: context deadline → 503, context
+// canceled (client went away) → 499, anything else → 400. Context errors
+// carry a machine-readable "code" so clients can retry deadline expiries
+// distinctly from input errors.
+func writeQueryErr(w http.ResponseWriter, err error) {
+	var code string
+	status := http.StatusBadRequest
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		code, status = "deadline_exceeded", http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled):
+		code, status = "canceled", statusClientClosedRequest
+	default:
+		writeErr(w, status, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(struct {
+		Error string `json:"error"`
+		Code  string `json:"code"`
+	}{err.Error(), code})
 }

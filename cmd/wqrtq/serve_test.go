@@ -14,6 +14,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"wqrtq"
 )
@@ -31,7 +32,7 @@ func serveTestHandler(t *testing.T) http.Handler {
 		t.Fatal(err)
 	}
 	t.Cleanup(e.Close)
-	return newServeHandler(e)
+	return newServeHandler(e, 0)
 }
 
 func post(t *testing.T, h http.Handler, path, body string) *httptest.ResponseRecorder {
@@ -141,6 +142,59 @@ func TestServeStatsAndHealth(t *testing.T) {
 	h.ServeHTTP(rec, req)
 	if rec.Code != http.StatusOK || rec.Body.String() != "ok\n" {
 		t.Fatalf("healthz: %d %q", rec.Code, rec.Body.String())
+	}
+}
+
+func TestServeQueryTimeout(t *testing.T) {
+	// A 1ns query timeout expires before any engine work happens; the
+	// handler must answer 503 with the machine-readable code, and the
+	// cancellation must show up in /v1/stats.
+	ix, err := wqrtq.NewIndex([][]float64{
+		{1, 8}, {2, 5}, {4, 3}, {8, 2}, {9, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := wqrtq.NewEngine(ix, wqrtq.EngineConfig{CacheSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	h := newServeHandler(e, time.Nanosecond)
+
+	rec := post(t, h, "/v1/whynot",
+		`{"q":[3,3],"k":2,"weights":[[0.25,0.75],[0.75,0.25],[0.5,0.5]],"samples":64,"seed":1}`)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503; body %s", rec.Code, rec.Body.String())
+	}
+	var body struct {
+		Error string `json:"error"`
+		Code  string `json:"code"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("error body not JSON: %s", rec.Body.String())
+	}
+	if body.Code != "deadline_exceeded" {
+		t.Fatalf("code %q, want deadline_exceeded", body.Code)
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/v1/stats", nil)
+	srec := httptest.NewRecorder()
+	h.ServeHTTP(srec, req)
+	var stats struct {
+		Canceled  int64 `json:"canceled"`
+		Endpoints map[string]struct {
+			Canceled int64 `json:"canceled"`
+		} `json:"endpoints"`
+	}
+	if err := json.Unmarshal(srec.Body.Bytes(), &stats); err != nil {
+		t.Fatalf("stats not JSON: %v", err)
+	}
+	if stats.Canceled < 1 {
+		t.Fatalf("stats canceled = %d, want >= 1", stats.Canceled)
+	}
+	if stats.Endpoints["whynot"].Canceled < 1 {
+		t.Fatalf("whynot canceled = %d, want >= 1", stats.Endpoints["whynot"].Canceled)
 	}
 }
 

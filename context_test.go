@@ -1,0 +1,242 @@
+package wqrtq
+
+// Cancellation tests for the context-first API: already-canceled contexts
+// return promptly at every layer, a deadline set mid-refinement aborts the
+// MQWK sampling loops within one check interval, and a canceled waiter in a
+// merged reverse top-k batch never aborts its co-waiters.
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"wqrtq/internal/dataset"
+	"wqrtq/internal/sample"
+)
+
+// testWorkload builds a 10k-point index plus a why-not workload whose query
+// point actually misses the top-k (so WhyNot runs all three refinements).
+func testWorkload(t testing.TB, n int) (*Index, WhyNotRequest) {
+	t.Helper()
+	ds := dataset.Independent(n, 3, 7)
+	pts := make([][]float64, len(ds.Points))
+	for i, p := range ds.Points {
+		pts[i] = p
+	}
+	ix, err := NewIndex(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := dataset.MakeWhyNot(ds, 10, 101, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm := make([][]float64, len(wl.Wm))
+	for i, w := range wl.Wm {
+		wm[i] = w
+	}
+	return ix, WhyNotRequest{Q: wl.Q, K: wl.K, W: wm, Opts: Options{SampleSize: 128}}
+}
+
+func TestWhyNotCtxAlreadyCanceled(t *testing.T) {
+	ix, req := testWorkload(t, 2000)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	start := time.Now()
+	_, err := ix.WhyNotCtx(ctx, req)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("WhyNotCtx error = %v, want context.Canceled", err)
+	}
+	if elapsed > 100*time.Millisecond {
+		t.Fatalf("already-canceled WhyNotCtx took %v, want prompt return", elapsed)
+	}
+
+	// Every other Index path must also notice the dead context up front.
+	if _, err := ix.TopKCtx(ctx, TopKRequest{W: req.W[0], K: 3}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("TopKCtx error = %v", err)
+	}
+	if _, err := ix.RankCtx(ctx, RankRequest{W: req.W[0], Q: req.Q}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RankCtx error = %v", err)
+	}
+	if _, err := ix.ReverseTopKCtx(ctx, ReverseTopKRequest{Q: req.Q, K: req.K, W: req.W}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ReverseTopKCtx error = %v", err)
+	}
+	if _, err := ix.ExplainCtx(ctx, ExplainRequest{Q: req.Q, Wm: req.W}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ExplainCtx error = %v", err)
+	}
+	if _, err := ix.ModifyQueryCtx(ctx, ModifyQueryRequest{Q: req.Q, K: req.K, Wm: req.W}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ModifyQueryCtx error = %v", err)
+	}
+	if _, err := ix.ModifyPreferencesCtx(ctx, ModifyPreferencesRequest{Q: req.Q, K: req.K, Wm: req.W}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ModifyPreferencesCtx error = %v", err)
+	}
+	if _, err := ix.ModifyAllCtx(ctx, ModifyAllRequest{Q: req.Q, K: req.K, Wm: req.W}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ModifyAllCtx error = %v", err)
+	}
+}
+
+func TestEngineWhyNotCtxAlreadyCanceledCountsInStats(t *testing.T) {
+	ix, req := testWorkload(t, 2000)
+	e, err := NewEngine(ix, EngineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.WhyNotCtx(ctx, req); !errors.Is(err, context.Canceled) {
+		t.Fatalf("engine WhyNotCtx error = %v, want context.Canceled", err)
+	}
+	s := e.Stats()
+	if s.Canceled != 1 {
+		t.Fatalf("stats canceled = %d, want 1", s.Canceled)
+	}
+	if s.Endpoints["whynot"].Canceled != 1 {
+		t.Fatalf("whynot canceled = %d, want 1", s.Endpoints["whynot"].Canceled)
+	}
+}
+
+// TestWhyNotDeadlineMidRefinement runs the full refinement once to measure
+// its cost, then re-runs it with a deadline a small fraction of that and
+// asserts the abort lands well under the full runtime — i.e. within a few
+// check intervals of the MQWK sampling loops, not at their natural end.
+func TestWhyNotDeadlineMidRefinement(t *testing.T) {
+	ix, req := testWorkload(t, 10000)
+
+	start := time.Now()
+	if _, err := ix.WhyNotCtx(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	full := time.Since(start)
+
+	deadline := full / 20
+	if deadline < 2*time.Millisecond {
+		deadline = 2 * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), deadline)
+	defer cancel()
+	start = time.Now()
+	_, err := ix.WhyNotCtx(ctx, req)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline run error = %v, want context.DeadlineExceeded (full run took %v)", err, full)
+	}
+	if elapsed > full/2 {
+		t.Fatalf("deadline run took %v, want well under full runtime %v", elapsed, full)
+	}
+	t.Logf("full pipeline %v; canceled after %v with a %v deadline", full, elapsed, deadline)
+
+	// Explicit cancel mid-flight (not a deadline) returns context.Canceled,
+	// likewise well under the full runtime.
+	cctx, ccancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(deadline)
+		ccancel()
+	}()
+	start = time.Now()
+	_, err = ix.WhyNotCtx(cctx, req)
+	elapsed = time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancel run error = %v, want context.Canceled", err)
+	}
+	if elapsed > full/2 {
+		t.Fatalf("cancel run took %v, want well under full runtime %v", elapsed, full)
+	}
+}
+
+// TestMergedRTABatchSurvivesCoWaiterCancel verifies the all-waiters-cancel
+// rule: two reverse top-k requests sharing (q, k) coalesce into one merged
+// RTA evaluation; canceling one of them must unblock it with its own
+// context error while the survivor still receives the correct answer.
+func TestMergedRTABatchSurvivesCoWaiterCancel(t *testing.T) {
+	ix, req := testWorkload(t, 2000)
+	// One worker with a generous linger guarantees both requests land in the
+	// same batch; the cache is disabled so the survivor's answer is computed.
+	e, err := NewEngine(ix.Clone(), EngineConfig{
+		Workers:     1,
+		MaxBatch:    8,
+		BatchLinger: 100 * time.Millisecond,
+		CacheSize:   -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	wA := req.W
+	wB := [][]float64{req.W[1], req.W[0], sample.RandSimplex(rngFor(3), 3)}
+	want, err := ix.ReverseTopK(wB, req.Q, req.K)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctxA, cancelA := context.WithCancel(context.Background())
+	defer cancelA()
+	errA := make(chan error, 1)
+	go func() {
+		_, err := e.ReverseTopKCtx(ctxA, ReverseTopKRequest{Q: req.Q, K: req.K, W: wA})
+		errA <- err
+	}()
+	respB := make(chan ReverseTopKResponse, 1)
+	errB := make(chan error, 1)
+	go func() {
+		resp, err := e.ReverseTopKCtx(context.Background(), ReverseTopKRequest{Q: req.Q, K: req.K, W: wB})
+		respB <- resp
+		errB <- err
+	}()
+
+	// Let both requests enqueue into the lingering batch, then cancel A.
+	time.Sleep(20 * time.Millisecond)
+	cancelA()
+
+	if err := <-errA; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled waiter error = %v, want context.Canceled", err)
+	}
+	if err := <-errB; err != nil {
+		t.Fatalf("surviving waiter error = %v, want success", err)
+	}
+	resp := <-respB
+	if len(resp.Result) != len(want) {
+		t.Fatalf("survivor result %v, want %v", resp.Result, want)
+	}
+	for i := range want {
+		if resp.Result[i] != want[i] {
+			t.Fatalf("survivor result %v, want %v", resp.Result, want)
+		}
+	}
+}
+
+// TestCompCtxCancelsOnlyWhenAllWaitersCancel exercises the shared-
+// computation context directly: it must stay live while any waiter is live,
+// cancel soon after the last waiter cancels, and collapse to the never-
+// canceled Background when any waiter cannot cancel.
+func TestCompCtxCancelsOnlyWhenAllWaitersCancel(t *testing.T) {
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	cctx, stop := compCtx([]*engineReq{{ctx: ctx1}, {ctx: ctx2}})
+	defer stop()
+
+	cancel1()
+	select {
+	case <-cctx.Done():
+		t.Fatal("computation context canceled while a waiter was still live")
+	case <-time.After(20 * time.Millisecond):
+	}
+	cancel2()
+	select {
+	case <-cctx.Done():
+	case <-time.After(time.Second):
+		t.Fatal("computation context not canceled after all waiters canceled")
+	}
+
+	// One uncancelable waiter pins the computation alive.
+	cctx2, stop2 := compCtx([]*engineReq{{ctx: ctx1}, {ctx: context.Background()}})
+	defer stop2()
+	if cctx2.Done() != nil {
+		t.Fatal("computation with an uncancelable waiter must never cancel")
+	}
+}

@@ -1,9 +1,10 @@
 package wqrtq
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"wqrtq/internal/dominance"
 	"wqrtq/internal/rtopk"
@@ -139,16 +140,39 @@ func (ix *Index) Skyline() []int {
 // ReverseTopKParallel answers the bichromatic reverse top-k query with the
 // weighting vectors spread over the given number of worker goroutines
 // (workers <= 0 uses GOMAXPROCS). The result is identical to ReverseTopK.
+// It is a thin wrapper over ReverseTopKParallelCtx with
+// context.Background().
 func (ix *Index) ReverseTopKParallel(W [][]float64, q []float64, k, workers int) ([]int, error) {
-	ws, err := ix.checkWeights(W)
+	resp, err := ix.ReverseTopKParallelCtx(context.Background(), ReverseTopKRequest{Q: q, K: k, W: W}, workers)
 	if err != nil {
 		return nil, err
 	}
-	if err := ix.checkPoint(q); err != nil {
-		return nil, err
+	return resp.Result, nil
+}
+
+// ReverseTopKParallelCtx is the context-first form of ReverseTopKParallel:
+// one cancellation unwinds every worker of the fan-out cooperatively.
+func (ix *Index) ReverseTopKParallelCtx(ctx context.Context, req ReverseTopKRequest, workers int) (ReverseTopKResponse, error) {
+	resp := ReverseTopKResponse{Epoch: ix.Epoch()}
+	ws, err := ix.checkWeights(req.W)
+	if err != nil {
+		return resp, err
 	}
-	if k <= 0 {
-		return nil, errors.New("wqrtq: k must be positive")
+	if err := ix.checkPoint(req.Q); err != nil {
+		return resp, err
 	}
-	return rtopk.BichromaticParallel(ix.tree, ws, q, k, workers), nil
+	if req.K <= 0 {
+		return resp, errPositiveK
+	}
+	if err := ctx.Err(); err != nil {
+		return resp, err
+	}
+	start := time.Now()
+	res, err := rtopk.BichromaticParallelCtx(ctx, ix.tree, ws, req.Q, req.K, workers)
+	if err != nil {
+		return resp, err
+	}
+	resp.Result = res
+	resp.Elapsed = time.Since(start)
+	return resp, nil
 }

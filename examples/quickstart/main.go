@@ -9,8 +9,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"wqrtq"
 )
@@ -70,10 +72,19 @@ func main() {
 	}
 
 	// --- The why-not question (§3, §4) -----------------------------------
-	ans, err := ix.WhyNot(q, k, W, wqrtq.Options{SampleSize: 800, Seed: 1})
+	// Through the context-first API, as a deadline-bounded production query
+	// would run it: the sampling loops poll the context and abort with
+	// context.DeadlineExceeded if the budget expires mid-refinement.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	resp, err := ix.WhyNotCtx(ctx, wqrtq.WhyNotRequest{
+		Q: q, K: k, W: W,
+		Opts: wqrtq.Options{SampleSize: 800, Seed: 1},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	ans := resp.Answer
 	fmt.Println("\nMissing customers and why:")
 	for i, mi := range ans.Missing {
 		fmt.Printf("  %s is missing because %d computers beat q:\n", order[mi], len(ans.Explanations[i]))

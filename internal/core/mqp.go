@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -37,6 +38,13 @@ var ErrSmallDataset = errors.New("core: dataset smaller than k; nothing to refin
 // the closest point of the region to q is obtained by interior-point
 // quadratic programming: minimize ‖q' − q‖².
 func MQP(t *rtree.Tree, q vec.Point, k int, wm []vec.Weight, pm PenaltyModel) (MQPResult, error) {
+	return MQPCtx(context.Background(), t, q, k, wm, pm)
+}
+
+// MQPCtx is MQP with cooperative cancellation: the per-vector top k-th
+// searches of phase 1 poll ctx on their heap loops (the interior-point solve
+// of phase 2 is a small dense problem and runs to completion).
+func MQPCtx(ctx context.Context, t *rtree.Tree, q vec.Point, k int, wm []vec.Weight, pm PenaltyModel) (MQPResult, error) {
 	d := len(q)
 	if err := validateInput(t, q, k, wm); err != nil {
 		return MQPResult{}, err
@@ -44,7 +52,10 @@ func MQP(t *rtree.Tree, q vec.Point, k int, wm []vec.Weight, pm PenaltyModel) (M
 	// Phase 1 (lines 1-12): top k-th point per why-not vector.
 	kth := make([]topk.Result, len(wm))
 	for i, w := range wm {
-		r, ok := topk.KthPoint(t, w, k)
+		r, ok, err := topk.KthPointCtx(ctx, t, w, k)
+		if err != nil {
+			return MQPResult{}, err
+		}
 		if !ok {
 			return MQPResult{}, ErrSmallDataset
 		}

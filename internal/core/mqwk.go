@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -40,6 +41,14 @@ type MQWKResult struct {
 // the best (Wm', k') (pure second solution), so MQWK never returns a worse
 // penalty than γ·Penalty(q_min) or λ·Penalty(Wm', k').
 func MQWK(t *rtree.Tree, q vec.Point, k int, wm []vec.Weight, sampleSize, qSampleSize int, rng *rand.Rand, pm PenaltyModel) (MQWKResult, error) {
+	return MQWKCtx(context.Background(), t, q, k, wm, sampleSize, qSampleSize, rng, pm)
+}
+
+// MQWKCtx is MQWK with cooperative cancellation: ctx is polled before every
+// sample query point's MWK search (each costing |S| in-memory rank
+// evaluations), and the inner sampling loops poll on their own intervals, so
+// a canceled refinement unwinds within a fraction of one sample's work.
+func MQWKCtx(ctx context.Context, t *rtree.Tree, q vec.Point, k int, wm []vec.Weight, sampleSize, qSampleSize int, rng *rand.Rand, pm PenaltyModel) (MQWKResult, error) {
 	if err := validateInput(t, q, k, wm); err != nil {
 		return MQWKResult{}, err
 	}
@@ -47,8 +56,11 @@ func MQWK(t *rtree.Tree, q vec.Point, k int, wm []vec.Weight, sampleSize, qSampl
 		return MQWKResult{}, fmt.Errorf("core: negative query sample size %d", qSampleSize)
 	}
 	// Line 2: q_min from the first solution.
-	mqp, err := MQP(t, q, k, wm, pm)
+	mqp, err := MQPCtx(ctx, t, q, k, wm, pm)
 	if err != nil {
+		if ctx.Err() != nil {
+			return MQWKResult{}, ctx.Err()
+		}
 		return MQWKResult{}, fmt.Errorf("core: MQWK needs the MQP optimum: %w", err)
 	}
 	qMin := mqp.RefinedQ
@@ -67,8 +79,11 @@ func MQWK(t *rtree.Tree, q vec.Point, k int, wm []vec.Weight, sampleSize, qSampl
 	}
 
 	evaluate := func(qp vec.Point) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		sets := dominance.Classify(cands, qp)
-		wk, err := MWKFromSets(&sets, qp, k, wm, sampleSize, rng, pm)
+		wk, err := MWKFromSetsCtx(ctx, &sets, qp, k, wm, sampleSize, rng, pm)
 		if err != nil {
 			return err
 		}

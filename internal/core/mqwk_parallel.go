@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -26,6 +27,15 @@ import (
 // why-not questions on reverse top-k queries over larger datasets" (§6) —
 // with the orthogonal axis available in a shared-memory implementation.
 func MQWKParallel(t *rtree.Tree, q vec.Point, k int, wm []vec.Weight, sampleSize, qSampleSize int, seed int64, workers int, pm PenaltyModel) (MQWKResult, error) {
+	return MQWKParallelCtx(context.Background(), t, q, k, wm, sampleSize, qSampleSize, seed, workers, pm)
+}
+
+// MQWKParallelCtx is MQWKParallel with cooperative cancellation: every
+// worker polls the shared ctx before each sample query point and inside its
+// sampling loops, so one cancellation unwinds the whole fan-out. Results
+// remain identical across worker counts at a fixed seed when the context is
+// never canceled.
+func MQWKParallelCtx(ctx context.Context, t *rtree.Tree, q vec.Point, k int, wm []vec.Weight, sampleSize, qSampleSize int, seed int64, workers int, pm PenaltyModel) (MQWKResult, error) {
 	if err := validateInput(t, q, k, wm); err != nil {
 		return MQWKResult{}, err
 	}
@@ -35,8 +45,11 @@ func MQWKParallel(t *rtree.Tree, q vec.Point, k int, wm []vec.Weight, sampleSize
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	mqp, err := MQP(t, q, k, wm, pm)
+	mqp, err := MQPCtx(ctx, t, q, k, wm, pm)
 	if err != nil {
+		if ctx.Err() != nil {
+			return MQWKResult{}, ctx.Err()
+		}
 		return MQWKResult{}, fmt.Errorf("core: MQWK needs the MQP optimum: %w", err)
 	}
 	qMin := mqp.RefinedQ
@@ -61,10 +74,14 @@ func MQWKParallel(t *rtree.Tree, q vec.Point, k int, wm []vec.Weight, sampleSize
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
+				if err := ctx.Err(); err != nil {
+					results[i] = cand{err: err}
+					continue
+				}
 				qp := points[i]
 				sets := dominance.Classify(cands, qp)
 				rng := rand.New(rand.NewSource(seed + int64(i) + 1))
-				wk, err := MWKFromSets(&sets, qp, k, wm, sampleSize, rng, pm)
+				wk, err := MWKFromSetsCtx(ctx, &sets, qp, k, wm, sampleSize, rng, pm)
 				if err != nil {
 					results[i] = cand{err: err}
 					continue

@@ -1,15 +1,22 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
 
+	"wqrtq/internal/ctxcheck"
 	"wqrtq/internal/dominance"
 	"wqrtq/internal/rtree"
 	"wqrtq/internal/sample"
 	"wqrtq/internal/vec"
 )
+
+// sampleCheckInterval is how many weighting-vector samples (each costing one
+// in-memory rank evaluation over the candidate sets) a refinement loop
+// processes between context polls.
+const sampleCheckInterval = 16
 
 // MWKResult is the outcome of the second solution: refined preferences.
 type MWKResult struct {
@@ -33,6 +40,12 @@ type MWKResult struct {
 // and the parameter k with minimum penalty so that q enters the reverse
 // top-k' result of every refined vector.
 func MWK(t *rtree.Tree, q vec.Point, k int, wm []vec.Weight, sampleSize int, rng *rand.Rand, pm PenaltyModel) (MWKResult, error) {
+	return MWKCtx(context.Background(), t, q, k, wm, sampleSize, rng, pm)
+}
+
+// MWKCtx is MWK with cooperative cancellation: the |S|-sample drawing and
+// ranking loop polls ctx every sampleCheckInterval samples.
+func MWKCtx(ctx context.Context, t *rtree.Tree, q vec.Point, k int, wm []vec.Weight, sampleSize int, rng *rand.Rand, pm PenaltyModel) (MWKResult, error) {
 	if err := validateInput(t, q, k, wm); err != nil {
 		return MWKResult{}, err
 	}
@@ -40,7 +53,7 @@ func MWK(t *rtree.Tree, q vec.Point, k int, wm []vec.Weight, sampleSize int, rng
 		return MWKResult{}, fmt.Errorf("core: negative sample size %d", sampleSize)
 	}
 	sets := dominance.FindIncom(t, q)
-	res, err := MWKFromSets(&sets, q, k, wm, sampleSize, rng, pm)
+	res, err := MWKFromSetsCtx(ctx, &sets, q, k, wm, sampleSize, rng, pm)
 	if err != nil {
 		return MWKResult{}, err
 	}
@@ -52,6 +65,13 @@ func MWK(t *rtree.Tree, q vec.Point, k int, wm []vec.Weight, sampleSize int, rng
 // dominance sets; MQWK calls it once per sample query point, implementing
 // the §4.4 reuse technique (the R-tree is never touched here).
 func MWKFromSets(sets *dominance.Sets, q vec.Point, k int, wm []vec.Weight, sampleSize int, rng *rand.Rand, pm PenaltyModel) (MWKResult, error) {
+	return MWKFromSetsCtx(context.Background(), sets, q, k, wm, sampleSize, rng, pm)
+}
+
+// MWKFromSetsCtx is MWKFromSets with cooperative cancellation over the
+// sample-drawing and candidate-scan loops.
+func MWKFromSetsCtx(ctx context.Context, sets *dominance.Sets, q vec.Point, k int, wm []vec.Weight, sampleSize int, rng *rand.Rand, pm PenaltyModel) (MWKResult, error) {
+	tick := ctxcheck.Every(ctx, sampleCheckInterval)
 	// Actual rankings and k'max (lines 7-9).
 	ranks := make([]int, len(wm))
 	kMax := 0
@@ -100,6 +120,9 @@ func MWKFromSets(sets *dominance.Sets, q vec.Point, k int, wm []vec.Weight, samp
 	}
 	samples := make([]sampleRank, 0, sampleSize)
 	for i := 0; i < sampleSize; i++ {
+		if err := tick.Tick(); err != nil {
+			return MWKResult{}, err
+		}
 		w := sampler.Sample(rng)
 		r := sets.Rank(w, q)
 		if r <= kMax {
@@ -143,6 +166,9 @@ func MWKFromSets(sets *dominance.Sets, q vec.Point, k int, wm []vec.Weight, samp
 	consider(first.rank)
 	used := 1
 	for _, s := range samples[1:] {
+		if err := tick.Tick(); err != nil {
+			return MWKResult{}, err
+		}
 		used++
 		updated := false
 		for i := range wm {

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 
+	"wqrtq/internal/ctxcheck"
 	"wqrtq/internal/dominance"
 	"wqrtq/internal/rtree"
 	"wqrtq/internal/sample"
@@ -21,9 +23,16 @@ import (
 // the paper's explicitly described alternative and as an ablation baseline
 // (BenchmarkAblationMWKStrategy).
 func MWKPerVector(t *rtree.Tree, q vec.Point, k int, wm []vec.Weight, sampleSize int, rng *rand.Rand, pm PenaltyModel) (MWKResult, error) {
+	return MWKPerVectorCtx(context.Background(), t, q, k, wm, sampleSize, rng, pm)
+}
+
+// MWKPerVectorCtx is MWKPerVector with cooperative cancellation over the
+// sample-drawing and per-vector scan loops.
+func MWKPerVectorCtx(ctx context.Context, t *rtree.Tree, q vec.Point, k int, wm []vec.Weight, sampleSize int, rng *rand.Rand, pm PenaltyModel) (MWKResult, error) {
 	if err := validateInput(t, q, k, wm); err != nil {
 		return MWKResult{}, err
 	}
+	tick := ctxcheck.Every(ctx, sampleCheckInterval)
 	sets := dominance.FindIncom(t, q)
 	ranks := make([]int, len(wm))
 	kMax := 0
@@ -66,6 +75,9 @@ func MWKPerVector(t *rtree.Tree, q vec.Point, k int, wm []vec.Weight, sampleSize
 	}
 	samples := make([]sampleRank, 0, sampleSize)
 	for i := 0; i < sampleSize; i++ {
+		if err := tick.Tick(); err != nil {
+			return MWKResult{}, err
+		}
 		w := sampler.Sample(rng)
 		if r := sets.Rank(w, q); r <= kMax {
 			samples = append(samples, sampleRank{w: w, rank: r})
@@ -83,6 +95,9 @@ func MWKPerVector(t *rtree.Tree, q vec.Point, k int, wm []vec.Weight, sampleSize
 		bestDist := -1.0
 		bestRank := 0
 		for _, s := range samples {
+			if err := tick.Tick(); err != nil {
+				return MWKResult{}, err
+			}
 			if d := vec.WeightDist(wm[i], s.w); bestDist < 0 || d < bestDist {
 				bestDist = d
 				cw[i] = s.w

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"wqrtq/internal/rtree"
 	"wqrtq/internal/topk"
 	"wqrtq/internal/vec"
@@ -27,9 +29,20 @@ func VerifyRefinement(t *rtree.Tree, q vec.Point, k int, wm []vec.Weight) bool {
 // strictly better than q under wm[i]. When q is missing from the reverse
 // top-k result under wm[i], those are the at-least-k points responsible.
 func Explain(t *rtree.Tree, q vec.Point, wm []vec.Weight) [][]topk.Result {
+	out, _ := ExplainCtx(context.Background(), t, q, wm)
+	return out
+}
+
+// ExplainCtx is Explain with cooperative cancellation via the progressive
+// scan's heap-loop poll.
+func ExplainCtx(ctx context.Context, t *rtree.Tree, q vec.Point, wm []vec.Weight) ([][]topk.Result, error) {
 	out := make([][]topk.Result, len(wm))
 	for i, w := range wm {
-		out[i] = topk.Explain(t, w, q)
+		ex, err := topk.ExplainCtx(ctx, t, w, q)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = ex
 	}
-	return out
+	return out, nil
 }

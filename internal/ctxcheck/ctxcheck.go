@@ -1,0 +1,59 @@
+// Package ctxcheck provides an amortized context-cancellation poll for hot
+// loops. The query algorithms check for cancellation at bounded intervals —
+// every N heap pops, samples, or vector evaluations — so a canceled request
+// unwinds within one check interval while the uncancelable fast path
+// (context.Background, whose Done channel is nil) pays a single pointer
+// comparison per iteration.
+package ctxcheck
+
+import "context"
+
+// Ticker polls a context's error once every fixed number of Tick calls.
+// The zero value never fires. Ticker is a value type: embed or declare it
+// on the stack and pass a pointer into inner loops; it must not be shared
+// across goroutines.
+type Ticker struct {
+	ctx  context.Context // nil when cancellation can never fire
+	mask uint32
+	n    uint32
+}
+
+// Every returns a Ticker that polls ctx.Err() once per roughly `every` Tick
+// calls (rounded up to a power of two so the interval test is a mask). A nil
+// context, or one that can never be canceled (Background, TODO — their Done
+// channel is nil), yields a no-op Ticker whose Tick is one nil check.
+func Every(ctx context.Context, every uint32) Ticker {
+	if ctx == nil || ctx.Done() == nil {
+		return Ticker{}
+	}
+	if every == 0 {
+		every = 1
+	}
+	m := uint32(1)
+	for m < every {
+		m <<= 1
+	}
+	return Ticker{ctx: ctx, mask: m - 1}
+}
+
+// Tick advances the counter and, on every interval boundary, reports the
+// context's error. Loops should return the error immediately when non-nil.
+func (t *Ticker) Tick() error {
+	if t.ctx == nil {
+		return nil
+	}
+	t.n++
+	if t.n&t.mask != 0 {
+		return nil
+	}
+	return t.ctx.Err()
+}
+
+// Err polls the context immediately, regardless of the interval. The no-op
+// Ticker reports nil.
+func (t *Ticker) Err() error {
+	if t.ctx == nil {
+		return nil
+	}
+	return t.ctx.Err()
+}

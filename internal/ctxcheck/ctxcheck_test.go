@@ -1,0 +1,67 @@
+package ctxcheck
+
+import (
+	"context"
+	"testing"
+)
+
+func TestTickerBackgroundNeverFires(t *testing.T) {
+	tick := Every(context.Background(), 4)
+	for i := 0; i < 1000; i++ {
+		if err := tick.Tick(); err != nil {
+			t.Fatalf("tick %d: %v", i, err)
+		}
+	}
+	if err := tick.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTickerZeroValueNeverFires(t *testing.T) {
+	var tick Ticker
+	for i := 0; i < 100; i++ {
+		if err := tick.Tick(); err != nil {
+			t.Fatalf("tick %d: %v", i, err)
+		}
+	}
+}
+
+func TestTickerFiresWithinInterval(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	tick := Every(ctx, 8)
+	// Before cancellation nothing fires.
+	for i := 0; i < 20; i++ {
+		if err := tick.Tick(); err != nil {
+			t.Fatalf("tick %d before cancel: %v", i, err)
+		}
+	}
+	cancel()
+	// After cancellation the error must surface within one interval.
+	for i := 0; i < 8; i++ {
+		if err := tick.Tick(); err != nil {
+			if err != context.Canceled {
+				t.Fatalf("got %v, want context.Canceled", err)
+			}
+			return
+		}
+	}
+	t.Fatal("canceled context not observed within one interval")
+}
+
+func TestTickerErrPollsImmediately(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	tick := Every(ctx, 1024)
+	cancel()
+	if err := tick.Err(); err != context.Canceled {
+		t.Fatalf("Err = %v, want context.Canceled", err)
+	}
+}
+
+func TestTickerIntervalRoundsUp(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	tick := Every(ctx, 5) // rounds to 8
+	if tick.mask != 7 {
+		t.Fatalf("mask = %d, want 7", tick.mask)
+	}
+}

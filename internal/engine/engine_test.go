@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -11,7 +13,7 @@ func TestPoolProcessesEverything(t *testing.T) {
 	var sum atomic.Int64
 	var batches atomic.Int64
 	var maxBatch atomic.Int64
-	p := NewPool(2, 8, 0, func(b []int) {
+	p := NewPool(2, 8, 0, nil, func(b []int) {
 		batches.Add(1)
 		for {
 			cur := maxBatch.Load()
@@ -53,7 +55,7 @@ func TestPoolLingerCoalesces(t *testing.T) {
 	// batches.
 	var batches atomic.Int64
 	var served atomic.Int64
-	p := NewPool(1, 16, 50*time.Millisecond, func(b []int) {
+	p := NewPool(1, 16, 50*time.Millisecond, nil, func(b []int) {
 		batches.Add(1)
 		served.Add(int64(len(b)))
 	})
@@ -79,7 +81,7 @@ func TestPoolCloseRejectsAndDrains(t *testing.T) {
 	started := make(chan struct{})
 	release := make(chan struct{})
 	var served atomic.Int64
-	p := NewPool(1, 1, 0, func(b []int) {
+	p := NewPool(1, 1, 0, nil, func(b []int) {
 		select {
 		case started <- struct{}{}:
 		default:
@@ -104,6 +106,70 @@ func TestPoolCloseRejectsAndDrains(t *testing.T) {
 		t.Fatal("Submit accepted a request after Close")
 	}
 	p.Close() // idempotent
+}
+
+func TestPoolSubmitCtxGivesUpOnFullQueue(t *testing.T) {
+	// One worker, no batching: channel capacity is 4. Block the worker and
+	// fill the queue; a deadline-bounded submit must then give up with the
+	// context error instead of pinning the caller.
+	release := make(chan struct{})
+	p := NewPool(1, 1, 0, nil, func(b []int) { <-release })
+	defer func() {
+		close(release)
+		p.Close()
+	}()
+	deadline := time.After(5 * time.Second)
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+		ok, err := p.SubmitCtx(ctx, 1)
+		cancel()
+		if !ok {
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("SubmitCtx error = %v, want context.DeadlineExceeded", err)
+			}
+			return // queue filled and the bounded submit gave up: pass
+		}
+		select {
+		case <-deadline:
+			t.Fatal("queue never filled")
+		default:
+		}
+	}
+}
+
+func TestPoolDropShedsStaleRequests(t *testing.T) {
+	// Requests flagged stale must be consumed by drop without reaching run;
+	// fresh requests interleaved with them must all be served.
+	type req struct {
+		stale bool
+		v     int
+	}
+	var dropped, served atomic.Int64
+	p := NewPool(1, 4, 0, func(r req) bool {
+		if r.stale {
+			dropped.Add(1)
+			return true
+		}
+		return false
+	}, func(b []req) {
+		for _, r := range b {
+			if r.stale {
+				served.Add(100) // poison: a stale request reached run
+			} else {
+				served.Add(int64(r.v))
+			}
+		}
+	})
+	for i := 0; i < 20; i++ {
+		p.Submit(req{stale: i%2 == 0, v: 1})
+	}
+	p.Close()
+	if got := dropped.Load(); got != 10 {
+		t.Fatalf("dropped %d stale requests, want 10", got)
+	}
+	if got := served.Load(); got != 10 {
+		t.Fatalf("served sum %d, want 10 (fresh only)", got)
+	}
 }
 
 func TestLRUEvictionOrder(t *testing.T) {

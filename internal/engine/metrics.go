@@ -15,19 +15,23 @@ type Metrics struct {
 }
 
 type counter struct {
-	count   atomic.Int64
-	errors  atomic.Int64
-	totalNs atomic.Int64
-	maxNs   atomic.Int64
+	count    atomic.Int64
+	errors   atomic.Int64
+	canceled atomic.Int64
+	totalNs  atomic.Int64
+	maxNs    atomic.Int64
 }
 
 // CounterSnapshot is a point-in-time copy of one endpoint's counters.
 type CounterSnapshot struct {
-	Count  int64         `json:"count"`
-	Errors int64         `json:"errors"`
-	Total  time.Duration `json:"total_ns"`
-	Max    time.Duration `json:"max_ns"`
-	Avg    time.Duration `json:"avg_ns"`
+	Count int64 `json:"count"`
+	// Errors counts all failed requests, Canceled the subset that failed
+	// because the caller's context was canceled or its deadline expired.
+	Errors   int64         `json:"errors"`
+	Canceled int64         `json:"canceled"`
+	Total    time.Duration `json:"total_ns"`
+	Max      time.Duration `json:"max_ns"`
+	Avg      time.Duration `json:"avg_ns"`
 }
 
 // NewMetrics creates an empty metrics registry.
@@ -68,6 +72,12 @@ func (m *Metrics) Observe(endpoint string, d time.Duration, isErr bool) {
 	}
 }
 
+// ObserveCanceled marks the endpoint's most recent error as a context
+// cancellation (callers invoke it alongside Observe with isErr=true).
+func (m *Metrics) ObserveCanceled(endpoint string) {
+	m.counterFor(endpoint).canceled.Add(1)
+}
+
 // Snapshot copies all counters.
 func (m *Metrics) Snapshot() map[string]CounterSnapshot {
 	m.mu.RLock()
@@ -75,10 +85,11 @@ func (m *Metrics) Snapshot() map[string]CounterSnapshot {
 	out := make(map[string]CounterSnapshot, len(m.counters))
 	for name, c := range m.counters {
 		s := CounterSnapshot{
-			Count:  c.count.Load(),
-			Errors: c.errors.Load(),
-			Total:  time.Duration(c.totalNs.Load()),
-			Max:    time.Duration(c.maxNs.Load()),
+			Count:    c.count.Load(),
+			Errors:   c.errors.Load(),
+			Canceled: c.canceled.Load(),
+			Total:    time.Duration(c.totalNs.Load()),
+			Max:      time.Duration(c.maxNs.Load()),
 		}
 		if s.Count > 0 {
 			s.Avg = s.Total / time.Duration(s.Count)

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"time"
@@ -16,6 +17,7 @@ import (
 type Pool[R any] struct {
 	ch       chan R
 	run      func([]R)
+	drop     func(R) bool
 	maxBatch int
 	linger   time.Duration
 
@@ -30,8 +32,15 @@ type Pool[R any] struct {
 // long to fill its batch after the first request arrives; linger == 0
 // batches only what is already queued.
 //
-// run is called from worker goroutines and must not retain the batch slice.
-func NewPool[R any](workers, maxBatch int, linger time.Duration, run func([]R)) *Pool[R] {
+// drop, when non-nil, is consulted as queued requests are gathered into a
+// batch: returning true consumes the request without running it (the
+// callback must answer the request's waiter itself, e.g. with its context's
+// error). This is how stale work — requests whose deadline passed while
+// queued — is shed before it costs an index traversal.
+//
+// run and drop are called from worker goroutines; run must not retain the
+// batch slice.
+func NewPool[R any](workers, maxBatch int, linger time.Duration, drop func(R) bool, run func([]R)) *Pool[R] {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -41,6 +50,7 @@ func NewPool[R any](workers, maxBatch int, linger time.Duration, run func([]R)) 
 	p := &Pool[R]{
 		ch:       make(chan R, 4*workers*maxBatch),
 		run:      run,
+		drop:     drop,
 		maxBatch: maxBatch,
 		linger:   linger,
 	}
@@ -54,13 +64,31 @@ func NewPool[R any](workers, maxBatch int, linger time.Duration, run func([]R)) 
 // Submit enqueues a request, blocking while the queue is full. It reports
 // false (dropping the request) once the pool is closed.
 func (p *Pool[R]) Submit(r R) bool {
+	ok, _ := p.SubmitCtx(context.Background(), r)
+	return ok
+}
+
+// SubmitCtx enqueues like Submit but gives up if ctx ends while the queue
+// is full, so a deadline-bounded caller is never pinned behind a backlog.
+// It returns (false, ctx.Err()) on cancellation and (false, nil) once the
+// pool is closed.
+func (p *Pool[R]) SubmitCtx(ctx context.Context, r R) (bool, error) {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	if p.closed {
-		return false
+		return false, nil
 	}
-	p.ch <- r
-	return true
+	done := ctx.Done()
+	if done == nil {
+		p.ch <- r
+		return true, nil
+	}
+	select {
+	case p.ch <- r:
+		return true, nil
+	case <-done:
+		return false, ctx.Err()
+	}
 }
 
 // Close stops accepting requests, waits for the queue to drain and for all
@@ -83,6 +111,9 @@ func (p *Pool[R]) worker() {
 		if !ok {
 			return
 		}
+		if p.drop != nil && p.drop(r) {
+			continue // consumed without work; block for the next request
+		}
 		batch = append(batch[:0], r)
 		if p.linger > 0 && p.maxBatch > 1 {
 			timer := time.NewTimer(p.linger)
@@ -92,6 +123,9 @@ func (p *Pool[R]) worker() {
 				case r2, ok2 := <-p.ch:
 					if !ok2 {
 						break fill
+					}
+					if p.drop != nil && p.drop(r2) {
+						continue
 					}
 					batch = append(batch, r2)
 				case <-timer.C:
@@ -106,6 +140,9 @@ func (p *Pool[R]) worker() {
 				case r2, ok2 := <-p.ch:
 					if !ok2 {
 						break drain
+					}
+					if p.drop != nil && p.drop(r2) {
+						continue
 					}
 					batch = append(batch, r2)
 				default:

@@ -1,6 +1,7 @@
 package rtopk
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
@@ -19,8 +20,16 @@ import (
 // Results are identical to Bichromatic (both return sorted indices and
 // evaluate the same predicate exactly).
 func BichromaticParallel(t *rtree.Tree, W []vec.Weight, q vec.Point, k, workers int) []int {
+	res, _ := BichromaticParallelCtx(context.Background(), t, W, q, k, workers)
+	return res
+}
+
+// BichromaticParallelCtx is BichromaticParallel with cooperative
+// cancellation: every worker's chunk evaluation polls the shared ctx, so one
+// cancellation unwinds the whole fan-out.
+func BichromaticParallelCtx(ctx context.Context, t *rtree.Tree, W []vec.Weight, q vec.Point, k, workers int) ([]int, error) {
 	if len(W) == 0 {
-		return nil
+		return nil, ctx.Err()
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -48,6 +57,7 @@ func BichromaticParallel(t *rtree.Tree, W []vec.Weight, q vec.Point, k, workers 
 		}
 	}
 	results := make([][]int, workers)
+	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for i, chunk := range chunks {
 		if len(chunk) == 0 {
@@ -60,7 +70,11 @@ func BichromaticParallel(t *rtree.Tree, W []vec.Weight, q vec.Point, k, workers 
 			for j, wi := range idxs {
 				sub[j] = W[wi]
 			}
-			local, _ := Bichromatic(t, sub, q, k)
+			local, _, err := BichromaticCtx(ctx, t, sub, q, k)
+			if err != nil {
+				errs[slot] = err
+				return
+			}
 			out := make([]int, len(local))
 			for j, li := range local {
 				out[j] = idxs[li]
@@ -69,10 +83,15 @@ func BichromaticParallel(t *rtree.Tree, W []vec.Weight, q vec.Point, k, workers 
 		}(i, chunk)
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
 	var merged []int
 	for _, r := range results {
 		merged = append(merged, r...)
 	}
 	sort.Ints(merged)
-	return merged
+	return merged, nil
 }

@@ -15,12 +15,19 @@
 package rtopk
 
 import (
+	"context"
 	"sort"
 
+	"wqrtq/internal/ctxcheck"
 	"wqrtq/internal/rtree"
 	"wqrtq/internal/topk"
 	"wqrtq/internal/vec"
 )
+
+// checkInterval is how many weighting vectors the RTA loop examines between
+// context polls; each top-k evaluation inside the loop additionally polls on
+// its own heap-pop interval.
+const checkInterval = 16
 
 // Stats reports the work done by the RTA evaluation.
 type Stats struct {
@@ -31,10 +38,19 @@ type Stats struct {
 // Bichromatic returns the indices into W of the weighting vectors whose
 // top-k contains q (ties won by q), along with pruning statistics.
 func Bichromatic(t *rtree.Tree, W []vec.Weight, q vec.Point, k int) ([]int, Stats) {
+	res, stats, _ := BichromaticCtx(context.Background(), t, W, q, k)
+	return res, stats
+}
+
+// BichromaticCtx is Bichromatic with cooperative cancellation: the RTA loop
+// polls ctx every checkInterval vectors, and each underlying top-k
+// evaluation polls on its heap loop, so a canceled query unwinds mid-batch.
+func BichromaticCtx(ctx context.Context, t *rtree.Tree, W []vec.Weight, q vec.Point, k int) ([]int, Stats, error) {
 	var stats Stats
 	if len(W) == 0 {
-		return nil, stats
+		return nil, stats, ctx.Err()
 	}
+	tick := ctxcheck.Every(ctx, checkInterval)
 	// Evaluate in lexicographic weight order so consecutive vectors are
 	// close and the buffer prunes well.
 	order := make([]int, len(W))
@@ -48,6 +64,9 @@ func Bichromatic(t *rtree.Tree, W []vec.Weight, q vec.Point, k int) ([]int, Stat
 	var result []int
 	var buffer []topk.Result // top-k of the last fully evaluated vector
 	for _, wi := range order {
+		if err := tick.Tick(); err != nil {
+			return nil, stats, err
+		}
 		w := W[wi]
 		fq := vec.Score(w, q)
 		if len(buffer) == k && k > 0 {
@@ -65,7 +84,10 @@ func Bichromatic(t *rtree.Tree, W []vec.Weight, q vec.Point, k int) ([]int, Stat
 			}
 		}
 		stats.Evaluated++
-		res := topk.TopK(t, w, k)
+		res, err := topk.TopKCtx(ctx, t, w, k)
+		if err != nil {
+			return nil, stats, err
+		}
 		buffer = res
 		if len(res) < k || res[k-1].Score >= fq {
 			// Fewer than k points, or the k-th best does not strictly beat
@@ -74,7 +96,7 @@ func Bichromatic(t *rtree.Tree, W []vec.Weight, q vec.Point, k int) ([]int, Stat
 		}
 	}
 	sort.Ints(result)
-	return result, stats
+	return result, stats, nil
 }
 
 // BichromaticNaive evaluates every vector independently by linear scan;

@@ -13,10 +13,18 @@ package topk
 
 import (
 	"container/heap"
+	"context"
 
+	"wqrtq/internal/ctxcheck"
 	"wqrtq/internal/rtree"
 	"wqrtq/internal/vec"
 )
+
+// checkInterval is how many heap pops / tree nodes a search examines between
+// context-cancellation polls. Small enough that a canceled query unwinds in
+// microseconds, large enough that the poll vanishes in the per-pop work
+// (see DESIGN.md, "Cooperative cancellation").
+const checkInterval = 64
 
 // Result is one ranked point.
 type Result struct {
@@ -55,11 +63,20 @@ type Iterator struct {
 	w       vec.Weight
 	h       minHeap
 	visited int // nodes popped, for cost accounting
+	tick    ctxcheck.Ticker
+	err     error // first context error observed; Next reports false after
 }
 
 // NewIterator starts a progressive ranked scan of t under w.
 func NewIterator(t *rtree.Tree, w vec.Weight) *Iterator {
-	it := &Iterator{w: w}
+	return NewIteratorCtx(context.Background(), t, w)
+}
+
+// NewIteratorCtx is NewIterator with cooperative cancellation: the heap loop
+// polls ctx every checkInterval pops. When the context ends, Next returns
+// ok=false and Err reports the context's error.
+func NewIteratorCtx(ctx context.Context, t *rtree.Tree, w vec.Weight) *Iterator {
+	it := &Iterator{w: w, tick: ctxcheck.Every(ctx, checkInterval)}
 	root := t.Root()
 	if root.IsLeaf() && root.NumEntries() == 0 {
 		return it
@@ -69,9 +86,21 @@ func NewIterator(t *rtree.Tree, w vec.Weight) *Iterator {
 	return it
 }
 
-// Next returns the next point in rank order, or ok=false when exhausted.
+// Err returns the context error that stopped the iterator, or nil if it ran
+// (or is still running) to natural exhaustion.
+func (it *Iterator) Err() error { return it.err }
+
+// Next returns the next point in rank order, or ok=false when exhausted or
+// canceled (distinguish via Err).
 func (it *Iterator) Next() (Result, bool) {
+	if it.err != nil {
+		return Result{}, false
+	}
 	for len(it.h) > 0 {
+		if err := it.tick.Tick(); err != nil {
+			it.err = err
+			return Result{}, false
+		}
 		top := heap.Pop(&it.h).(heapItem)
 		if top.node == nil {
 			return Result{ID: top.id, Point: top.point, Score: top.score}, true
@@ -98,10 +127,17 @@ func (it *Iterator) NodesVisited() int { return it.visited }
 // TopK returns the k best points of t under w in rank order (fewer if the
 // tree holds fewer than k points).
 func TopK(t *rtree.Tree, w vec.Weight, k int) []Result {
+	out, _ := TopKCtx(context.Background(), t, w, k)
+	return out
+}
+
+// TopKCtx is TopK with cooperative cancellation: the branch-and-bound heap
+// loop polls ctx every checkInterval pops and returns the context's error.
+func TopKCtx(ctx context.Context, t *rtree.Tree, w vec.Weight, k int) ([]Result, error) {
 	if k <= 0 {
-		return nil
+		return nil, nil
 	}
-	it := NewIterator(t, w)
+	it := NewIteratorCtx(ctx, t, w)
 	out := make([]Result, 0, k)
 	for len(out) < k {
 		r, ok := it.Next()
@@ -110,18 +146,30 @@ func TopK(t *rtree.Tree, w vec.Weight, k int) []Result {
 		}
 		out = append(out, r)
 	}
-	return out
+	if err := it.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // KthPoint returns the point ranked exactly k-th under w (1-based), as used
 // by MQP to build the safe-region constraints. ok is false when the tree has
 // fewer than k points.
 func KthPoint(t *rtree.Tree, w vec.Weight, k int) (Result, bool) {
-	rs := TopK(t, w, k)
-	if len(rs) < k {
-		return Result{}, false
+	r, ok, _ := KthPointCtx(context.Background(), t, w, k)
+	return r, ok
+}
+
+// KthPointCtx is KthPoint with cooperative cancellation.
+func KthPointCtx(ctx context.Context, t *rtree.Tree, w vec.Weight, k int) (Result, bool, error) {
+	rs, err := TopKCtx(ctx, t, w, k)
+	if err != nil {
+		return Result{}, false, err
 	}
-	return rs[k-1], true
+	if len(rs) < k {
+		return Result{}, false, nil
+	}
+	return rs[k-1], true, nil
 }
 
 // Rank returns the rank the score fq would take under w: one plus the number
@@ -132,10 +180,25 @@ func KthPoint(t *rtree.Tree, w vec.Weight, k int) (Result, bool) {
 // the per-node point counts without being descended into; subtrees whose
 // minimum attainable score is at least fq are pruned outright.
 func Rank(t *rtree.Tree, w vec.Weight, fq float64) int {
-	return 1 + countBelow(t.Root(), w, fq)
+	r, _ := RankCtx(context.Background(), t, w, fq)
+	return r
 }
 
-func countBelow(n *rtree.Node, w vec.Weight, fq float64) int {
+// RankCtx is Rank with cooperative cancellation: the count-pruned descent
+// polls ctx every checkInterval nodes.
+func RankCtx(ctx context.Context, t *rtree.Tree, w vec.Weight, fq float64) (int, error) {
+	tick := ctxcheck.Every(ctx, checkInterval)
+	cnt, err := countBelow(t.Root(), w, fq, &tick)
+	if err != nil {
+		return 0, err
+	}
+	return 1 + cnt, nil
+}
+
+func countBelow(n *rtree.Node, w vec.Weight, fq float64, tick *ctxcheck.Ticker) (int, error) {
+	if err := tick.Tick(); err != nil {
+		return 0, err
+	}
 	cnt := 0
 	if n.IsLeaf() {
 		for i := 0; i < n.NumEntries(); i++ {
@@ -143,7 +206,7 @@ func countBelow(n *rtree.Node, w vec.Weight, fq float64) int {
 				cnt++
 			}
 		}
-		return cnt
+		return cnt, nil
 	}
 	for i := 0; i < n.NumEntries(); i++ {
 		r := n.EntryRect(i)
@@ -154,9 +217,13 @@ func countBelow(n *rtree.Node, w vec.Weight, fq float64) int {
 			cnt += n.Child(i).Count() // everything inside beats fq
 			continue
 		}
-		cnt += countBelow(n.Child(i), w, fq)
+		sub, err := countBelow(n.Child(i), w, fq, tick)
+		if err != nil {
+			return 0, err
+		}
+		cnt += sub
 	}
-	return cnt
+	return cnt, nil
 }
 
 // InTopK reports whether a query point with score f(w, q) belongs to the
@@ -172,13 +239,23 @@ func InTopK(t *rtree.Tree, w vec.Weight, q vec.Point, k int) bool {
 // weighting vector from the query result". The scan is progressive and
 // stops as soon as q's score is reached.
 func Explain(t *rtree.Tree, w vec.Weight, q vec.Point) []Result {
+	out, _ := ExplainCtx(context.Background(), t, w, q)
+	return out
+}
+
+// ExplainCtx is Explain with cooperative cancellation via the iterator's
+// heap-loop poll.
+func ExplainCtx(ctx context.Context, t *rtree.Tree, w vec.Weight, q vec.Point) ([]Result, error) {
 	fq := vec.Score(w, q)
-	it := NewIterator(t, w)
+	it := NewIteratorCtx(ctx, t, w)
 	var out []Result
 	for {
 		r, ok := it.Next()
-		if !ok || r.Score >= fq {
-			return out
+		if !ok {
+			return out, it.Err()
+		}
+		if r.Score >= fq {
+			return out, nil
 		}
 		out = append(out, r)
 	}

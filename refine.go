@@ -1,6 +1,7 @@
 package wqrtq
 
 import (
+	"context"
 	"fmt"
 
 	"wqrtq/internal/core"
@@ -113,81 +114,37 @@ type FullRefinement struct {
 
 // ModifyQuery refines the query point q with minimum penalty so that every
 // weighting vector in Wm ranks the refined point within its top-k
-// (Algorithm 1, MQP).
+// (Algorithm 1, MQP). It is a thin wrapper over ModifyQueryCtx with
+// context.Background().
 func (ix *Index) ModifyQuery(q []float64, k int, Wm [][]float64, opts Options) (QueryRefinement, error) {
-	ws, err := ix.checkWeights(Wm)
+	resp, err := ix.ModifyQueryCtx(context.Background(), ModifyQueryRequest{Q: q, K: k, Wm: Wm, Opts: opts})
 	if err != nil {
 		return QueryRefinement{}, err
 	}
-	pm, _, _, _, err := opts.resolve()
-	if err != nil {
-		return QueryRefinement{}, err
-	}
-	res, err := core.MQP(ix.tree, q, k, ws, pm)
-	if err != nil {
-		return QueryRefinement{}, err
-	}
-	return QueryRefinement{Q: res.RefinedQ, Penalty: res.Penalty}, nil
+	return resp.Refinement, nil
 }
 
 // ModifyPreferences refines the why-not weighting vectors and the parameter
 // k with minimum penalty so that q enters the top-k' of every refined
-// vector (Algorithm 2, MWK).
+// vector (Algorithm 2, MWK). It is a thin wrapper over ModifyPreferencesCtx
+// with context.Background().
 func (ix *Index) ModifyPreferences(q []float64, k int, Wm [][]float64, o Options) (PreferenceRefinement, error) {
-	ws, err := ix.checkWeights(Wm)
+	resp, err := ix.ModifyPreferencesCtx(context.Background(), ModifyPreferencesRequest{Q: q, K: k, Wm: Wm, Opts: o})
 	if err != nil {
 		return PreferenceRefinement{}, err
 	}
-	pm, s, _, seed, err := o.resolve()
-	if err != nil {
-		return PreferenceRefinement{}, err
-	}
-	run := core.MWK
-	if o.PerVector {
-		run = core.MWKPerVector
-	}
-	res, err := run(ix.tree, q, k, ws, s, rngFor(seed), pm)
-	if err != nil {
-		return PreferenceRefinement{}, err
-	}
-	return PreferenceRefinement{
-		Wm:      weightsToFloats(res.RefinedWm),
-		K:       res.RefinedK,
-		Penalty: res.Penalty,
-		KMax:    res.KMax,
-	}, nil
+	return resp.Refinement, nil
 }
 
 // ModifyAll refines the query point, the why-not vectors and k
-// simultaneously (Algorithm 3, MQWK).
+// simultaneously (Algorithm 3, MQWK). It is a thin wrapper over
+// ModifyAllCtx with context.Background().
 func (ix *Index) ModifyAll(q []float64, k int, Wm [][]float64, o Options) (FullRefinement, error) {
-	ws, err := ix.checkWeights(Wm)
+	resp, err := ix.ModifyAllCtx(context.Background(), ModifyAllRequest{Q: q, K: k, Wm: Wm, Opts: o})
 	if err != nil {
 		return FullRefinement{}, err
 	}
-	pm, s, qs, seed, err := o.resolve()
-	if err != nil {
-		return FullRefinement{}, err
-	}
-	var res core.MQWKResult
-	if o.Workers != 0 {
-		workers := o.Workers
-		if workers < 0 {
-			workers = 0 // MQWKParallel resolves 0 to GOMAXPROCS
-		}
-		res, err = core.MQWKParallel(ix.tree, q, k, ws, s, qs, seed, workers, pm)
-	} else {
-		res, err = core.MQWK(ix.tree, q, k, ws, s, qs, rngFor(seed), pm)
-	}
-	if err != nil {
-		return FullRefinement{}, err
-	}
-	return FullRefinement{
-		Q:       res.RefinedQ,
-		Wm:      weightsToFloats(res.RefinedWm),
-		K:       res.RefinedK,
-		Penalty: res.Penalty,
-	}, nil
+	return resp.Refinement, nil
 }
 
 // Verify checks the defining property of a refined query: every weighting
@@ -222,40 +179,14 @@ type WhyNotAnswer struct {
 // WhyNot runs the complete why-not pipeline for the reverse top-k query of
 // q over W: it computes the result, identifies the missing vectors,
 // explains each omission, and produces all three refinement suggestions.
-// If nothing is missing, only Result is populated.
+// If nothing is missing, only Result is populated. It is a thin wrapper
+// over WhyNotCtx with context.Background().
 func (ix *Index) WhyNot(q []float64, k int, W [][]float64, opts Options) (*WhyNotAnswer, error) {
-	result, err := ix.ReverseTopK(W, q, k)
+	resp, err := ix.WhyNotCtx(context.Background(), WhyNotRequest{Q: q, K: k, W: W, Opts: opts})
 	if err != nil {
 		return nil, err
 	}
-	ans := &WhyNotAnswer{Result: result}
-	in := make(map[int]bool, len(result))
-	for _, i := range result {
-		in[i] = true
-	}
-	var missing [][]float64
-	for i := range W {
-		if !in[i] {
-			ans.Missing = append(ans.Missing, i)
-			missing = append(missing, W[i])
-		}
-	}
-	if len(missing) == 0 {
-		return ans, nil
-	}
-	if ans.Explanations, err = ix.Explain(q, missing); err != nil {
-		return nil, err
-	}
-	if ans.ModifiedQuery, err = ix.ModifyQuery(q, k, missing, opts); err != nil {
-		return nil, err
-	}
-	if ans.ModifiedPreferences, err = ix.ModifyPreferences(q, k, missing, opts); err != nil {
-		return nil, err
-	}
-	if ans.ModifiedAll, err = ix.ModifyAll(q, k, missing, opts); err != nil {
-		return nil, err
-	}
-	return ans, nil
+	return resp.Answer, nil
 }
 
 func weightsToFloats(ws []vec.Weight) [][]float64 {

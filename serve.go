@@ -10,6 +10,7 @@ package wqrtq
 // internal/engine; this file binds it to the Index.
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"math"
@@ -17,7 +18,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"wqrtq/internal/core"
 	"wqrtq/internal/engine"
 	"wqrtq/internal/rtopk"
 	"wqrtq/internal/topk"
@@ -91,8 +91,23 @@ func NewEngine(ix *Index, cfg EngineConfig) (*Engine, error) {
 	if cfg.CacheSize > 0 {
 		e.cache = engine.NewLRU[string, any](cfg.CacheSize)
 	}
-	e.pool = engine.NewPool(cfg.Workers, cfg.MaxBatch, cfg.BatchLinger, e.exec)
+	e.pool = engine.NewPool(cfg.Workers, cfg.MaxBatch, cfg.BatchLinger, dropStale, e.exec)
 	return e, nil
+}
+
+// dropStale sheds a queued request whose context ended while it waited: the
+// waiter (which has already unblocked via its own ctx select) is answered
+// with the context's error and no index work is spent on it.
+func dropStale(r *engineReq) bool {
+	if r.ctx == nil {
+		return false
+	}
+	err := r.ctx.Err()
+	if err == nil {
+		return false
+	}
+	r.done <- engineResp{err: err}
+	return true
 }
 
 // Close stops the engine: in-flight and already-queued requests finish,
@@ -171,93 +186,236 @@ func (e *Engine) delete(id int) (bool, uint64, error) {
 	return true, next.Epoch(), nil
 }
 
-// TopK serves Index.TopK from the current snapshot, batched and cached. The
-// returned epoch identifies the snapshot that produced the result.
+// TopK serves Index.TopK from the current snapshot, batched and cached. It
+// is a thin wrapper over TopKCtx with context.Background(). The returned
+// epoch identifies the snapshot that produced the result.
 func (e *Engine) TopK(w []float64, k int) ([]Ranked, uint64, error) {
-	if err := e.Snapshot().checkWeight(w); err != nil {
-		return nil, 0, err
-	}
-	if k <= 0 {
-		return nil, 0, errors.New("wqrtq: k must be positive")
-	}
-	v, epoch, err := e.do(&engineReq{kind: "topk", w: w, k: k})
-	if err != nil {
-		return nil, epoch, err
-	}
-	return v.([]Ranked), epoch, nil
+	resp, err := e.TopKCtx(context.Background(), TopKRequest{W: w, K: k})
+	return resp.Result, resp.Epoch, err
 }
 
-// Rank serves Index.Rank from the current snapshot.
-func (e *Engine) Rank(w, q []float64) (int, uint64, error) {
-	snap := e.Snapshot()
-	if err := snap.checkWeight(w); err != nil {
-		return 0, 0, err
+// TopKCtx serves a TopKRequest, batched and cached, with cooperative
+// cancellation: a request whose context ends while queued is shed without
+// index work, and one canceled mid-evaluation unwinds within one check
+// interval. The response's Elapsed includes queueing and batching time.
+func (e *Engine) TopKCtx(ctx context.Context, req TopKRequest) (TopKResponse, error) {
+	start := time.Now()
+	var resp TopKResponse
+	if err := e.Snapshot().checkWeight(req.W); err != nil {
+		return resp, err
 	}
-	if err := snap.checkPoint(q); err != nil {
-		return 0, 0, err
+	if req.K <= 0 {
+		return resp, errPositiveK
 	}
-	v, epoch, err := e.do(&engineReq{kind: "rank", w: w, q: q})
+	v, epoch, err := e.do(ctx, &engineReq{kind: "topk", w: req.W, k: req.K})
+	resp.Epoch = epoch
 	if err != nil {
-		return 0, epoch, err
+		return resp, err
 	}
-	return v.(int), epoch, nil
+	resp.Result = v.([]Ranked)
+	resp.Elapsed = time.Since(start)
+	return resp, nil
+}
+
+// Rank serves Index.Rank from the current snapshot. It is a thin wrapper
+// over RankCtx with context.Background().
+func (e *Engine) Rank(w, q []float64) (int, uint64, error) {
+	resp, err := e.RankCtx(context.Background(), RankRequest{W: w, Q: q})
+	return resp.Rank, resp.Epoch, err
+}
+
+// RankCtx serves a RankRequest with cooperative cancellation.
+func (e *Engine) RankCtx(ctx context.Context, req RankRequest) (RankResponse, error) {
+	start := time.Now()
+	var resp RankResponse
+	snap := e.Snapshot()
+	if err := snap.checkWeight(req.W); err != nil {
+		return resp, err
+	}
+	if err := snap.checkPoint(req.Q); err != nil {
+		return resp, err
+	}
+	v, epoch, err := e.do(ctx, &engineReq{kind: "rank", w: req.W, q: req.Q})
+	resp.Epoch = epoch
+	if err != nil {
+		return resp, err
+	}
+	resp.Rank = v.(int)
+	resp.Elapsed = time.Since(start)
+	return resp, nil
 }
 
 // ReverseTopK serves the bichromatic reverse top-k query from the current
 // snapshot. Concurrent calls with the same q and k are merged into a single
 // RTA evaluation over the union of their weighting-vector sets, amortizing
-// the R-tree traversals across the whole batch.
+// the R-tree traversals across the whole batch. It is a thin wrapper over
+// ReverseTopKCtx with context.Background().
 func (e *Engine) ReverseTopK(W [][]float64, q []float64, k int) ([]int, uint64, error) {
-	snap := e.Snapshot()
-	if _, err := snap.checkWeights(W); err != nil {
-		return nil, 0, err
-	}
-	if err := snap.checkPoint(q); err != nil {
-		return nil, 0, err
-	}
-	if k <= 0 {
-		return nil, 0, errors.New("wqrtq: k must be positive")
-	}
-	v, epoch, err := e.do(&engineReq{kind: "rtopk", W: W, q: q, k: k})
-	if err != nil {
-		return nil, epoch, err
-	}
-	return v.([]int), epoch, nil
+	resp, err := e.ReverseTopKCtx(context.Background(), ReverseTopKRequest{Q: q, K: k, W: W})
+	return resp.Result, resp.Epoch, err
 }
 
-// Explain serves Index.Explain from the current snapshot.
+// ReverseTopKCtx serves a ReverseTopKRequest with cooperative cancellation.
+// A merged same-(q, k) RTA group is aborted only when every waiter's
+// context is done: one canceled waiter unblocks immediately with its
+// context's error while the shared evaluation keeps running for the rest.
+func (e *Engine) ReverseTopKCtx(ctx context.Context, req ReverseTopKRequest) (ReverseTopKResponse, error) {
+	start := time.Now()
+	var resp ReverseTopKResponse
+	snap := e.Snapshot()
+	if _, err := snap.checkWeights(req.W); err != nil {
+		return resp, err
+	}
+	if err := snap.checkPoint(req.Q); err != nil {
+		return resp, err
+	}
+	if req.K <= 0 {
+		return resp, errPositiveK
+	}
+	v, epoch, err := e.do(ctx, &engineReq{kind: "rtopk", W: req.W, q: req.Q, k: req.K})
+	resp.Epoch = epoch
+	if err != nil {
+		return resp, err
+	}
+	resp.Result = v.([]int)
+	resp.Elapsed = time.Since(start)
+	return resp, nil
+}
+
+// Explain serves Index.Explain from the current snapshot. It is a thin
+// wrapper over ExplainCtx with context.Background().
 func (e *Engine) Explain(q []float64, Wm [][]float64) ([][]Ranked, uint64, error) {
-	snap := e.Snapshot()
-	if _, err := snap.checkWeights(Wm); err != nil {
-		return nil, 0, err
-	}
-	if err := snap.checkPoint(q); err != nil {
-		return nil, 0, err
-	}
-	v, epoch, err := e.do(&engineReq{kind: "explain", W: Wm, q: q})
-	if err != nil {
-		return nil, epoch, err
-	}
-	return v.([][]Ranked), epoch, nil
+	resp, err := e.ExplainCtx(context.Background(), ExplainRequest{Q: q, Wm: Wm})
+	return resp.Explanations, resp.Epoch, err
 }
 
-// WhyNot serves the full why-not pipeline from the current snapshot.
-func (e *Engine) WhyNot(q []float64, k int, W [][]float64, opts Options) (*WhyNotAnswer, uint64, error) {
+// ExplainCtx serves an ExplainRequest with cooperative cancellation.
+func (e *Engine) ExplainCtx(ctx context.Context, req ExplainRequest) (ExplainResponse, error) {
+	start := time.Now()
+	var resp ExplainResponse
 	snap := e.Snapshot()
-	if _, err := snap.checkWeights(W); err != nil {
-		return nil, 0, err
+	if _, err := snap.checkWeights(req.Wm); err != nil {
+		return resp, err
 	}
-	if err := snap.checkPoint(q); err != nil {
-		return nil, 0, err
+	if err := snap.checkPoint(req.Q); err != nil {
+		return resp, err
 	}
-	if k <= 0 {
-		return nil, 0, errors.New("wqrtq: k must be positive")
-	}
-	v, epoch, err := e.do(&engineReq{kind: "whynot", W: W, q: q, k: k, opts: opts})
+	v, epoch, err := e.do(ctx, &engineReq{kind: "explain", W: req.Wm, q: req.Q})
+	resp.Epoch = epoch
 	if err != nil {
-		return nil, epoch, err
+		return resp, err
 	}
-	return v.(*WhyNotAnswer), epoch, nil
+	resp.Explanations = v.([][]Ranked)
+	resp.Elapsed = time.Since(start)
+	return resp, nil
+}
+
+// WhyNot serves the full why-not pipeline from the current snapshot. It is
+// a thin wrapper over WhyNotCtx with context.Background().
+func (e *Engine) WhyNot(q []float64, k int, W [][]float64, opts Options) (*WhyNotAnswer, uint64, error) {
+	resp, err := e.WhyNotCtx(context.Background(), WhyNotRequest{Q: q, K: k, W: W, Opts: opts})
+	return resp.Answer, resp.Epoch, err
+}
+
+// WhyNotCtx serves a WhyNotRequest with cooperative cancellation threaded
+// through the whole refinement pipeline; deadline-bounding heavy why-not
+// refinements is the primary use of the context API.
+func (e *Engine) WhyNotCtx(ctx context.Context, req WhyNotRequest) (WhyNotResponse, error) {
+	start := time.Now()
+	var resp WhyNotResponse
+	snap := e.Snapshot()
+	if _, err := snap.checkWeights(req.W); err != nil {
+		return resp, err
+	}
+	if err := snap.checkPoint(req.Q); err != nil {
+		return resp, err
+	}
+	if req.K <= 0 {
+		return resp, errPositiveK
+	}
+	v, epoch, err := e.do(ctx, &engineReq{kind: "whynot", W: req.W, q: req.Q, k: req.K, opts: req.Opts})
+	resp.Epoch = epoch
+	if err != nil {
+		return resp, err
+	}
+	resp.Answer = v.(*WhyNotAnswer)
+	resp.Elapsed = time.Since(start)
+	return resp, nil
+}
+
+// ModifyQueryCtx serves a ModifyQueryRequest (MQP) through the engine:
+// batched, cached under the snapshot epoch, and cancelable.
+func (e *Engine) ModifyQueryCtx(ctx context.Context, req ModifyQueryRequest) (ModifyQueryResponse, error) {
+	start := time.Now()
+	var resp ModifyQueryResponse
+	snap := e.Snapshot()
+	if _, err := snap.checkWeights(req.Wm); err != nil {
+		return resp, err
+	}
+	if err := snap.checkPoint(req.Q); err != nil {
+		return resp, err
+	}
+	if req.K <= 0 {
+		return resp, errPositiveK
+	}
+	v, epoch, err := e.do(ctx, &engineReq{kind: "modify_query", W: req.Wm, q: req.Q, k: req.K, opts: req.Opts})
+	resp.Epoch = epoch
+	if err != nil {
+		return resp, err
+	}
+	resp.Refinement = v.(QueryRefinement)
+	resp.Elapsed = time.Since(start)
+	return resp, nil
+}
+
+// ModifyPreferencesCtx serves a ModifyPreferencesRequest (MWK) through the
+// engine: batched, cached under the snapshot epoch, and cancelable.
+func (e *Engine) ModifyPreferencesCtx(ctx context.Context, req ModifyPreferencesRequest) (ModifyPreferencesResponse, error) {
+	start := time.Now()
+	var resp ModifyPreferencesResponse
+	snap := e.Snapshot()
+	if _, err := snap.checkWeights(req.Wm); err != nil {
+		return resp, err
+	}
+	if err := snap.checkPoint(req.Q); err != nil {
+		return resp, err
+	}
+	if req.K <= 0 {
+		return resp, errPositiveK
+	}
+	v, epoch, err := e.do(ctx, &engineReq{kind: "modify_preferences", W: req.Wm, q: req.Q, k: req.K, opts: req.Opts})
+	resp.Epoch = epoch
+	if err != nil {
+		return resp, err
+	}
+	resp.Refinement = v.(PreferenceRefinement)
+	resp.Elapsed = time.Since(start)
+	return resp, nil
+}
+
+// ModifyAllCtx serves a ModifyAllRequest (MQWK) through the engine:
+// batched, cached under the snapshot epoch, and cancelable.
+func (e *Engine) ModifyAllCtx(ctx context.Context, req ModifyAllRequest) (ModifyAllResponse, error) {
+	start := time.Now()
+	var resp ModifyAllResponse
+	snap := e.Snapshot()
+	if _, err := snap.checkWeights(req.Wm); err != nil {
+		return resp, err
+	}
+	if err := snap.checkPoint(req.Q); err != nil {
+		return resp, err
+	}
+	if req.K <= 0 {
+		return resp, errPositiveK
+	}
+	v, epoch, err := e.do(ctx, &engineReq{kind: "modify_all", W: req.Wm, q: req.Q, k: req.K, opts: req.Opts})
+	resp.Epoch = epoch
+	if err != nil {
+		return resp, err
+	}
+	resp.Refinement = v.(FullRefinement)
+	resp.Elapsed = time.Since(start)
+	return resp, nil
 }
 
 // EngineStats is a point-in-time view of the engine's serving counters.
@@ -268,8 +426,12 @@ type EngineStats struct {
 	Live   int `json:"live"`
 	NumIDs int `json:"num_ids"`
 	// Per-endpoint latency counters (topk, rank, rtopk, explain, whynot,
-	// insert, delete).
+	// modify_query, modify_preferences, modify_all, insert, delete).
 	Endpoints map[string]engine.CounterSnapshot `json:"endpoints"`
+	// Canceled totals, across endpoints, the requests that failed because
+	// the caller's context was canceled or its deadline expired (each
+	// endpoint's own count is in Endpoints).
+	Canceled int64 `json:"canceled"`
 	// Result cache counters; hits/misses count lookups.
 	CacheHits   int64 `json:"cache_hits"`
 	CacheMisses int64 `json:"cache_misses"`
@@ -285,6 +447,9 @@ func (e *Engine) Stats() EngineStats {
 		NumIDs:    snap.NumIDs(),
 		Endpoints: e.metrics.Snapshot(),
 	}
+	for _, c := range s.Endpoints {
+		s.Canceled += c.Canceled
+	}
 	if e.cache != nil {
 		s.CacheHits, s.CacheMisses = e.cache.Stats()
 		s.CacheLen = e.cache.Len()
@@ -293,8 +458,12 @@ func (e *Engine) Stats() EngineStats {
 }
 
 // engineReq is one queued query. key is the exact binary encoding of the
-// arguments (without the epoch, which is prefixed at execution time).
+// arguments (without the epoch, which is prefixed at execution time). ctx is
+// the caller's context: the pool sheds the request if it ends while queued,
+// and a running computation is canceled only when the contexts of all its
+// waiters are done.
 type engineReq struct {
+	ctx  context.Context
 	kind string
 	w, q []float64
 	W    [][]float64
@@ -310,9 +479,29 @@ type engineResp struct {
 	err   error
 }
 
-// do runs one request through the cache fast path and the worker pool.
-func (e *Engine) do(r *engineReq) (any, uint64, error) {
+// isCtxErr reports whether err is a context cancellation or deadline error.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// observe records one request's latency, error and cancellation counters.
+func (e *Engine) observe(kind string, start time.Time, err error) {
+	e.metrics.Observe(kind, time.Since(start), err != nil)
+	if err != nil && isCtxErr(err) {
+		e.metrics.ObserveCanceled(kind)
+	}
+}
+
+// do runs one request through the cache fast path and the worker pool. The
+// caller unblocks as soon as ctx ends, even if the request is still queued
+// (the pool then sheds it without work).
+func (e *Engine) do(ctx context.Context, r *engineReq) (any, uint64, error) {
 	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		e.observe(r.kind, start, err)
+		return nil, 0, err
+	}
+	r.ctx = ctx
 	r.key = argKey(r)
 	if e.cache != nil {
 		epoch := e.Epoch()
@@ -322,18 +511,70 @@ func (e *Engine) do(r *engineReq) (any, uint64, error) {
 		}
 	}
 	r.done = make(chan engineResp, 1)
-	if !e.pool.Submit(r) {
+	ok, err := e.pool.SubmitCtx(ctx, r)
+	if err != nil {
+		// The queue was full when the context ended; no work was queued.
+		e.observe(r.kind, start, err)
+		return nil, 0, err
+	}
+	if !ok {
 		return nil, 0, ErrEngineClosed
 	}
-	resp := <-r.done
-	e.metrics.Observe(r.kind, time.Since(start), resp.err != nil)
-	return resp.val, resp.epoch, resp.err
+	select {
+	case resp := <-r.done:
+		e.observe(r.kind, start, resp.err)
+		return resp.val, resp.epoch, resp.err
+	case <-ctx.Done():
+		// The queued request is shed by the pool's drop check or answered
+		// into the buffered done channel; nothing leaks.
+		err := ctx.Err()
+		e.observe(r.kind, start, err)
+		return nil, 0, err
+	}
+}
+
+// compCtx returns the context a deduplicated or merged computation runs
+// under: canceled only once every waiter's context is done, so one canceled
+// waiter never aborts co-waiters sharing the work. The returned stop must be
+// called when the computation finishes to release the watcher goroutine.
+func compCtx(reqs []*engineReq) (context.Context, context.CancelFunc) {
+	if len(reqs) == 1 {
+		// Sole waiter: its own context is exactly the right computation
+		// context, with no watcher goroutine. This is the hot path — most
+		// batch entries are not deduplicated or merged.
+		if ctx := reqs[0].ctx; ctx != nil {
+			return ctx, func() {}
+		}
+		return context.Background(), func() {}
+	}
+	for _, r := range reqs {
+		if r.ctx == nil || r.ctx.Done() == nil {
+			// At least one waiter can never cancel: the computation always
+			// runs to completion and the watcher is unnecessary.
+			return context.Background(), func() {}
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		for _, r := range reqs {
+			select {
+			case <-r.ctx.Done():
+			case <-ctx.Done():
+				return
+			}
+		}
+		cancel()
+	}()
+	return ctx, cancel
 }
 
 // exec serves one batch: it loads the snapshot once (the batch's
-// linearization point), answers cache hits, deduplicates identical
-// requests, merges reverse top-k requests that share (q, k) into one RTA
-// run over the union of their weight sets, and fans results back out.
+// linearization point), answers cache hits, sheds requests whose context
+// already ended, deduplicates identical requests, merges reverse top-k
+// requests that share (q, k) into one RTA run over the union of their
+// weight sets, and fans results back out. Deduplicated and merged
+// computations run under a context that cancels only when every waiter's
+// context is done.
 func (e *Engine) exec(batch []*engineReq) {
 	snap := e.current.Load()
 	epoch := snap.Epoch()
@@ -342,6 +583,12 @@ func (e *Engine) exec(batch []*engineReq) {
 	var unique []*engineReq
 	rtopkGroups := make(map[string][]*engineReq)
 	for _, r := range batch {
+		if r.ctx != nil {
+			if err := r.ctx.Err(); err != nil {
+				r.done <- engineResp{epoch: epoch, err: err}
+				continue
+			}
+		}
 		full := epochKey(epoch, r.key)
 		if e.cache != nil {
 			if v, ok := e.cache.Get(full); ok {
@@ -367,39 +614,82 @@ func (e *Engine) exec(batch []*engineReq) {
 			e.cache.Add(full, val)
 		}
 		for _, w := range waiters[full] {
-			w.done <- engineResp{val: val, epoch: epoch, err: err}
+			werr := err
+			if err != nil && isCtxErr(err) && w.ctx != nil {
+				// A shared computation only aborts once every waiter is
+				// canceled; report each waiter's own context error.
+				if own := w.ctx.Err(); own != nil {
+					werr = own
+				}
+			}
+			w.done <- engineResp{val: val, epoch: epoch, err: werr}
 		}
 	}
 
 	for _, grp := range rtopkGroups {
-		e.execRTopK(snap, grp, finish)
+		var ws []*engineReq
+		for _, r := range grp {
+			ws = append(ws, waiters[epochKey(epoch, r.key)]...)
+		}
+		cctx, stop := compCtx(ws)
+		e.execRTopK(cctx, snap, grp, finish)
+		stop()
 	}
 	// Arguments were validated at the Engine entry points (and dimensions
-	// cannot change across snapshots), so the workers dispatch straight to
-	// the internal implementations rather than re-validating through the
-	// public Index methods.
+	// cannot change across snapshots). The cheap kinds (topk, rank)
+	// dispatch straight to the internal implementations to avoid paying
+	// validation twice; the pipeline kinds (explain, whynot, modify_*) go
+	// through the public Index Ctx methods, whose re-validation cost is
+	// negligible against their sampling, QP and traversal work.
 	for _, r := range unique {
+		cctx, stop := compCtx(waiters[epochKey(epoch, r.key)])
 		var val any
 		var err error
 		switch r.kind {
 		case "topk":
-			val = toRanked(topk.TopK(snap.tree, vec.Weight(r.w), r.k))
-		case "rank":
-			val = topk.Rank(snap.tree, vec.Weight(r.w), vec.Score(vec.Weight(r.w), vec.Point(r.q)))
-		case "explain":
-			ex := core.Explain(snap.tree, vec.Point(r.q), toWeights(r.W))
-			out := make([][]Ranked, len(ex))
-			for i, x := range ex {
-				out[i] = toRanked(x)
+			var rs []topk.Result
+			rs, err = topk.TopKCtx(cctx, snap.tree, vec.Weight(r.w), r.k)
+			if err == nil {
+				val = toRanked(rs)
 			}
-			val = out
+		case "rank":
+			val, err = topk.RankCtx(cctx, snap.tree, vec.Weight(r.w), vec.Score(vec.Weight(r.w), vec.Point(r.q)))
+		case "explain":
+			var resp ExplainResponse
+			resp, err = snap.ExplainCtx(cctx, ExplainRequest{Q: r.q, Wm: r.W})
+			if err == nil {
+				val = resp.Explanations
+			}
 		case "whynot":
 			// WhyNot runs the whole refinement pipeline; its re-validation
 			// cost is negligible against the sampling and QP work.
-			val, err = snap.WhyNot(r.q, r.k, r.W, r.opts)
+			var resp WhyNotResponse
+			resp, err = snap.WhyNotCtx(cctx, WhyNotRequest{Q: r.q, K: r.k, W: r.W, Opts: r.opts})
+			if err == nil {
+				val = resp.Answer
+			}
+		case "modify_query":
+			var resp ModifyQueryResponse
+			resp, err = snap.ModifyQueryCtx(cctx, ModifyQueryRequest{Q: r.q, K: r.k, Wm: r.W, Opts: r.opts})
+			if err == nil {
+				val = resp.Refinement
+			}
+		case "modify_preferences":
+			var resp ModifyPreferencesResponse
+			resp, err = snap.ModifyPreferencesCtx(cctx, ModifyPreferencesRequest{Q: r.q, K: r.k, Wm: r.W, Opts: r.opts})
+			if err == nil {
+				val = resp.Refinement
+			}
+		case "modify_all":
+			var resp ModifyAllResponse
+			resp, err = snap.ModifyAllCtx(cctx, ModifyAllRequest{Q: r.q, K: r.k, Wm: r.W, Opts: r.opts})
+			if err == nil {
+				val = resp.Refinement
+			}
 		default:
 			err = errors.New("wqrtq: unknown engine request kind " + r.kind)
 		}
+		stop()
 		finish(r, val, err)
 	}
 }
@@ -412,14 +702,18 @@ func toWeights(W [][]float64) []vec.Weight {
 	return ws
 }
 
-// execRTopK evaluates a group of reverse top-k requests sharing (q, k).
-// Distinct weight sets are concatenated so RTA's threshold buffer prunes
-// across the whole group; per-request results are recovered from the
-// offsets.
-func (e *Engine) execRTopK(snap *Index, grp []*engineReq, finish func(*engineReq, any, error)) {
+// execRTopK evaluates a group of reverse top-k requests sharing (q, k)
+// under ctx (which cancels only when every waiter is gone). Distinct weight
+// sets are concatenated so RTA's threshold buffer prunes across the whole
+// group; per-request results are recovered from the offsets.
+func (e *Engine) execRTopK(ctx context.Context, snap *Index, grp []*engineReq, finish func(*engineReq, any, error)) {
 	if len(grp) == 1 {
 		r := grp[0]
-		val, _ := rtopk.Bichromatic(snap.tree, toWeights(r.W), vec.Point(r.q), r.k)
+		val, _, err := rtopk.BichromaticCtx(ctx, snap.tree, toWeights(r.W), vec.Point(r.q), r.k)
+		if err != nil {
+			finish(r, nil, err)
+			return
+		}
 		finish(r, val, nil)
 		return
 	}
@@ -436,7 +730,13 @@ func (e *Engine) execRTopK(snap *Index, grp []*engineReq, finish func(*engineReq
 			merged = append(merged, w)
 		}
 	}
-	res, _ := rtopk.Bichromatic(snap.tree, merged, vec.Point(grp[0].q), grp[0].k)
+	res, _, err := rtopk.BichromaticCtx(ctx, snap.tree, merged, vec.Point(grp[0].q), grp[0].k)
+	if err != nil {
+		for _, r := range grp {
+			finish(r, nil, err)
+		}
+		return
+	}
 	// res is sorted ascending; split it by offset range.
 	pos := 0
 	for i, r := range grp {
@@ -470,7 +770,8 @@ func argKey(r *engineReq) string {
 	for _, w := range r.W {
 		b = appendVec(b, w)
 	}
-	if r.kind == "whynot" {
+	switch r.kind {
+	case "whynot", "modify_query", "modify_preferences", "modify_all":
 		b = appendOptions(b, r.opts)
 	}
 	return string(b)

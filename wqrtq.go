@@ -44,16 +44,19 @@
 package wqrtq
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 
-	"wqrtq/internal/core"
 	"wqrtq/internal/rtopk"
 	"wqrtq/internal/rtree"
 	"wqrtq/internal/topk"
 	"wqrtq/internal/vec"
 )
+
+// errPositiveK rejects non-positive k across every query path.
+var errPositiveK = errors.New("wqrtq: k must be positive")
 
 // Index is an immutable dataset indexed for reverse top-k and why-not
 // processing.
@@ -106,44 +109,35 @@ func toRanked(rs []topk.Result) []Ranked {
 }
 
 // TopK returns the k best points under the weighting vector w, in rank
-// order.
+// order. It is a thin wrapper over TopKCtx with context.Background().
 func (ix *Index) TopK(w []float64, k int) ([]Ranked, error) {
-	if err := ix.checkWeight(w); err != nil {
-		return nil, err
-	}
-	if k <= 0 {
-		return nil, errors.New("wqrtq: k must be positive")
-	}
-	return toRanked(topk.TopK(ix.tree, w, k)), nil
-}
-
-// Rank returns the 1-based rank a query point q would take under w: one
-// plus the number of indexed points scoring strictly better.
-func (ix *Index) Rank(w, q []float64) (int, error) {
-	if err := ix.checkWeight(w); err != nil {
-		return 0, err
-	}
-	if err := ix.checkPoint(q); err != nil {
-		return 0, err
-	}
-	return topk.Rank(ix.tree, w, vec.Score(w, q)), nil
-}
-
-// ReverseTopK answers the bichromatic reverse top-k query: the indices into
-// W of the weighting vectors whose top-k contains q.
-func (ix *Index) ReverseTopK(W [][]float64, q []float64, k int) ([]int, error) {
-	ws, err := ix.checkWeights(W)
+	resp, err := ix.TopKCtx(context.Background(), TopKRequest{W: w, K: k})
 	if err != nil {
 		return nil, err
 	}
-	if err := ix.checkPoint(q); err != nil {
+	return resp.Result, nil
+}
+
+// Rank returns the 1-based rank a query point q would take under w: one
+// plus the number of indexed points scoring strictly better. It is a thin
+// wrapper over RankCtx with context.Background().
+func (ix *Index) Rank(w, q []float64) (int, error) {
+	resp, err := ix.RankCtx(context.Background(), RankRequest{W: w, Q: q})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Rank, nil
+}
+
+// ReverseTopK answers the bichromatic reverse top-k query: the indices into
+// W of the weighting vectors whose top-k contains q. It is a thin wrapper
+// over ReverseTopKCtx with context.Background().
+func (ix *Index) ReverseTopK(W [][]float64, q []float64, k int) ([]int, error) {
+	resp, err := ix.ReverseTopKCtx(context.Background(), ReverseTopKRequest{Q: q, K: k, W: W})
+	if err != nil {
 		return nil, err
 	}
-	if k <= 0 {
-		return nil, errors.New("wqrtq: k must be positive")
-	}
-	res, _ := rtopk.Bichromatic(ix.tree, ws, q, k)
-	return res, nil
+	return resp.Result, nil
 }
 
 // Interval is a closed range [Lo, Hi] of the first weight component λ (the
@@ -162,7 +156,7 @@ func (ix *Index) ReverseTopKMono2D(q []float64, k int) ([]Interval, error) {
 		return nil, err
 	}
 	if k <= 0 {
-		return nil, errors.New("wqrtq: k must be positive")
+		return nil, errPositiveK
 	}
 	ivs := rtopk.Monochromatic2D(ix.points, q, k)
 	out := make([]Interval, len(ivs))
@@ -175,21 +169,14 @@ func (ix *Index) ReverseTopKMono2D(q []float64, k int) ([]Interval, error) {
 // Explain answers the first aspect of a why-not question: for each
 // weighting vector, the points scoring strictly better than q, in rank
 // order. When q misses the top-k of Wm[i], Explanations[i] holds the at
-// least k points responsible.
+// least k points responsible. It is a thin wrapper over ExplainCtx with
+// context.Background().
 func (ix *Index) Explain(q []float64, Wm [][]float64) ([][]Ranked, error) {
-	ws, err := ix.checkWeights(Wm)
+	resp, err := ix.ExplainCtx(context.Background(), ExplainRequest{Q: q, Wm: Wm})
 	if err != nil {
 		return nil, err
 	}
-	if err := ix.checkPoint(q); err != nil {
-		return nil, err
-	}
-	ex := core.Explain(ix.tree, q, ws)
-	out := make([][]Ranked, len(ex))
-	for i, e := range ex {
-		out[i] = toRanked(e)
-	}
-	return out, nil
+	return resp.Explanations, nil
 }
 
 func (ix *Index) checkPoint(q []float64) error {
@@ -260,7 +247,7 @@ func (ix *Index) ReverseTopKMonoSample(q []float64, k, samples int, seed int64) 
 		return nil, 0, err
 	}
 	if k <= 0 {
-		return nil, 0, errors.New("wqrtq: k must be positive")
+		return nil, 0, errPositiveK
 	}
 	ws, frac := rtopk.MonochromaticSample(ix.tree, q, k, samples, rngFor(seed))
 	out := make([][]float64, len(ws))
