@@ -51,6 +51,7 @@ func cmdServe(args []string) error {
 	linger := fs.Duration("linger", 200*time.Microsecond, "batch linger window (0 disables)")
 	cacheSize := fs.Int("cache", 4096, "result cache entries (negative disables)")
 	queryTimeout := fs.Duration("query-timeout", 30*time.Second, "per-query deadline (0 disables); expired queries answer 503")
+	shards := fs.Int("shards", 1, "spatial shards for scatter-gather query execution (<= 1 keeps the monolithic index)")
 	fs.Parse(args)
 	ix, _, err := loadIndex(*data)
 	if err != nil {
@@ -61,6 +62,7 @@ func cmdServe(args []string) error {
 		MaxBatch:    *maxBatch,
 		BatchLinger: *linger,
 		CacheSize:   *cacheSize,
+		Shards:      *shards,
 	})
 	if err != nil {
 		return err
@@ -222,7 +224,7 @@ func newServeHandler(e *wqrtq.Engine, queryTimeout time.Duration) http.Handler {
 		}
 		id, epoch, err := e.Insert(req.Point)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
+			writeQueryErr(w, err)
 			return
 		}
 		writeJSON(w, struct {
@@ -243,7 +245,7 @@ func newServeHandler(e *wqrtq.Engine, queryTimeout time.Duration) http.Handler {
 		}
 		deleted, epoch, err := e.Delete(*req.ID)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
+			writeQueryErr(w, err)
 			return
 		}
 		writeJSON(w, struct {
@@ -350,20 +352,29 @@ func writeErr(w http.ResponseWriter, code int, err error) {
 // aborted by the client; the response is written only for the log's benefit.
 const statusClientClosedRequest = 499
 
-// writeQueryErr maps a query-path error: context deadline → 503, context
-// canceled (client went away) → 499, anything else → 400. Context errors
-// carry a machine-readable "code" so clients can retry deadline expiries
+// writeQueryErr maps a query-path error: validation failures (tagged
+// wqrtq.ErrInvalidArgument — non-finite or negative weights/points,
+// dimension mismatches, bad k) → 400, context deadline → 503, context
+// canceled (client went away) → 499, a closed engine → 503, anything else —
+// an internal failure, not the client's fault — → 500. Context errors carry
+// a machine-readable "code" so clients can retry deadline expiries
 // distinctly from input errors.
 func writeQueryErr(w http.ResponseWriter, err error) {
 	var code string
-	status := http.StatusBadRequest
+	var status int
 	switch {
+	case errors.Is(err, wqrtq.ErrInvalidArgument):
+		writeErr(w, http.StatusBadRequest, err)
+		return
 	case errors.Is(err, context.DeadlineExceeded):
 		code, status = "deadline_exceeded", http.StatusServiceUnavailable
 	case errors.Is(err, context.Canceled):
 		code, status = "canceled", statusClientClosedRequest
+	case errors.Is(err, wqrtq.ErrEngineClosed):
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return
 	default:
-		writeErr(w, status, err)
+		writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")

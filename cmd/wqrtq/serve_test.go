@@ -252,3 +252,89 @@ func TestServeErrorPaths(t *testing.T) {
 		t.Fatalf("POST /v1/nope status %d, want 404", rec.Code)
 	}
 }
+
+// shardedTestHandler is serveTestHandler over the same dataset partitioned
+// into shards, as `wqrtq serve -shards` would build it.
+func shardedTestHandler(t *testing.T, shards int) http.Handler {
+	t.Helper()
+	ix, err := wqrtq.NewIndex([][]float64{
+		{1, 8}, {2, 5}, {4, 3}, {8, 2}, {9, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := wqrtq.NewEngine(ix, wqrtq.EngineConfig{Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	return newServeHandler(e, 0)
+}
+
+// TestServeShardedGolden asserts the sharded serving path answers the same
+// golden JSON as the monolithic one — sharding must be invisible to
+// clients (other than /v1/stats reporting the shard count).
+func TestServeShardedGolden(t *testing.T) {
+	h := shardedTestHandler(t, 3)
+	rec := post(t, h, "/v1/topk", `{"w":[0.25,0.75],"k":3}`)
+	wantGolden(t, rec, http.StatusOK,
+		`{"epoch":0,"result":[{"id":4,"point":[9,1],"score":3},{"id":2,"point":[4,3],"score":3.25},{"id":3,"point":[8,2],"score":3.5}]}`+"\n")
+	rec = post(t, h, "/v1/rtopk",
+		`{"q":[3,3],"k":2,"weights":[[0.25,0.75],[0.75,0.25],[0.5,0.5]]}`)
+	wantGolden(t, rec, http.StatusOK, `{"epoch":0,"result":[0,2]}`+"\n")
+
+	req := httptest.NewRequest(http.MethodGet, "/v1/stats", nil)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var stats struct {
+		Shards int `json:"shards"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatalf("stats not JSON: %v", err)
+	}
+	if stats.Shards != 3 {
+		t.Fatalf("stats shards = %d, want 3", stats.Shards)
+	}
+}
+
+// TestServeValidationStatusCodes asserts the typed-error mapping: request
+// validation failures (negative or malformed weights and points) answer
+// 400, and a closed engine answers 503 rather than a client-fault code.
+func TestServeValidationStatusCodes(t *testing.T) {
+	h := serveTestHandler(t)
+	badInputs := []struct{ name, path, body string }{
+		{"negative weight", "/v1/topk", `{"w":[-0.5,1.5],"k":1}`},
+		{"negative weight rank", "/v1/rank", `{"w":[-1,2],"q":[3,3]}`},
+		{"negative point", "/v1/rank", `{"w":[0.5,0.5],"q":[-3,3]}`},
+		{"negative point rtopk", "/v1/rtopk", `{"q":[-1,-1],"k":2,"weights":[[0.5,0.5]]}`},
+		{"negative insert", "/v1/insert", `{"point":[-1,2]}`},
+		{"weight sum", "/v1/explain", `{"q":[3,3],"weights":[[0.3,0.3]]}`},
+	}
+	for _, tc := range badInputs {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := post(t, h, tc.path, tc.body)
+			if rec.Code != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400; body %s", rec.Code, rec.Body.String())
+			}
+		})
+	}
+}
+
+// TestServeClosedEngine503 asserts that a request hitting a closed engine
+// maps to 503 (server-side condition), not 400 (client fault).
+func TestServeClosedEngine503(t *testing.T) {
+	ix, err := wqrtq.NewIndex([][]float64{{1, 8}, {2, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := wqrtq.NewEngine(ix, wqrtq.EngineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := newServeHandler(e, 0)
+	e.Close()
+	rec := post(t, h, "/v1/topk", `{"w":[0.5,0.5],"k":1}`)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503; body %s", rec.Code, rec.Body.String())
+	}
+}

@@ -26,6 +26,11 @@ func (ix *Index) Insert(p []float64) (int, error) {
 	id := len(ix.points)
 	ix.points = append(ix.points, vec.Point(p))
 	ix.tree.Insert(p, int32(id))
+	if ix.shards != nil {
+		if err := ix.shards.Insert(p, id); err != nil {
+			return 0, err
+		}
+	}
 	return id, nil
 }
 
@@ -34,7 +39,7 @@ func (ix *Index) Insert(p []float64) (int, error) {
 // returning them. It reports whether the id was present.
 func (ix *Index) Delete(id int) (bool, error) {
 	if id < 0 || id >= len(ix.points) {
-		return false, fmt.Errorf("wqrtq: id %d out of range", id)
+		return false, invalidArgf("id %d out of range", id)
 	}
 	p := ix.points[id]
 	if p == nil {
@@ -42,6 +47,11 @@ func (ix *Index) Delete(id int) (bool, error) {
 	}
 	if !ix.tree.Delete(p, int32(id)) {
 		return false, nil
+	}
+	if ix.shards != nil {
+		if !ix.shards.Delete(p, id) {
+			return false, fmt.Errorf("wqrtq: id %d missing from its shard", id)
+		}
 	}
 	ix.ownPoints()
 	ix.points[id] = nil
@@ -62,6 +72,9 @@ func (ix *Index) Clone() *Index {
 		tree:   ix.tree.Clone(),
 		points: ix.points[:len(ix.points):len(ix.points)],
 		shared: true,
+	}
+	if ix.shards != nil {
+		c.shards = ix.shards.Clone()
 	}
 	ix.shared = true
 	return c
@@ -91,6 +104,11 @@ func (ix *Index) CheckInvariants() error {
 	}
 	if live != ix.tree.Len() {
 		return fmt.Errorf("wqrtq: %d live ids but %d indexed points", live, ix.tree.Len())
+	}
+	if ix.shards != nil {
+		if err := ix.shards.CheckInvariants(ix.points); err != nil {
+			return err
+		}
 	}
 	return nil
 }

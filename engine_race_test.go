@@ -42,6 +42,18 @@ func bruteTopK(snap *Index, w []float64, k int) []Ranked {
 }
 
 func TestEngineConcurrentSnapshotIsolation(t *testing.T) {
+	engineHammer(t, EngineConfig{Workers: 2, MaxBatch: 8, CacheSize: 256})
+}
+
+// TestEngineConcurrentSnapshotIsolationSharded is the same hammer over a
+// spatially sharded engine: scatter-gather queries race shard-routed
+// mutations, so any torn read of a shard tree, the ownership table, or the
+// merged gather shows up as an oracle mismatch or a race report.
+func TestEngineConcurrentSnapshotIsolationSharded(t *testing.T) {
+	engineHammer(t, EngineConfig{Workers: 2, MaxBatch: 8, CacheSize: 256, Shards: 3})
+}
+
+func engineHammer(t *testing.T, cfg EngineConfig) {
 	const (
 		seedN    = 600
 		dim      = 3
@@ -65,7 +77,7 @@ func TestEngineConcurrentSnapshotIsolation(t *testing.T) {
 	universe = append(universe, ds.Points...)
 	universe = append(universe, pool.Points...)
 
-	e, err := NewEngine(ix, EngineConfig{Workers: 2, MaxBatch: 8, CacheSize: 256})
+	e, err := NewEngine(ix, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,12 +9,13 @@ import (
 // it by (snapshot epoch, exact query encoding), so entries for superseded
 // snapshots simply age out as traffic moves to the new epoch.
 type LRU[K comparable, V any] struct {
-	mu       sync.Mutex
-	capacity int
-	ll       *list.List
-	items    map[K]*list.Element
-	hits     int64
-	misses   int64
+	mu        sync.Mutex
+	capacity  int
+	ll        *list.List
+	items     map[K]*list.Element
+	hits      int64
+	misses    int64
+	evictions int64
 }
 
 type lruEntry[K comparable, V any] struct {
@@ -64,7 +65,37 @@ func (c *LRU[K, V]) Add(k K, v V) {
 		last := c.ll.Back()
 		c.ll.Remove(last)
 		delete(c.items, last.Value.(*lruEntry[K, V]).key)
+		c.evictions++
 	}
+}
+
+// EvictIf removes every entry whose key satisfies drop, returning how many
+// were removed. The serving engine uses it to sweep entries of superseded
+// snapshot epochs the moment a mutation publishes a new one, instead of
+// letting dead entries occupy capacity until LRU pressure reaches them.
+func (c *LRU[K, V]) EvictIf(drop func(K) bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		if k := el.Value.(*lruEntry[K, V]).key; drop(k) {
+			c.ll.Remove(el)
+			delete(c.items, k)
+			n++
+		}
+		el = next
+	}
+	c.evictions += int64(n)
+	return n
+}
+
+// Evictions returns the number of entries removed by capacity pressure and
+// by EvictIf since the cache was created.
+func (c *LRU[K, V]) Evictions() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
 }
 
 // Len returns the number of cached entries.

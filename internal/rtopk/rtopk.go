@@ -46,6 +46,26 @@ func Bichromatic(t *rtree.Tree, W []vec.Weight, q vec.Point, k int) ([]int, Stat
 // polls ctx every checkInterval vectors, and each underlying top-k
 // evaluation polls on its heap loop, so a canceled query unwinds mid-batch.
 func BichromaticCtx(ctx context.Context, t *rtree.Tree, W []vec.Weight, q vec.Point, k int) ([]int, Stats, error) {
+	return BichromaticFuncCtx(ctx, W, q, k, func(ctx context.Context, w vec.Weight, k int) ([]topk.Result, error) {
+		return topk.TopKCtx(ctx, t, w, k)
+	})
+}
+
+// TopKFunc computes the global top-k of the dataset under w. It abstracts
+// the index backend of the RTA loop: a monolithic R-tree supplies
+// topk.TopKCtx, a sharded index supplies a scatter-gather evaluation that
+// merges per-shard buffers. The returned slice must be sorted ascending by
+// score.
+type TopKFunc func(ctx context.Context, w vec.Weight, k int) ([]topk.Result, error)
+
+// BichromaticFuncCtx runs the RTA algorithm over an arbitrary top-k backend.
+// Because eval returns the *global* top-k under each evaluated vector, the
+// buffer threshold test prunes exactly as in the single-tree algorithm: if k
+// globally-buffered points beat q under the next vector, at least k points
+// of P beat q and the vector is rejected without an evaluation. Results and
+// Stats are therefore identical for every backend that answers top-k over
+// the same point set.
+func BichromaticFuncCtx(ctx context.Context, W []vec.Weight, q vec.Point, k int, eval TopKFunc) ([]int, Stats, error) {
 	var stats Stats
 	if len(W) == 0 {
 		return nil, stats, ctx.Err()
@@ -84,7 +104,7 @@ func BichromaticCtx(ctx context.Context, t *rtree.Tree, W []vec.Weight, q vec.Po
 			}
 		}
 		stats.Evaluated++
-		res, err := topk.TopKCtx(ctx, t, w, k)
+		res, err := eval(ctx, w, k)
 		if err != nil {
 			return nil, stats, err
 		}

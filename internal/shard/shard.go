@@ -1,0 +1,371 @@
+// Package shard partitions a point set into S spatial shards, each backed
+// by its own copy-on-write R-tree, and executes every core query by
+// scatter-gather: per-shard branch-and-bound top-k merged through a k-way
+// heap, rank as a sum of per-shard strict-beat counts, explanations as a
+// merge of per-shard progressive scans, and bichromatic reverse top-k as
+// the RTA loop with each weight vector's global top-k assembled from
+// per-shard buffers (so the threshold-pruning test still applies globally).
+//
+// Partitioning is STR-order round-robin of leaf runs: the points are packed
+// into leaf-sized runs in Sort-Tile-Recursive order (rtree.STRRuns) and the
+// runs are dealt to shards round-robin. Consecutive runs are spatially
+// adjacent tiles, so every shard receives a thin slice of every region of
+// the data space. That balance is what makes per-shard top-k useful: under
+// any weighting vector each shard holds roughly 1/S of the globally best
+// points, so each per-shard branch-and-bound search does roughly 1/S of the
+// monolithic work and the searches run concurrently.
+//
+// Every query result is bit-identical to the monolithic index (ties on
+// score break toward the smaller record id in the merge; on continuous data
+// ties do not occur): per-shard top-k merges to the global top-k score
+// sequence, per-shard strict-beat counts sum to the global count, and the
+// RTA loop is literally the same code (rtopk.BichromaticFuncCtx) running
+// over a scatter-gather TopKFunc.
+//
+// Synchronization contract: same as rtree.Tree — Clone and mutations of
+// sets in the same clone family must be externally serialized; read-only
+// queries are safe concurrently with Clone of this set and with mutations
+// of other sets in the family (the serving engine's publish-a-snapshot
+// pattern).
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"wqrtq/internal/rtopk"
+	"wqrtq/internal/rtree"
+	"wqrtq/internal/topk"
+	"wqrtq/internal/vec"
+)
+
+// Set is a spatially partitioned index: S copy-on-write R-trees plus the
+// id → shard ownership table that routes mutations.
+type Set struct {
+	dim   int
+	trees []*rtree.Tree
+	// owner maps record id → shard index; -1 marks an id deleted before the
+	// set was built. It grows by one per Insert and is copy-on-write across
+	// clones, like the Index id table.
+	owner       []int32
+	sharedOwner bool
+}
+
+// MaxShards bounds the shard count: every query fans out one goroutine per
+// shard (and the RTA loop keeps one worker per shard), so an absurd S would
+// turn each request into an allocation storm. Useful values track the core
+// count; the cap just rejects typos like -shards 1000000 at setup time.
+const MaxShards = 1024
+
+// New partitions points (indexed by record id; nil entries are deleted ids)
+// into s shards by STR-order round-robin of leaf runs. s must be in
+// [1, MaxShards]; shards beyond the number of runs stay empty until inserts
+// reach them.
+func New(points []vec.Point, s int, opts ...rtree.Options) (*Set, error) {
+	if s < 1 {
+		return nil, fmt.Errorf("shard: shard count %d must be at least 1", s)
+	}
+	if s > MaxShards {
+		return nil, fmt.Errorf("shard: shard count %d exceeds the maximum %d", s, MaxShards)
+	}
+	dim := 0
+	live := make([]vec.Point, 0, len(points))
+	liveIDs := make([]int32, 0, len(points))
+	for id, p := range points {
+		if p == nil {
+			continue
+		}
+		dim = len(p)
+		live = append(live, p)
+		liveIDs = append(liveIDs, int32(id))
+	}
+	if dim == 0 {
+		return nil, fmt.Errorf("shard: empty point set")
+	}
+	set := &Set{dim: dim, trees: make([]*rtree.Tree, s), owner: make([]int32, len(points))}
+	for i := range set.owner {
+		set.owner[i] = -1
+	}
+	runs := rtree.STRRuns(live, liveIDs, opts...)
+	perShard := make([][]vec.Point, s)
+	perIDs := make([][]int32, s)
+	for j, run := range runs {
+		si := j % s
+		for _, id := range run {
+			perShard[si] = append(perShard[si], points[id])
+			perIDs[si] = append(perIDs[si], id)
+			set.owner[id] = int32(si)
+		}
+	}
+	for i := 0; i < s; i++ {
+		if len(perShard[i]) == 0 {
+			set.trees[i] = rtree.New(dim, opts...)
+			continue
+		}
+		set.trees[i] = rtree.Bulk(perShard[i], perIDs[i], opts...)
+	}
+	return set, nil
+}
+
+// Shards returns the number of partitions.
+func (s *Set) Shards() int { return len(s.trees) }
+
+// Len returns the total number of live points across all shards.
+func (s *Set) Len() int {
+	n := 0
+	for _, t := range s.trees {
+		n += t.Len()
+	}
+	return n
+}
+
+// Clone returns a copy-on-write snapshot of the set in O(S): every shard
+// tree is cloned (sharing all nodes) and the ownership table is shared
+// until the next mutation of either side.
+func (s *Set) Clone() *Set {
+	c := &Set{
+		dim:         s.dim,
+		trees:       make([]*rtree.Tree, len(s.trees)),
+		owner:       s.owner[:len(s.owner):len(s.owner)],
+		sharedOwner: true,
+	}
+	for i, t := range s.trees {
+		c.trees[i] = t.Clone()
+	}
+	s.sharedOwner = true
+	return c
+}
+
+// ownOwner gives the set a private copy of the ownership table when it is
+// shared with a clone, sized for one more id.
+func (s *Set) ownOwner() {
+	if !s.sharedOwner {
+		return
+	}
+	owner := make([]int32, len(s.owner), len(s.owner)+1)
+	copy(owner, s.owner)
+	s.owner = owner
+	s.sharedOwner = false
+}
+
+// Insert routes a new point to the least-loaded shard (ties to the lowest
+// shard index, so placement is deterministic). id must be the next
+// unallocated record id.
+func (s *Set) Insert(p vec.Point, id int) error {
+	if id != len(s.owner) {
+		return fmt.Errorf("shard: insert id %d, want next id %d", id, len(s.owner))
+	}
+	best := 0
+	for i := 1; i < len(s.trees); i++ {
+		if s.trees[i].Len() < s.trees[best].Len() {
+			best = i
+		}
+	}
+	s.ownOwner()
+	s.owner = append(s.owner, int32(best))
+	s.trees[best].Insert(p, int32(id))
+	return nil
+}
+
+// Delete removes (p, id) from its owning shard, reporting whether the entry
+// was found.
+func (s *Set) Delete(p vec.Point, id int) bool {
+	if id < 0 || id >= len(s.owner) || s.owner[id] < 0 {
+		return false
+	}
+	return s.trees[s.owner[id]].Delete(p, int32(id))
+}
+
+// TopKCtx returns the k globally best points under w in rank order: each
+// shard runs its own branch-and-bound top-k concurrently and the per-shard
+// buffers merge through a k-way heap.
+func (s *Set) TopKCtx(ctx context.Context, w vec.Weight, k int) ([]topk.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if len(s.trees) == 1 {
+		return topk.TopKCtx(ctx, s.trees[0], w, k)
+	}
+	per := make([][]topk.Result, len(s.trees))
+	errs := make([]error, len(s.trees))
+	s.scatter(func(i int, t *rtree.Tree) {
+		per[i], errs[i] = topk.TopKCtx(ctx, t, w, k)
+	})
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+	return s.gatherMerge(ctx, per, k)
+}
+
+// CountBelowCtx returns the number of points scoring strictly below fq
+// under w, summed across shards. The global rank of fq is one plus this.
+func (s *Set) CountBelowCtx(ctx context.Context, w vec.Weight, fq float64) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	if len(s.trees) == 1 {
+		return topk.CountBelowCtx(ctx, s.trees[0], w, fq)
+	}
+	counts := make([]int, len(s.trees))
+	errs := make([]error, len(s.trees))
+	s.scatter(func(i int, t *rtree.Tree) {
+		counts[i], errs[i] = topk.CountBelowCtx(ctx, t, w, fq)
+	})
+	if err := firstError(errs); err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	return total, nil
+}
+
+// ExplainCtx returns, for each weighting vector, the points scoring
+// strictly better than q in rank order: per-shard progressive scans merged
+// per vector.
+func (s *Set) ExplainCtx(ctx context.Context, q vec.Point, ws []vec.Weight) ([][]topk.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	out := make([][]topk.Result, len(ws))
+	for wi, w := range ws {
+		if len(s.trees) == 1 {
+			res, err := topk.ExplainCtx(ctx, s.trees[0], w, q)
+			if err != nil {
+				return nil, err
+			}
+			out[wi] = res
+			continue
+		}
+		per := make([][]topk.Result, len(s.trees))
+		errs := make([]error, len(s.trees))
+		s.scatter(func(i int, t *rtree.Tree) {
+			per[i], errs[i] = topk.ExplainCtx(ctx, t, w, q)
+		})
+		if err := firstError(errs); err != nil {
+			return nil, err
+		}
+		merged, err := s.gatherMerge(ctx, per, -1)
+		if err != nil {
+			return nil, err
+		}
+		out[wi] = merged
+	}
+	return out, nil
+}
+
+// BichromaticCtx answers the bichromatic reverse top-k query with the RTA
+// loop running over scatter-gather top-k: one persistent worker per shard
+// evaluates each non-pruned vector's local top-k, the gather merges the
+// per-shard buffers into the global top-k, and rtopk's threshold test runs
+// against that global buffer — so pruning decisions, results and statistics
+// are identical to the monolithic algorithm.
+func (s *Set) BichromaticCtx(ctx context.Context, W []vec.Weight, q vec.Point, k int) ([]int, rtopk.Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, rtopk.Stats{}, err
+	}
+	if len(s.trees) == 1 {
+		return rtopk.BichromaticCtx(ctx, s.trees[0], W, q, k)
+	}
+	type shardTopK struct {
+		res []topk.Result
+		err error
+	}
+	jobs := make([]chan vec.Weight, len(s.trees))
+	outs := make([]chan shardTopK, len(s.trees))
+	for i := range s.trees {
+		jobs[i] = make(chan vec.Weight)
+		outs[i] = make(chan shardTopK)
+		go func(i int, t *rtree.Tree) {
+			for w := range jobs[i] {
+				res, err := topk.TopKCtx(ctx, t, w, k)
+				outs[i] <- shardTopK{res: res, err: err}
+			}
+		}(i, s.trees[i])
+	}
+	defer func() {
+		for i := range jobs {
+			close(jobs[i])
+		}
+	}()
+	eval := func(ctx context.Context, w vec.Weight, k int) ([]topk.Result, error) {
+		for i := range jobs {
+			jobs[i] <- w
+		}
+		per := make([][]topk.Result, len(s.trees))
+		var firstErr error
+		for i := range outs {
+			r := <-outs[i] // always drain every shard to keep workers in lockstep
+			per[i] = r.res
+			if r.err != nil && firstErr == nil {
+				firstErr = r.err
+			}
+		}
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		return s.gatherMerge(ctx, per, k)
+	}
+	return rtopk.BichromaticFuncCtx(ctx, W, q, k, eval)
+}
+
+// scatter runs fn once per shard on its own goroutine and waits for all of
+// them. Per-shard cancellation happens inside fn (the searches poll ctx);
+// the gather side polls via gatherMerge.
+func (s *Set) scatter(fn func(i int, t *rtree.Tree)) {
+	var wg sync.WaitGroup
+	wg.Add(len(s.trees))
+	for i, t := range s.trees {
+		go func(i int, t *rtree.Tree) {
+			defer wg.Done()
+			fn(i, t)
+		}(i, t)
+	}
+	wg.Wait()
+}
+
+// gatherMerge merges per-shard score-sorted buffers into the global order;
+// the merge loop polls ctx (via internal/ctxcheck inside topk.MergeCtx) so
+// gathering a huge merged list remains cancelable.
+func (s *Set) gatherMerge(ctx context.Context, per [][]topk.Result, k int) ([]topk.Result, error) {
+	return topk.MergeCtx(ctx, per, k)
+}
+
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CheckInvariants verifies the structural invariants of every shard tree,
+// the ownership table, and the cross-shard point count. points is the
+// id-indexed table of live points (nil = deleted), as kept by the Index.
+func (s *Set) CheckInvariants(points []vec.Point) error {
+	if len(s.owner) != len(points) {
+		return fmt.Errorf("shard: ownership table has %d ids, index has %d", len(s.owner), len(points))
+	}
+	for i, t := range s.trees {
+		if err := t.CheckInvariants(); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	live := 0
+	for id, p := range points {
+		if p == nil {
+			continue
+		}
+		live++
+		if o := s.owner[id]; o < 0 || int(o) >= len(s.trees) {
+			return fmt.Errorf("shard: live id %d has invalid owner %d", id, o)
+		}
+	}
+	if got := s.Len(); got != live {
+		return fmt.Errorf("shard: %d points across shards, %d live ids", got, live)
+	}
+	return nil
+}

@@ -1,0 +1,202 @@
+package shard
+
+// Differential tests of the scatter-gather set against the monolithic
+// R-tree algorithms over the same points: every query must return identical
+// results for every shard count, including shard counts exceeding the
+// number of STR leaf runs (empty shards) and after mutations and clones.
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"wqrtq/internal/dataset"
+	"wqrtq/internal/rtopk"
+	"wqrtq/internal/rtree"
+	"wqrtq/internal/sample"
+	"wqrtq/internal/topk"
+	"wqrtq/internal/vec"
+)
+
+func sameResults(t *testing.T, label string, got, want []topk.Result) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Score != want[i].Score {
+			t.Fatalf("%s: rank %d score %v, want %v", label, i+1, got[i].Score, want[i].Score)
+		}
+		if got[i].ID != want[i].ID {
+			t.Fatalf("%s: rank %d id %d, want %d", label, i+1, got[i].ID, want[i].ID)
+		}
+	}
+}
+
+func TestSetDifferential(t *testing.T) {
+	ctx := context.Background()
+	for caseIdx := 0; caseIdx < 40; caseIdx++ {
+		rng := rand.New(rand.NewSource(int64(500 + caseIdx)))
+		n := 1 + rng.Intn(400)
+		d := 2 + rng.Intn(3)
+		k := 1 + rng.Intn(12)
+		ds := dataset.Independent(n, d, int64(caseIdx+1))
+		tree := ds.Tree()
+		for _, s := range []int{1, 2, 3, 7, 64} {
+			set, err := New(ds.Points, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if set.Shards() != s {
+				t.Fatalf("Shards() = %d, want %d", set.Shards(), s)
+			}
+			if set.Len() != n {
+				t.Fatalf("Len() = %d, want %d", set.Len(), n)
+			}
+			w := sample.RandSimplex(rng, d)
+			q := make(vec.Point, d)
+			for j := range q {
+				q[j] = rng.Float64() * rng.Float64()
+			}
+
+			got, err := set.TopKCtx(ctx, w, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, _ := topk.TopKCtx(ctx, tree, w, k)
+			sameResults(t, "TopK", got, want)
+
+			fq := vec.Score(w, q)
+			cnt, err := set.CountBelowCtx(ctx, w, fq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wantCnt := topk.Rank(tree, w, fq) - 1; cnt != wantCnt {
+				t.Fatalf("s=%d: CountBelow = %d, want %d", s, cnt, wantCnt)
+			}
+
+			W := make([]vec.Weight, 1+rng.Intn(20))
+			for j := range W {
+				W[j] = sample.RandSimplex(rng, d)
+			}
+			gotR, gotStats, err := set.BichromaticCtx(ctx, W, q, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantR, wantStats := rtopk.Bichromatic(tree, W, q, k)
+			if len(gotR) != len(wantR) {
+				t.Fatalf("s=%d: reverse top-k %v, want %v", s, gotR, wantR)
+			}
+			for j := range gotR {
+				if gotR[j] != wantR[j] {
+					t.Fatalf("s=%d: reverse top-k %v, want %v", s, gotR, wantR)
+				}
+			}
+			if gotStats != wantStats {
+				t.Fatalf("s=%d: stats %+v, want %+v", s, gotStats, wantStats)
+			}
+
+			ex, err := set.ExplainCtx(ctx, q, W[:1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantEx, _ := topk.ExplainCtx(ctx, tree, W[0], q)
+			sameResults(t, "Explain", ex[0], wantEx)
+		}
+	}
+}
+
+func TestSetMutationsAndClone(t *testing.T) {
+	ctx := context.Background()
+	const d = 3
+	// Distinct seeds for the dataset and the insert pool: the same seed
+	// would reproduce identical points, and duplicate points tie on every
+	// score (ties order differently between merge and monolithic heap).
+	rng := rand.New(rand.NewSource(70001))
+	ds := dataset.Independent(200, d, 7)
+	points := append([]vec.Point(nil), ds.Points...)
+	set, err := New(points, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mirror tree for differential checks.
+	tree := rtree.Bulk(points, nil)
+
+	snapshot := set.Clone()
+	snapLen := snapshot.Len()
+
+	// Interleave inserts and deletes; the snapshot must keep answering from
+	// the pre-mutation state.
+	for i := 0; i < 150; i++ {
+		id := len(points)
+		p := vec.Point{rng.Float64(), rng.Float64(), rng.Float64()}
+		points = append(points, p)
+		if err := set.Insert(p, id); err != nil {
+			t.Fatal(err)
+		}
+		tree.Insert(p, int32(id))
+		if i%3 == 0 {
+			victim := rng.Intn(len(points))
+			if points[victim] != nil {
+				if !set.Delete(points[victim], victim) {
+					t.Fatalf("delete of live id %d failed", victim)
+				}
+				tree.Delete(points[victim], int32(victim))
+				points[victim] = nil
+			}
+		}
+	}
+	if err := set.CheckInvariants(points); err != nil {
+		t.Fatal(err)
+	}
+	if snapshot.Len() != snapLen {
+		t.Fatalf("snapshot length changed under mutations: %d -> %d", snapLen, snapshot.Len())
+	}
+
+	w := sample.RandSimplex(rng, d)
+	got, err := set.TopKCtx(ctx, w, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := topk.TopKCtx(ctx, tree, w, 25)
+	sameResults(t, "post-mutation TopK", got, want)
+
+	// Deleting an id twice, or one never allocated, reports false.
+	if set.Delete(vec.Point{0.5, 0.5, 0.5}, len(points)+10) {
+		t.Fatal("delete of unallocated id succeeded")
+	}
+}
+
+func TestSetRejectsBadInput(t *testing.T) {
+	if _, err := New(nil, 2); err == nil {
+		t.Fatal("empty point set accepted")
+	}
+	if _, err := New([]vec.Point{{1, 2}}, 0); err == nil {
+		t.Fatal("zero shard count accepted")
+	}
+	if _, err := New([]vec.Point{{1, 2}}, MaxShards+1); err == nil {
+		t.Fatal("absurd shard count accepted")
+	}
+}
+
+func TestSetCancellation(t *testing.T) {
+	ds := dataset.Independent(3000, 3, 11)
+	set, err := New(ds.Points, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	w := vec.Weight{0.2, 0.3, 0.5}
+	if _, err := set.TopKCtx(ctx, w, 10); err == nil {
+		t.Fatal("canceled TopK returned nil error")
+	}
+	W := make([]vec.Weight, 64)
+	rng := rand.New(rand.NewSource(3))
+	for i := range W {
+		W[i] = sample.RandSimplex(rng, 3)
+	}
+	if _, _, err := set.BichromaticCtx(ctx, W, vec.Point{0.1, 0.1, 0.1}, 10); err == nil {
+		t.Fatal("canceled BichromaticCtx returned nil error")
+	}
+}

@@ -1,0 +1,57 @@
+package topk
+
+import (
+	"context"
+	"testing"
+)
+
+func TestMergeCtx(t *testing.T) {
+	a := []Result{{ID: 3, Score: 1}, {ID: 1, Score: 4}, {ID: 7, Score: 9}}
+	b := []Result{{ID: 2, Score: 2}, {ID: 6, Score: 4}, {ID: 0, Score: 5}}
+	ctx := context.Background()
+
+	got, err := MergeCtx(ctx, [][]Result{a, b}, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIDs := []int32{3, 2, 1, 6, 0, 7} // score order; score-4 tie breaks toward id 1
+	if len(got) != len(wantIDs) {
+		t.Fatalf("merged %d results, want %d", len(got), len(wantIDs))
+	}
+	for i, r := range got {
+		if r.ID != wantIDs[i] {
+			t.Fatalf("position %d: id %d, want %d (got %v)", i, r.ID, wantIDs[i], got)
+		}
+	}
+
+	top, err := MergeCtx(ctx, [][]Result{a, b}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 2 || top[0].ID != 3 || top[1].ID != 2 {
+		t.Fatalf("k=2 merge = %v", top)
+	}
+
+	// Single non-empty list short-circuits; empty lists and k=0 are legal.
+	solo, err := MergeCtx(ctx, [][]Result{nil, a, nil}, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(solo) != len(a) || solo[0].ID != a[0].ID {
+		t.Fatalf("single-list merge = %v", solo)
+	}
+	if none, err := MergeCtx(ctx, [][]Result{a, b}, 0); err != nil || none != nil {
+		t.Fatalf("k=0 merge = %v, %v", none, err)
+	}
+
+	// Cancellation unwinds the consume loop.
+	canceled, cancel := context.WithCancel(ctx)
+	cancel()
+	big := make([]Result, 300)
+	for i := range big {
+		big[i] = Result{ID: int32(i), Score: float64(i)}
+	}
+	if _, err := MergeCtx(canceled, [][]Result{big, big}, -1); err == nil {
+		t.Fatal("canceled merge returned nil error")
+	}
+}

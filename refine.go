@@ -2,7 +2,6 @@ package wqrtq
 
 import (
 	"context"
-	"fmt"
 
 	"wqrtq/internal/core"
 	"wqrtq/internal/vec"
@@ -59,21 +58,21 @@ func (o Options) resolve() (core.PenaltyModel, int, int, int64, error) {
 		pm.Gamma, pm.Lambda = 0.5, 0.5
 	}
 	if err := pm.Validate(); err != nil {
-		return pm, 0, 0, 0, err
+		return pm, 0, 0, 0, invalidArg(err)
 	}
 	s := o.SampleSize
 	if s == 0 {
 		s = 800
 	}
 	if s < 0 {
-		return pm, 0, 0, 0, fmt.Errorf("wqrtq: negative sample size %d", s)
+		return pm, 0, 0, 0, invalidArgf("negative sample size %d", s)
 	}
 	qs := o.QuerySampleSize
 	if qs == 0 {
 		qs = s
 	}
 	if qs < 0 {
-		return pm, 0, 0, 0, fmt.Errorf("wqrtq: negative query sample size %d", qs)
+		return pm, 0, 0, 0, invalidArgf("negative query sample size %d", qs)
 	}
 	seed := o.Seed
 	if seed == 0 {

@@ -20,8 +20,6 @@ import (
 	"time"
 
 	"wqrtq/internal/core"
-	"wqrtq/internal/rtopk"
-	"wqrtq/internal/topk"
 	"wqrtq/internal/vec"
 )
 
@@ -168,7 +166,7 @@ func (ix *Index) TopKCtx(ctx context.Context, req TopKRequest) (TopKResponse, er
 	if err := ctx.Err(); err != nil {
 		return resp, err
 	}
-	rs, err := topk.TopKCtx(ctx, ix.tree, vec.Weight(req.W), req.K)
+	rs, err := ix.topkResults(ctx, vec.Weight(req.W), req.K)
 	if err != nil {
 		return resp, err
 	}
@@ -191,7 +189,7 @@ func (ix *Index) RankCtx(ctx context.Context, req RankRequest) (RankResponse, er
 	if err := ctx.Err(); err != nil {
 		return resp, err
 	}
-	r, err := topk.RankCtx(ctx, ix.tree, w, vec.Score(w, vec.Point(req.Q)))
+	r, err := ix.rankResult(ctx, w, vec.Score(w, vec.Point(req.Q)))
 	if err != nil {
 		return resp, err
 	}
@@ -219,7 +217,7 @@ func (ix *Index) ReverseTopKCtx(ctx context.Context, req ReverseTopKRequest) (Re
 	if err := ctx.Err(); err != nil {
 		return resp, err
 	}
-	res, _, err := rtopk.BichromaticCtx(ctx, ix.tree, ws, req.Q, req.K)
+	res, _, err := ix.bichromatic(ctx, ws, req.Q, req.K)
 	if err != nil {
 		return resp, err
 	}
@@ -242,7 +240,7 @@ func (ix *Index) ExplainCtx(ctx context.Context, req ExplainRequest) (ExplainRes
 	if err := ctx.Err(); err != nil {
 		return resp, err
 	}
-	ex, err := core.ExplainCtx(ctx, ix.tree, req.Q, ws)
+	ex, err := ix.explainResults(ctx, req.Q, ws)
 	if err != nil {
 		return resp, err
 	}

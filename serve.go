@@ -19,7 +19,6 @@ import (
 	"time"
 
 	"wqrtq/internal/engine"
-	"wqrtq/internal/rtopk"
 	"wqrtq/internal/topk"
 	"wqrtq/internal/vec"
 )
@@ -46,6 +45,13 @@ type EngineConfig struct {
 	// CacheSize is the capacity of the (epoch, query)-keyed LRU result
 	// cache. 0 uses 4096; negative disables caching.
 	CacheSize int
+	// Shards > 1 partitions the dataset into that many spatial shards
+	// (STR-order round-robin of leaf runs, see internal/shard) and executes
+	// TopK, Rank, ReverseTopK (including the RTA stage of WhyNot) and
+	// Explain by scatter-gather across them. Results are bit-identical to
+	// unsharded execution; on multi-core hardware per-shard searches run
+	// concurrently. <= 1 (the default) keeps the monolithic index.
+	Shards int
 }
 
 func (c EngineConfig) withDefaults() EngineConfig {
@@ -80,12 +86,18 @@ type Engine struct {
 
 // NewEngine wraps ix in a serving engine. The engine takes ownership of the
 // index: the caller must not mutate ix afterwards (queries on it remain
-// fine).
+// fine). When cfg.Shards > 1 and the index is not already partitioned that
+// way, the engine reshards it before serving starts.
 func NewEngine(ix *Index, cfg EngineConfig) (*Engine, error) {
 	if ix == nil {
 		return nil, errors.New("wqrtq: NewEngine requires an index")
 	}
 	cfg = cfg.withDefaults()
+	if cfg.Shards > 1 && ix.Shards() != cfg.Shards {
+		if err := ix.Reshard(cfg.Shards); err != nil {
+			return nil, err
+		}
+	}
 	e := &Engine{cfg: cfg, metrics: engine.NewMetrics()}
 	e.current.Store(ix)
 	if cfg.CacheSize > 0 {
@@ -150,6 +162,7 @@ func (e *Engine) insert(p []float64) (int, uint64, error) {
 		return 0, cur.Epoch(), err
 	}
 	e.current.Store(next)
+	e.sweepCache(next.Epoch())
 	return id, next.Epoch(), nil
 }
 
@@ -183,7 +196,25 @@ func (e *Engine) delete(id int) (bool, uint64, error) {
 		return ok, cur.Epoch(), err
 	}
 	e.current.Store(next)
+	e.sweepCache(next.Epoch())
 	return true, next.Epoch(), nil
+}
+
+// sweepCache evicts every cache entry of a superseded epoch as soon as a
+// mutation publishes a new one. Without the sweep, dead-epoch entries — no
+// longer reachable by any lookup, since lookups always key on the current
+// epoch — would linger until capacity pressure pushed them out, silently
+// halving the effective cache under mutation-heavy load. A query that raced
+// the publish can still deposit one stale entry after the sweep; it is
+// collected by the next publish (and counted in CacheEvictions then).
+func (e *Engine) sweepCache(current uint64) {
+	if e.cache == nil {
+		return
+	}
+	prefix := epochKey(current, "")
+	e.cache.EvictIf(func(k string) bool {
+		return len(k) < len(prefix) || k[:len(prefix)] != prefix
+	})
 }
 
 // TopK serves Index.TopK from the current snapshot, batched and cached. It
@@ -425,6 +456,9 @@ type EngineStats struct {
 	// Live points and allocated ids in the current snapshot.
 	Live   int `json:"live"`
 	NumIDs int `json:"num_ids"`
+	// Shards is the number of spatial partitions executing scatter-gather
+	// queries; 1 means monolithic execution.
+	Shards int `json:"shards"`
 	// Per-endpoint latency counters (topk, rank, rtopk, explain, whynot,
 	// modify_query, modify_preferences, modify_all, insert, delete).
 	Endpoints map[string]engine.CounterSnapshot `json:"endpoints"`
@@ -432,10 +466,13 @@ type EngineStats struct {
 	// the caller's context was canceled or its deadline expired (each
 	// endpoint's own count is in Endpoints).
 	Canceled int64 `json:"canceled"`
-	// Result cache counters; hits/misses count lookups.
-	CacheHits   int64 `json:"cache_hits"`
-	CacheMisses int64 `json:"cache_misses"`
-	CacheLen    int   `json:"cache_len"`
+	// Result cache counters; hits/misses count lookups. CacheEvictions
+	// counts entries removed by capacity pressure and by the dead-epoch
+	// sweep that runs when a mutation publishes a new snapshot.
+	CacheHits      int64 `json:"cache_hits"`
+	CacheMisses    int64 `json:"cache_misses"`
+	CacheLen       int   `json:"cache_len"`
+	CacheEvictions int64 `json:"cache_evictions"`
 }
 
 // Stats returns the engine's serving counters.
@@ -445,6 +482,7 @@ func (e *Engine) Stats() EngineStats {
 		Epoch:     snap.Epoch(),
 		Live:      snap.Len(),
 		NumIDs:    snap.NumIDs(),
+		Shards:    snap.Shards(),
 		Endpoints: e.metrics.Snapshot(),
 	}
 	for _, c := range s.Endpoints {
@@ -453,6 +491,7 @@ func (e *Engine) Stats() EngineStats {
 	if e.cache != nil {
 		s.CacheHits, s.CacheMisses = e.cache.Stats()
 		s.CacheLen = e.cache.Len()
+		s.CacheEvictions = e.cache.Evictions()
 	}
 	return s
 }
@@ -648,12 +687,12 @@ func (e *Engine) exec(batch []*engineReq) {
 		switch r.kind {
 		case "topk":
 			var rs []topk.Result
-			rs, err = topk.TopKCtx(cctx, snap.tree, vec.Weight(r.w), r.k)
+			rs, err = snap.topkResults(cctx, vec.Weight(r.w), r.k)
 			if err == nil {
 				val = toRanked(rs)
 			}
 		case "rank":
-			val, err = topk.RankCtx(cctx, snap.tree, vec.Weight(r.w), vec.Score(vec.Weight(r.w), vec.Point(r.q)))
+			val, err = snap.rankResult(cctx, vec.Weight(r.w), vec.Score(vec.Weight(r.w), vec.Point(r.q)))
 		case "explain":
 			var resp ExplainResponse
 			resp, err = snap.ExplainCtx(cctx, ExplainRequest{Q: r.q, Wm: r.W})
@@ -703,13 +742,15 @@ func toWeights(W [][]float64) []vec.Weight {
 }
 
 // execRTopK evaluates a group of reverse top-k requests sharing (q, k)
-// under ctx (which cancels only when every waiter is gone). Distinct weight
-// sets are concatenated so RTA's threshold buffer prunes across the whole
-// group; per-request results are recovered from the offsets.
+// under ctx (which cancels only when every waiter is gone). The weight sets
+// are merged with duplicates removed — weight vectors shared by co-waiters
+// are evaluated once — so RTA's threshold buffer prunes across the whole
+// group and no vector costs two top-k evaluations; per-request results fan
+// back out through the slot map.
 func (e *Engine) execRTopK(ctx context.Context, snap *Index, grp []*engineReq, finish func(*engineReq, any, error)) {
 	if len(grp) == 1 {
 		r := grp[0]
-		val, _, err := rtopk.BichromaticCtx(ctx, snap.tree, toWeights(r.W), vec.Point(r.q), r.k)
+		val, _, err := snap.bichromatic(ctx, toWeights(r.W), vec.Point(r.q), r.k)
 		if err != nil {
 			finish(r, nil, err)
 			return
@@ -717,40 +758,54 @@ func (e *Engine) execRTopK(ctx context.Context, snap *Index, grp []*engineReq, f
 		finish(r, val, nil)
 		return
 	}
-	offsets := make([]int, len(grp)+1)
-	total := 0
-	for i, r := range grp {
-		offsets[i] = total
-		total += len(r.W)
-	}
-	offsets[len(grp)] = total
-	merged := make([]vec.Weight, 0, total)
-	for _, r := range grp {
-		for _, w := range r.W {
-			merged = append(merged, w)
-		}
-	}
-	res, _, err := rtopk.BichromaticCtx(ctx, snap.tree, merged, vec.Point(grp[0].q), grp[0].k)
+	merged, slots := mergeRTopKWeights(grp)
+	res, _, err := snap.bichromatic(ctx, merged, vec.Point(grp[0].q), grp[0].k)
 	if err != nil {
 		for _, r := range grp {
 			finish(r, nil, err)
 		}
 		return
 	}
-	// res is sorted ascending; split it by offset range.
-	pos := 0
-	for i, r := range grp {
-		lo, hi := offsets[i], offsets[i+1]
-		for pos < len(res) && res[pos] < lo {
-			pos++ // unreachable unless res unsorted; defensive
-		}
+	inResult := make([]bool, len(merged))
+	for _, mi := range res {
+		inResult[mi] = true
+	}
+	for gi, r := range grp {
 		var part []int
-		for pos < len(res) && res[pos] < hi {
-			part = append(part, res[pos]-lo)
-			pos++
+		for j, mi := range slots[gi] {
+			if inResult[mi] {
+				part = append(part, j)
+			}
 		}
 		finish(r, part, nil)
 	}
+}
+
+// mergeRTopKWeights merges the weight sets of a same-(q, k) request group,
+// deduplicating identical vectors: merged holds each distinct weight once,
+// and slots[gi][j] is the merged index evaluating request gi's j-th vector.
+func mergeRTopKWeights(grp []*engineReq) (merged []vec.Weight, slots [][]int) {
+	total := 0
+	for _, r := range grp {
+		total += len(r.W)
+	}
+	merged = make([]vec.Weight, 0, total)
+	slots = make([][]int, len(grp))
+	seen := make(map[string]int, total)
+	for gi, r := range grp {
+		slots[gi] = make([]int, len(r.W))
+		for j, w := range r.W {
+			key := string(appendVec(nil, w))
+			mi, ok := seen[key]
+			if !ok {
+				mi = len(merged)
+				merged = append(merged, w)
+				seen[key] = mi
+			}
+			slots[gi][j] = mi
+		}
+	}
+	return merged, slots
 }
 
 // argKey encodes a request's kind and arguments exactly (no hashing, so no

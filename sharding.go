@@ -1,0 +1,118 @@
+package wqrtq
+
+// Sharded scatter-gather execution. An Index optionally carries a spatial
+// partition of its point set (internal/shard): S shards built by STR-order
+// round-robin of leaf runs, each backed by its own copy-on-write R-tree.
+// When present, the core query surface — TopK, Rank, ReverseTopK (and the
+// RTA loop behind WhyNot), Explain — executes by scatter-gather: each shard
+// searches concurrently and the gather merges per-shard buffers into the
+// global answer. Results are bit-identical to unsharded execution (the
+// unsharded index is the differential baseline; see internal/shard and the
+// TestShardedDifferential suite).
+//
+// The monolithic tree is kept alongside the shards: the refinement
+// pipeline (MQP/MWK/MQWK), nearest-neighbor and monochromatic queries
+// traverse it directly, and it anchors the snapshot epoch. Mutations apply
+// to both structures — the owning shard and the monolithic tree — under
+// the same external serialization contract as before.
+
+import (
+	"context"
+
+	"wqrtq/internal/rtopk"
+	"wqrtq/internal/shard"
+	"wqrtq/internal/topk"
+	"wqrtq/internal/vec"
+)
+
+// NewIndexSharded is NewIndex with the dataset additionally partitioned
+// into s spatial shards for scatter-gather query execution. s <= 1 builds a
+// plain unsharded index.
+func NewIndexSharded(points [][]float64, s int) (*Index, error) {
+	ix, err := NewIndex(points)
+	if err != nil {
+		return nil, err
+	}
+	if err := ix.Reshard(s); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+// Reshard rebuilds the index's spatial partition with s shards (s <= 1
+// removes it, restoring monolithic execution; s > shard.MaxShards is
+// rejected, since every query fans out one goroutine per shard). It must be
+// serialized with mutations and must not run concurrently with queries —
+// call it at setup time, before the index is shared. Record ids are
+// preserved.
+func (ix *Index) Reshard(s int) error {
+	if s <= 1 {
+		ix.shards = nil
+		return nil
+	}
+	set, err := shard.New(ix.points, s)
+	if err != nil {
+		return invalidArgf("reshard: %v", err)
+	}
+	ix.shards = set
+	return nil
+}
+
+// Shards returns the number of spatial shards backing scatter-gather
+// execution; 1 means the index is unsharded (monolithic execution).
+func (ix *Index) Shards() int {
+	if ix.shards == nil {
+		return 1
+	}
+	return ix.shards.Shards()
+}
+
+// topkResults answers a validated top-k query through the sharded or
+// monolithic backend.
+func (ix *Index) topkResults(ctx context.Context, w vec.Weight, k int) ([]topk.Result, error) {
+	if ix.shards != nil {
+		return ix.shards.TopKCtx(ctx, w, k)
+	}
+	return topk.TopKCtx(ctx, ix.tree, w, k)
+}
+
+// rankResult answers a validated rank query (1 + global strict-beat count)
+// through the sharded or monolithic backend.
+func (ix *Index) rankResult(ctx context.Context, w vec.Weight, fq float64) (int, error) {
+	if ix.shards != nil {
+		cnt, err := ix.shards.CountBelowCtx(ctx, w, fq)
+		if err != nil {
+			return 0, err
+		}
+		return 1 + cnt, nil
+	}
+	return topk.RankCtx(ctx, ix.tree, w, fq)
+}
+
+// bichromatic answers a validated bichromatic reverse top-k query through
+// the sharded or monolithic backend. Both run the same RTA loop; the
+// sharded form assembles each evaluated vector's global top-k from
+// per-shard buffers.
+func (ix *Index) bichromatic(ctx context.Context, W []vec.Weight, q vec.Point, k int) ([]int, rtopk.Stats, error) {
+	if ix.shards != nil {
+		return ix.shards.BichromaticCtx(ctx, W, q, k)
+	}
+	return rtopk.BichromaticCtx(ctx, ix.tree, W, q, k)
+}
+
+// explainResults answers a validated explanation query through the sharded
+// or monolithic backend.
+func (ix *Index) explainResults(ctx context.Context, q vec.Point, ws []vec.Weight) ([][]topk.Result, error) {
+	if ix.shards != nil {
+		return ix.shards.ExplainCtx(ctx, q, ws)
+	}
+	out := make([][]topk.Result, len(ws))
+	for i, w := range ws {
+		res, err := topk.ExplainCtx(ctx, ix.tree, w, q)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = res
+	}
+	return out, nil
+}

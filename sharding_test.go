@@ -1,0 +1,296 @@
+package wqrtq
+
+// Differential property suite for sharded execution: for every endpoint of
+// the query surface, a sharded index must answer bit-identically to the
+// unsharded index over the same points — same TopK order, same Rank, same
+// ReverseTopK index sets, same WhyNot penalties — across shard counts
+// including ones that leave shards empty. Cases follow the oracle style of
+// internal/core/oracle_test.go: seeded, randomized over the paper's UN/CO/AC
+// dataset shapes, reproducible from the case index alone.
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"wqrtq/internal/dataset"
+	"wqrtq/internal/sample"
+)
+
+var shardDiffShapes = []struct {
+	name string
+	gen  func(n, d int, seed int64) *dataset.Dataset
+}{
+	{"UN", dataset.Independent},
+	{"CO", dataset.Correlated},
+	{"AC", dataset.Anticorrelated},
+}
+
+var shardDiffCounts = []int{1, 2, 3, 7}
+
+// sameRankedModuloTies compares two ranked lists for bit-identical scores
+// and, within each run of equal scores, identical ID sets. Duplicate points
+// (the clamped CO/AC generators produce them) tie on every score, and the
+// paper's definitions determine only the score sequence at a tie — the
+// sharded merge breaks ties by ID while the monolithic heap's order is
+// unspecified, so ID order inside a tie run is not comparable.
+func sameRankedModuloTies(t *testing.T, label string, got, want []Ranked) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Score != want[i].Score {
+			t.Fatalf("%s: rank %d score %v, want %v", label, i+1, got[i].Score, want[i].Score)
+		}
+	}
+	for lo := 0; lo < len(got); {
+		hi := lo + 1
+		for hi < len(got) && got[hi].Score == got[lo].Score {
+			hi++
+		}
+		g := make(map[int]bool, hi-lo)
+		for _, r := range got[lo:hi] {
+			g[r.ID] = true
+		}
+		for _, r := range want[lo:hi] {
+			if !g[r.ID] {
+				t.Fatalf("%s: tie run at rank %d-%d has id %d in unsharded but not sharded",
+					label, lo+1, hi, r.ID)
+			}
+		}
+		lo = hi
+	}
+}
+
+func TestShardedDifferential(t *testing.T) {
+	const casesPerShape = 25
+	for si, shape := range shardDiffShapes {
+		t.Run(shape.name, func(t *testing.T) {
+			for i := 0; i < casesPerShape; i++ {
+				seed := int64(9000*si + i)
+				rng := rand.New(rand.NewSource(seed))
+				n := 1 + rng.Intn(300)
+				d := 2 + rng.Intn(3)
+				k := 1 + rng.Intn(15)
+				ds := shape.gen(n, d, seed+100000)
+				pts := make([][]float64, len(ds.Points))
+				for j, p := range ds.Points {
+					pts[j] = p
+				}
+				base, err := NewIndex(pts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				w := []float64(sample.RandSimplex(rng, d))
+				q := make([]float64, d)
+				for j := range q {
+					q[j] = rng.Float64() * rng.Float64()
+				}
+				W := make([][]float64, 1+rng.Intn(20))
+				for j := range W {
+					W[j] = sample.RandSimplex(rng, d)
+				}
+
+				wantTopK, _ := base.TopK(w, k)
+				wantRank, _ := base.Rank(w, q)
+				wantRTK, _ := base.ReverseTopK(W, q, k)
+				wantExp, _ := base.Explain(q, W[:1])
+
+				for _, s := range shardDiffCounts {
+					sharded, err := NewIndexSharded(pts, s)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if want := max(s, 1); sharded.Shards() != want {
+						t.Fatalf("Shards() = %d, want %d", sharded.Shards(), want)
+					}
+					gotTopK, err := sharded.TopK(w, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					sameRankedModuloTies(t, "TopK", gotTopK, wantTopK)
+					gotRank, err := sharded.Rank(w, q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if gotRank != wantRank {
+						t.Fatalf("case %d s=%d: Rank %d, unsharded %d", i, s, gotRank, wantRank)
+					}
+					gotRTK, err := sharded.ReverseTopK(W, q, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(gotRTK, wantRTK) {
+						t.Fatalf("case %d s=%d: ReverseTopK %v, unsharded %v", i, s, gotRTK, wantRTK)
+					}
+					gotExp, err := sharded.Explain(q, W[:1])
+					if err != nil {
+						t.Fatal(err)
+					}
+					sameRankedModuloTies(t, "Explain", gotExp[0], wantExp[0])
+				}
+			}
+		})
+	}
+}
+
+// TestShardedWhyNotPenalties runs the full why-not pipeline — reverse
+// top-k, explanations, and all three refinement algorithms — on sharded and
+// unsharded indexes with the same seed and asserts identical answers,
+// penalties included.
+func TestShardedWhyNotPenalties(t *testing.T) {
+	const cases = 6
+	opts := Options{SampleSize: 16, Seed: 3}
+	for i := 0; i < cases; i++ {
+		seed := int64(40 + i)
+		rng := rand.New(rand.NewSource(seed))
+		n := 30 + rng.Intn(150)
+		d := 2 + rng.Intn(2)
+		k := 1 + rng.Intn(6)
+		ds := dataset.Independent(n, d, seed+200000)
+		pts := make([][]float64, len(ds.Points))
+		for j, p := range ds.Points {
+			pts[j] = p
+		}
+		base, err := NewIndex(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A mid-ranked query point so some vectors miss it: scale a dataset
+		// point away from the origin.
+		q := make([]float64, d)
+		for j := range q {
+			q[j] = pts[rng.Intn(n)][j]*0.5 + 0.3
+		}
+		W := make([][]float64, 4+rng.Intn(8))
+		for j := range W {
+			W[j] = sample.RandSimplex(rng, d)
+		}
+		want, err := base.WhyNot(q, k, W, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range shardDiffCounts[1:] {
+			sharded, err := NewIndexSharded(pts, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := sharded.WhyNot(q, k, W, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got.Result, want.Result) || !reflect.DeepEqual(got.Missing, want.Missing) {
+				t.Fatalf("case %d s=%d: result/missing diverge: %v/%v vs %v/%v",
+					i, s, got.Result, got.Missing, want.Result, want.Missing)
+			}
+			for ei := range want.Explanations {
+				sameRankedModuloTies(t, "WhyNot explanation", got.Explanations[ei], want.Explanations[ei])
+			}
+			if got.ModifiedQuery.Penalty != want.ModifiedQuery.Penalty ||
+				got.ModifiedPreferences.Penalty != want.ModifiedPreferences.Penalty ||
+				got.ModifiedAll.Penalty != want.ModifiedAll.Penalty {
+				t.Fatalf("case %d s=%d: penalties (%v, %v, %v) vs (%v, %v, %v)",
+					i, s,
+					got.ModifiedQuery.Penalty, got.ModifiedPreferences.Penalty, got.ModifiedAll.Penalty,
+					want.ModifiedQuery.Penalty, want.ModifiedPreferences.Penalty, want.ModifiedAll.Penalty)
+			}
+		}
+	}
+}
+
+// TestShardedMutationsMatchUnsharded drives the same mutation stream into a
+// sharded and an unsharded index and asserts the query surface stays
+// identical throughout.
+func TestShardedMutationsMatchUnsharded(t *testing.T) {
+	const d = 3
+	ds := dataset.Independent(120, d, 31)
+	pts := make([][]float64, len(ds.Points))
+	for j, p := range ds.Points {
+		pts[j] = p
+	}
+	base, err := NewIndex(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := NewIndexSharded(pts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(90001))
+	for i := 0; i < 200; i++ {
+		p := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		idA, errA := base.Insert(p)
+		idB, errB := sharded.Insert(p)
+		if errA != nil || errB != nil || idA != idB {
+			t.Fatalf("insert diverged: (%d, %v) vs (%d, %v)", idA, errA, idB, errB)
+		}
+		if i%3 == 0 {
+			victim := rng.Intn(idA + 1)
+			okA, errA := base.Delete(victim)
+			okB, errB := sharded.Delete(victim)
+			if okA != okB || (errA == nil) != (errB == nil) {
+				t.Fatalf("delete %d diverged: (%v, %v) vs (%v, %v)", victim, okA, errA, okB, errB)
+			}
+		}
+		if i%10 == 0 {
+			w := []float64(sample.RandSimplex(rng, d))
+			wantTopK, _ := base.TopK(w, 12)
+			gotTopK, err := sharded.TopK(w, 12)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameRankedModuloTies(t, "post-mutation TopK", gotTopK, wantTopK)
+		}
+	}
+	if err := sharded.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if base.Len() != sharded.Len() {
+		t.Fatalf("live counts diverged: %d vs %d", base.Len(), sharded.Len())
+	}
+}
+
+// TestEngineSharded runs the engine-level surface over a sharded snapshot
+// and checks it against the unsharded engine's answers, covering the batch
+// executor's scatter-gather dispatch (including cached and merged paths).
+func TestEngineSharded(t *testing.T) {
+	eU, _ := testEngine(t, 400, 3, EngineConfig{})
+	eS, _ := testEngine(t, 400, 3, EngineConfig{Shards: 4})
+	if got := eS.Stats().Shards; got != 4 {
+		t.Fatalf("sharded engine Stats().Shards = %d, want 4", got)
+	}
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 40; i++ {
+		w := []float64(sample.RandSimplex(rng, 3))
+		q := []float64{rng.Float64() * 0.2, rng.Float64() * 0.2, rng.Float64() * 0.2}
+		k := 1 + rng.Intn(10)
+		W := make([][]float64, 1+rng.Intn(6))
+		for j := range W {
+			W[j] = sample.RandSimplex(rng, 3)
+		}
+
+		gotT, _, err := eS.TopK(w, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantT, _, _ := eU.TopK(w, k)
+		sameRankedModuloTies(t, "engine TopK", gotT, wantT)
+		gotR, _, err := eS.Rank(w, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantR, _, _ := eU.Rank(w, q)
+		if gotR != wantR {
+			t.Fatalf("engine Rank diverged at case %d: %d vs %d", i, gotR, wantR)
+		}
+		gotRT, _, err := eS.ReverseTopK(W, q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantRT, _, _ := eU.ReverseTopK(W, q, k)
+		if !reflect.DeepEqual(gotRT, wantRT) {
+			t.Fatalf("engine ReverseTopK diverged at case %d: %v vs %v", i, gotRT, wantRT)
+		}
+	}
+}

@@ -51,19 +51,42 @@ import (
 
 	"wqrtq/internal/rtopk"
 	"wqrtq/internal/rtree"
+	"wqrtq/internal/shard"
 	"wqrtq/internal/topk"
 	"wqrtq/internal/vec"
 )
 
+// ErrInvalidArgument tags every request-boundary validation failure —
+// non-finite or negative weights and points, dimension mismatches,
+// non-positive k, empty weighting-vector sets, out-of-range ids, and bad
+// refinement options. Callers (the HTTP layer in particular) distinguish
+// bad input (errors.Is(err, ErrInvalidArgument) → 400) from internal
+// failures (→ 500) and cancellations (context errors → 503/499).
+var ErrInvalidArgument = errors.New("wqrtq: invalid argument")
+
+// invalidArg tags err as a request-validation failure.
+func invalidArg(err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("%w: %w", ErrInvalidArgument, err)
+}
+
+// invalidArgf builds a tagged request-validation failure.
+func invalidArgf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrInvalidArgument, fmt.Sprintf(format, args...))
+}
+
 // errPositiveK rejects non-positive k across every query path.
-var errPositiveK = errors.New("wqrtq: k must be positive")
+var errPositiveK = fmt.Errorf("%w: k must be positive", ErrInvalidArgument)
 
 // Index is an immutable dataset indexed for reverse top-k and why-not
 // processing.
 type Index struct {
 	tree   *rtree.Tree
 	points []vec.Point
-	shared bool // points backing array is shared with a Clone
+	shared bool       // points backing array is shared with a Clone
+	shards *shard.Set // optional spatial partition (sharding.go); nil = monolithic
 }
 
 // NewIndex validates and bulk-loads a dataset. Every point must be
@@ -71,16 +94,16 @@ type Index struct {
 // retained; callers must not mutate them afterwards.
 func NewIndex(points [][]float64) (*Index, error) {
 	if len(points) == 0 {
-		return nil, errors.New("wqrtq: empty dataset")
+		return nil, invalidArgf("empty dataset")
 	}
 	d := len(points[0])
 	ps := make([]vec.Point, len(points))
 	for i, p := range points {
 		if len(p) != d {
-			return nil, fmt.Errorf("wqrtq: point %d has dimension %d, want %d", i, len(p), d)
+			return nil, invalidArgf("point %d has dimension %d, want %d", i, len(p), d)
 		}
 		if err := vec.ValidatePoint(p); err != nil {
-			return nil, fmt.Errorf("wqrtq: point %d: %w", i, err)
+			return nil, invalidArgf("point %d: %v", i, err)
 		}
 		ps[i] = p
 	}
@@ -150,7 +173,7 @@ type Interval struct {
 // datasets exactly: the maximal λ-intervals whose top-k contains q.
 func (ix *Index) ReverseTopKMono2D(q []float64, k int) ([]Interval, error) {
 	if ix.Dim() != 2 {
-		return nil, errors.New("wqrtq: monochromatic reverse top-k is defined here for 2-D data")
+		return nil, invalidArgf("monochromatic reverse top-k is defined here for 2-D data")
 	}
 	if err := ix.checkPoint(q); err != nil {
 		return nil, err
@@ -179,23 +202,28 @@ func (ix *Index) Explain(q []float64, Wm [][]float64) ([][]Ranked, error) {
 	return resp.Explanations, nil
 }
 
+// checkPoint rejects a query point that is dimensionally wrong, negative,
+// or non-finite (NaN/±Inf), tagging the error with ErrInvalidArgument.
 func (ix *Index) checkPoint(q []float64) error {
 	if len(q) != ix.Dim() {
-		return fmt.Errorf("wqrtq: point dimension %d, index dimension %d", len(q), ix.Dim())
+		return invalidArgf("point dimension %d, index dimension %d", len(q), ix.Dim())
 	}
-	return vec.ValidatePoint(q)
+	return invalidArg(vec.ValidatePoint(q))
 }
 
+// checkWeight rejects a weighting vector that is dimensionally wrong, has
+// negative or non-finite components, or does not sum to 1, tagging the
+// error with ErrInvalidArgument.
 func (ix *Index) checkWeight(w []float64) error {
 	if len(w) != ix.Dim() {
-		return fmt.Errorf("wqrtq: weight dimension %d, index dimension %d", len(w), ix.Dim())
+		return invalidArgf("weight dimension %d, index dimension %d", len(w), ix.Dim())
 	}
-	return vec.ValidateWeight(w)
+	return invalidArg(vec.ValidateWeight(w))
 }
 
 func (ix *Index) checkWeights(W [][]float64) ([]vec.Weight, error) {
 	if len(W) == 0 {
-		return nil, errors.New("wqrtq: empty weighting vector set")
+		return nil, invalidArgf("empty weighting vector set")
 	}
 	ws := make([]vec.Weight, len(W))
 	for i, w := range W {
