@@ -333,6 +333,34 @@ func BenchmarkAblationBulkLoad(b *testing.B) {
 
 // --- Micro-benchmarks of the substrates -------------------------------------
 
+// TestTopKAllocsPerOp guards the heap-loop allocation work: the branch-
+// and-bound search recycles its heap through a pool and keeps heap items
+// pointer-light, so one bounded top-k costs a handful of allocations (the
+// result slice, the iterator, and amortized pool/heap growth) instead of
+// one boxed heap entry per visited tree entry. A regression here silently
+// multiplies the cost of every RTA evaluation.
+func TestTopKAllocsPerOp(t *testing.T) {
+	ds := dataset.Independent(5000, benchDim, 1)
+	tr := ds.Tree()
+	w := vec.Weight{0.2, 0.3, 0.5}
+	topk.TopK(tr, w, benchK) // warm the heap pool
+	allocs := testing.AllocsPerRun(200, func() {
+		topk.TopK(tr, w, benchK)
+	})
+	// Measured ~3 allocs/op; 6 leaves headroom for runtime variation while
+	// still failing fast if per-entry boxing ever returns (hundreds).
+	if allocs > 6 {
+		t.Fatalf("topk.TopK allocates %.1f objects per op, want <= 6", allocs)
+	}
+	fq := vec.Score(w, vec.Point{0.3, 0.3, 0.3})
+	rankAllocs := testing.AllocsPerRun(200, func() {
+		topk.Rank(tr, w, fq)
+	})
+	if rankAllocs > 1 {
+		t.Fatalf("topk.Rank allocates %.1f objects per op, want <= 1", rankAllocs)
+	}
+}
+
 func BenchmarkMicroTopK(b *testing.B) {
 	e := env(b, "independent", benchN, benchDim, benchK, benchRank, benchWm)
 	w := e.wl.Wm[0]

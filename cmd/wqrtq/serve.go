@@ -52,17 +52,22 @@ func cmdServe(args []string) error {
 	cacheSize := fs.Int("cache", 4096, "result cache entries (negative disables)")
 	queryTimeout := fs.Duration("query-timeout", 30*time.Second, "per-query deadline (0 disables); expired queries answer 503")
 	shards := fs.Int("shards", 1, "spatial shards for scatter-gather query execution (<= 1 keeps the monolithic index)")
+	skyband := fs.String("skyband", "on", "k-skyband candidate sub-index: on (default) or off (full-tree ablation; results identical)")
 	fs.Parse(args)
+	if *skyband != "on" && *skyband != "off" {
+		return fmt.Errorf("wqrtq serve: -skyband must be on or off, got %q", *skyband)
+	}
 	ix, _, err := loadIndex(*data)
 	if err != nil {
 		return err
 	}
 	eng, err := wqrtq.NewEngine(ix, wqrtq.EngineConfig{
-		Workers:     *workers,
-		MaxBatch:    *maxBatch,
-		BatchLinger: *linger,
-		CacheSize:   *cacheSize,
-		Shards:      *shards,
+		Workers:        *workers,
+		MaxBatch:       *maxBatch,
+		BatchLinger:    *linger,
+		CacheSize:      *cacheSize,
+		Shards:         *shards,
+		DisableSkyband: *skyband == "off",
 	})
 	if err != nil {
 		return err
@@ -164,9 +169,10 @@ func newServeHandler(e *wqrtq.Engine, queryTimeout time.Duration) http.Handler {
 			res = []int{}
 		}
 		writeJSON(w, struct {
-			Epoch  uint64 `json:"epoch"`
-			Result []int  `json:"result"`
-		}{resp.Epoch, res})
+			Epoch  uint64         `json:"epoch"`
+			Result []int          `json:"result"`
+			RTA    wqrtq.RTAStats `json:"rta"`
+		}{resp.Epoch, res, resp.RTA})
 	})
 	mux.HandleFunc("POST /v1/explain", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
@@ -308,11 +314,12 @@ func whyNotJSON(epoch uint64, ans *wqrtq.WhyNotAnswer) any {
 		Epoch        uint64         `json:"epoch"`
 		Result       []int          `json:"result"`
 		Missing      []int          `json:"missing"`
+		RTA          wqrtq.RTAStats `json:"rta"`
 		Explanations [][]rankedJSON `json:"explanations"`
 		ModifyQuery  *refineQ       `json:"modify_query,omitempty"`
 		ModifyPrefs  *refineW       `json:"modify_preferences,omitempty"`
 		ModifyAll    *refineAll     `json:"modify_all,omitempty"`
-	}{Epoch: epoch, Result: result, Missing: missing, Explanations: exps}
+	}{Epoch: epoch, Result: result, Missing: missing, RTA: ans.RTA, Explanations: exps}
 	if len(ans.Missing) > 0 {
 		out.ModifyQuery = &refineQ{Q: ans.ModifiedQuery.Q, Penalty: ans.ModifiedQuery.Penalty}
 		out.ModifyPrefs = &refineW{Wm: ans.ModifiedPreferences.Wm, K: ans.ModifiedPreferences.K, Penalty: ans.ModifiedPreferences.Penalty}

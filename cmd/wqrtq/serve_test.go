@@ -71,7 +71,7 @@ func TestServeRTopKGolden(t *testing.T) {
 	h := serveTestHandler(t)
 	rec := post(t, h, "/v1/rtopk",
 		`{"q":[3,3],"k":2,"weights":[[0.25,0.75],[0.75,0.25],[0.5,0.5]]}`)
-	wantGolden(t, rec, http.StatusOK, `{"epoch":0,"result":[0,2]}`+"\n")
+	wantGolden(t, rec, http.StatusOK, `{"epoch":0,"result":[0,2],"rta":{"evaluated":3,"pruned":0,"candidate_set_size":5}}`+"\n")
 }
 
 func TestServeWhyNotGolden(t *testing.T) {
@@ -81,7 +81,7 @@ func TestServeWhyNotGolden(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
 	}
-	golden := `{"epoch":0,"result":[0,2],"missing":[1],"explanations":[[{"id":0,"point":[1,8],"score":2.75},{"id":1,"point":[2,5],"score":2.75}]],"modify_query":{"q":[2.69999999983292,2.899999996320959],"penalty":0.07453559956157275},"modify_preferences":{"wm":[[0.7142857142857143,0.2857142857142857]],"k":2,"penalty":0.025253813613805257},"modify_all":{"q":[3,3],"wm":[[0.7142857142857143,0.2857142857142857]],"k":2,"penalty":0.012626906806902628}}`
+	golden := `{"epoch":0,"result":[0,2],"missing":[1],"rta":{"evaluated":3,"pruned":0,"candidate_set_size":5},"explanations":[[{"id":0,"point":[1,8],"score":2.75},{"id":1,"point":[2,5],"score":2.75}]],"modify_query":{"q":[2.69999999983292,2.899999996320959],"penalty":0.07453559956157275},"modify_preferences":{"wm":[[0.7142857142857143,0.2857142857142857]],"k":2,"penalty":0.025253813613805257},"modify_all":{"q":[3,3],"wm":[[0.7142857142857143,0.2857142857142857]],"k":2,"penalty":0.012626906806902628}}`
 	if got := rec.Body.String(); got != golden+"\n" {
 		t.Fatalf("response mismatch\n got: %s\nwant: %s", got, golden)
 	}
@@ -281,7 +281,7 @@ func TestServeShardedGolden(t *testing.T) {
 		`{"epoch":0,"result":[{"id":4,"point":[9,1],"score":3},{"id":2,"point":[4,3],"score":3.25},{"id":3,"point":[8,2],"score":3.5}]}`+"\n")
 	rec = post(t, h, "/v1/rtopk",
 		`{"q":[3,3],"k":2,"weights":[[0.25,0.75],[0.75,0.25],[0.5,0.5]]}`)
-	wantGolden(t, rec, http.StatusOK, `{"epoch":0,"result":[0,2]}`+"\n")
+	wantGolden(t, rec, http.StatusOK, `{"epoch":0,"result":[0,2],"rta":{"evaluated":3,"pruned":0,"candidate_set_size":5}}`+"\n")
 
 	req := httptest.NewRequest(http.MethodGet, "/v1/stats", nil)
 	rec = httptest.NewRecorder()

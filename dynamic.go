@@ -8,6 +8,7 @@ import (
 
 	"wqrtq/internal/dominance"
 	"wqrtq/internal/rtopk"
+	"wqrtq/internal/skyband"
 	"wqrtq/internal/vec"
 )
 
@@ -31,6 +32,7 @@ func (ix *Index) Insert(p []float64) (int, error) {
 			return 0, err
 		}
 	}
+	ix.resetSkyband()
 	return id, nil
 }
 
@@ -55,6 +57,7 @@ func (ix *Index) Delete(id int) (bool, error) {
 	}
 	ix.ownPoints()
 	ix.points[id] = nil
+	ix.resetSkyband()
 	return true, nil
 }
 
@@ -72,7 +75,9 @@ func (ix *Index) Clone() *Index {
 		tree:   ix.tree.Clone(),
 		points: ix.points[:len(ix.points):len(ix.points)],
 		shared: true,
+		skyOff: ix.skyOff,
 	}
+	c.sky = skyband.NewCache(c.tree, ix.skyCounters())
 	if ix.shards != nil {
 		c.shards = ix.shards.Clone()
 	}
@@ -186,11 +191,19 @@ func (ix *Index) ReverseTopKParallelCtx(ctx context.Context, req ReverseTopKRequ
 		return resp, err
 	}
 	start := time.Now()
-	res, err := rtopk.BichromaticParallelCtx(ctx, ix.tree, ws, req.Q, req.K, workers)
+	t := ix.tree
+	candSize := ix.tree.Len()
+	if b := ix.band(req.K); b != nil {
+		t = b.Tree()
+		candSize = b.Size()
+	}
+	res, stats, err := rtopk.BichromaticParallelCtx(ctx, t, ws, req.Q, req.K, workers)
 	if err != nil {
 		return resp, err
 	}
 	resp.Result = res
+	stats.CandidateSetSize = candSize
+	resp.RTA = toRTAStats(stats)
 	resp.Elapsed = time.Since(start)
 	return resp, nil
 }

@@ -121,8 +121,8 @@ func TestExecRTopKSharedWeights(t *testing.T) {
 		if err != nil {
 			t.Fatalf("execRTopK: %v", err)
 		}
-		res, _ := val.([]int)
-		got[r] = res
+		rv, _ := val.(rtopkVal)
+		got[r] = rv.res
 	})
 	for i, r := range []*engineReq{ra, rb} {
 		want, err := snap.ReverseTopK(r.W, r.q, r.k)

@@ -45,6 +45,16 @@ func MQP(t *rtree.Tree, q vec.Point, k int, wm []vec.Weight, pm PenaltyModel) (M
 // searches of phase 1 poll ctx on their heap loops (the interior-point solve
 // of phase 2 is a small dense problem and runs to completion).
 func MQPCtx(ctx context.Context, t *rtree.Tree, q vec.Point, k int, wm []vec.Weight, pm PenaltyModel) (MQPResult, error) {
+	return MQPSrcCtx(ctx, t, nil, q, k, wm, pm)
+}
+
+// MQPSrcCtx is MQPCtx with the per-vector top k-th searches routed through
+// an optional skyband Source. The refined point and penalty are
+// bit-identical for any valid Source: the safe-region constraints and the
+// feasibility snap consume only the k-th scores, which a k-skyband tree
+// reproduces exactly (only the identity of a score-tied k-th point may
+// differ, visible solely in the diagnostic KthPoints field).
+func MQPSrcCtx(ctx context.Context, t *rtree.Tree, src *Source, q vec.Point, k int, wm []vec.Weight, pm PenaltyModel) (MQPResult, error) {
 	d := len(q)
 	if err := validateInput(t, q, k, wm); err != nil {
 		return MQPResult{}, err
@@ -52,7 +62,7 @@ func MQPCtx(ctx context.Context, t *rtree.Tree, q vec.Point, k int, wm []vec.Wei
 	// Phase 1 (lines 1-12): top k-th point per why-not vector.
 	kth := make([]topk.Result, len(wm))
 	for i, w := range wm {
-		r, ok, err := topk.KthPointCtx(ctx, t, w, k)
+		r, ok, err := kthPoint(ctx, src, t, w, k)
 		if err != nil {
 			return MQPResult{}, err
 		}

@@ -49,6 +49,15 @@ func MQWK(t *rtree.Tree, q vec.Point, k int, wm []vec.Weight, sampleSize, qSampl
 // evaluations), and the inner sampling loops poll on their own intervals, so
 // a canceled refinement unwinds within a fraction of one sample's work.
 func MQWKCtx(ctx context.Context, t *rtree.Tree, q vec.Point, k int, wm []vec.Weight, sampleSize, qSampleSize int, rng *rand.Rand, pm PenaltyModel) (MQWKResult, error) {
+	return MQWKSrcCtx(ctx, t, nil, q, k, wm, sampleSize, qSampleSize, rng, pm)
+}
+
+// MQWKSrcCtx is MQWKCtx with every per-sample evaluation routed through an
+// optional skyband Source: the MQP optimum uses the band's k-th scores, and
+// each sample query point's MWK search classifies candidates into reused
+// scratch, samples hyperplanes lazily and ranks through pruned tree counts.
+// Results are bit-identical to MQWKCtx for any valid Source.
+func MQWKSrcCtx(ctx context.Context, t *rtree.Tree, src *Source, q vec.Point, k int, wm []vec.Weight, sampleSize, qSampleSize int, rng *rand.Rand, pm PenaltyModel) (MQWKResult, error) {
 	if err := validateInput(t, q, k, wm); err != nil {
 		return MQWKResult{}, err
 	}
@@ -56,7 +65,7 @@ func MQWKCtx(ctx context.Context, t *rtree.Tree, q vec.Point, k int, wm []vec.We
 		return MQWKResult{}, fmt.Errorf("core: negative query sample size %d", qSampleSize)
 	}
 	// Line 2: q_min from the first solution.
-	mqp, err := MQPCtx(ctx, t, q, k, wm, pm)
+	mqp, err := MQPSrcCtx(ctx, t, src, q, k, wm, pm)
 	if err != nil {
 		if ctx.Err() != nil {
 			return MQWKResult{}, ctx.Err()
@@ -78,12 +87,23 @@ func MQWKCtx(ctx context.Context, t *rtree.Tree, q vec.Point, k int, wm []vec.We
 		TreeTraversals:   2,
 	}
 
+	var scratch dominance.Sets // reused across samples on the source path
+	var sc *rankScratch
+	if src != nil {
+		sc = &rankScratch{}
+	}
 	evaluate := func(qp vec.Point) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		sets := dominance.Classify(cands, qp)
-		wk, err := MWKFromSetsCtx(ctx, &sets, qp, k, wm, sampleSize, rng, pm)
+		var sets dominance.Sets
+		if src != nil {
+			dominance.ClassifyInto(cands, qp, &scratch)
+			sets = scratch
+		} else {
+			sets = dominance.Classify(cands, qp)
+		}
+		wk, err := mwkFromSets(ctx, src, sc, &sets, qp, k, wm, sampleSize, rng, pm)
 		if err != nil {
 			return err
 		}

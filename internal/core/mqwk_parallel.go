@@ -36,6 +36,13 @@ func MQWKParallel(t *rtree.Tree, q vec.Point, k int, wm []vec.Weight, sampleSize
 // remain identical across worker counts at a fixed seed when the context is
 // never canceled.
 func MQWKParallelCtx(ctx context.Context, t *rtree.Tree, q vec.Point, k int, wm []vec.Weight, sampleSize, qSampleSize int, seed int64, workers int, pm PenaltyModel) (MQWKResult, error) {
+	return MQWKParallelSrcCtx(ctx, t, nil, q, k, wm, sampleSize, qSampleSize, seed, workers, pm)
+}
+
+// MQWKParallelSrcCtx is MQWKParallelCtx with every worker's per-sample
+// evaluation routed through an optional skyband Source (see MQWKSrcCtx);
+// results stay identical across worker counts and to the nil-Source path.
+func MQWKParallelSrcCtx(ctx context.Context, t *rtree.Tree, src *Source, q vec.Point, k int, wm []vec.Weight, sampleSize, qSampleSize int, seed int64, workers int, pm PenaltyModel) (MQWKResult, error) {
 	if err := validateInput(t, q, k, wm); err != nil {
 		return MQWKResult{}, err
 	}
@@ -45,7 +52,7 @@ func MQWKParallelCtx(ctx context.Context, t *rtree.Tree, q vec.Point, k int, wm 
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	mqp, err := MQPCtx(ctx, t, q, k, wm, pm)
+	mqp, err := MQPSrcCtx(ctx, t, src, q, k, wm, pm)
 	if err != nil {
 		if ctx.Err() != nil {
 			return MQWKResult{}, ctx.Err()
@@ -73,15 +80,26 @@ func MQWKParallelCtx(ctx context.Context, t *rtree.Tree, q vec.Point, k int, wm 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var scratch dominance.Sets // per-worker scratch on the source path
+			var sc *rankScratch
+			if src != nil {
+				sc = &rankScratch{}
+			}
 			for i := range jobs {
 				if err := ctx.Err(); err != nil {
 					results[i] = cand{err: err}
 					continue
 				}
 				qp := points[i]
-				sets := dominance.Classify(cands, qp)
+				var sets dominance.Sets
+				if src != nil {
+					dominance.ClassifyInto(cands, qp, &scratch)
+					sets = scratch
+				} else {
+					sets = dominance.Classify(cands, qp)
+				}
 				rng := rand.New(rand.NewSource(seed + int64(i) + 1))
-				wk, err := MWKFromSetsCtx(ctx, &sets, qp, k, wm, sampleSize, rng, pm)
+				wk, err := mwkFromSets(ctx, src, sc, &sets, qp, k, wm, sampleSize, rng, pm)
 				if err != nil {
 					results[i] = cand{err: err}
 					continue

@@ -46,6 +46,13 @@ func MWK(t *rtree.Tree, q vec.Point, k int, wm []vec.Weight, sampleSize int, rng
 // MWKCtx is MWK with cooperative cancellation: the |S|-sample drawing and
 // ranking loop polls ctx every sampleCheckInterval samples.
 func MWKCtx(ctx context.Context, t *rtree.Tree, q vec.Point, k int, wm []vec.Weight, sampleSize int, rng *rand.Rand, pm PenaltyModel) (MWKResult, error) {
+	return MWKSrcCtx(ctx, t, nil, q, k, wm, sampleSize, rng, pm)
+}
+
+// MWKSrcCtx is MWKCtx with the per-sample rank evaluations and the sampler
+// construction routed through an optional skyband Source. Results are
+// bit-identical to MWKCtx for any valid Source; nil runs the legacy path.
+func MWKSrcCtx(ctx context.Context, t *rtree.Tree, src *Source, q vec.Point, k int, wm []vec.Weight, sampleSize int, rng *rand.Rand, pm PenaltyModel) (MWKResult, error) {
 	if err := validateInput(t, q, k, wm); err != nil {
 		return MWKResult{}, err
 	}
@@ -53,7 +60,11 @@ func MWKCtx(ctx context.Context, t *rtree.Tree, q vec.Point, k int, wm []vec.Wei
 		return MWKResult{}, fmt.Errorf("core: negative sample size %d", sampleSize)
 	}
 	sets := dominance.FindIncom(t, q)
-	res, err := MWKFromSetsCtx(ctx, &sets, q, k, wm, sampleSize, rng, pm)
+	var sc *rankScratch
+	if src != nil {
+		sc = &rankScratch{}
+	}
+	res, err := mwkFromSets(ctx, src, sc, &sets, q, k, wm, sampleSize, rng, pm)
 	if err != nil {
 		return MWKResult{}, err
 	}
@@ -71,13 +82,26 @@ func MWKFromSets(sets *dominance.Sets, q vec.Point, k int, wm []vec.Weight, samp
 // MWKFromSetsCtx is MWKFromSets with cooperative cancellation over the
 // sample-drawing and candidate-scan loops.
 func MWKFromSetsCtx(ctx context.Context, sets *dominance.Sets, q vec.Point, k int, wm []vec.Weight, sampleSize int, rng *rand.Rand, pm PenaltyModel) (MWKResult, error) {
+	return mwkFromSets(ctx, nil, nil, sets, q, k, wm, sampleSize, rng, pm)
+}
+
+// mwkFromSets is the sampling search with an optional skyband Source: rank
+// evaluations go through rankOf (pruned tree counting when it pays) and the
+// sample space through newSampler (lazy hyperplane enumeration), both
+// bit-compatible with the legacy scans.
+func mwkFromSets(ctx context.Context, src *Source, sc *rankScratch, sets *dominance.Sets, q vec.Point, k int, wm []vec.Weight, sampleSize int, rng *rand.Rand, pm PenaltyModel) (MWKResult, error) {
 	tick := ctxcheck.Every(ctx, sampleCheckInterval)
+	rank := newRankFn(src, sc, sets, q)
 	// Actual rankings and k'max (lines 7-9).
 	ranks := make([]int, len(wm))
 	kMax := 0
 	active := 0
 	for i, w := range wm {
-		ranks[i] = sets.Rank(w, q)
+		r, err := rank(ctx, w)
+		if err != nil {
+			return MWKResult{}, err
+		}
+		ranks[i] = r
 		if ranks[i] > kMax {
 			kMax = ranks[i]
 		}
@@ -100,11 +124,7 @@ func MWKFromSetsCtx(ctx context.Context, sets *dominance.Sets, q vec.Point, k in
 	}
 
 	// Sample space (line 3): hyperplanes of incomparable points.
-	inc := make([]vec.Point, len(sets.I))
-	for i, c := range sets.I {
-		inc[i] = c.Point
-	}
-	sampler, err := sample.NewWeightSampler(q, inc)
+	sampler, err := newSampler(src, sets, q)
 	if err == sample.ErrNoSampleSpace || sampleSize == 0 {
 		// Weight modification cannot help; the k-only baseline stands.
 		return best, nil
@@ -119,12 +139,16 @@ func MWKFromSetsCtx(ctx context.Context, sets *dominance.Sets, q vec.Point, k in
 		rank int
 	}
 	samples := make([]sampleRank, 0, sampleSize)
+	sRank := newSampleRankFn(src, sc, sets, q, kMax, rank)
 	for i := 0; i < sampleSize; i++ {
 		if err := tick.Tick(); err != nil {
 			return MWKResult{}, err
 		}
 		w := sampler.Sample(rng)
-		r := sets.Rank(w, q)
+		r, err := sRank(ctx, w)
+		if err != nil {
+			return MWKResult{}, err
+		}
 		if r <= kMax {
 			samples = append(samples, sampleRank{w: w, rank: r})
 		}

@@ -29,16 +29,32 @@ func MWKPerVector(t *rtree.Tree, q vec.Point, k int, wm []vec.Weight, sampleSize
 // MWKPerVectorCtx is MWKPerVector with cooperative cancellation over the
 // sample-drawing and per-vector scan loops.
 func MWKPerVectorCtx(ctx context.Context, t *rtree.Tree, q vec.Point, k int, wm []vec.Weight, sampleSize int, rng *rand.Rand, pm PenaltyModel) (MWKResult, error) {
+	return MWKPerVectorSrcCtx(ctx, t, nil, q, k, wm, sampleSize, rng, pm)
+}
+
+// MWKPerVectorSrcCtx is MWKPerVectorCtx with the rank evaluations and the
+// sampler construction routed through an optional skyband Source; results
+// are bit-identical for any valid Source.
+func MWKPerVectorSrcCtx(ctx context.Context, t *rtree.Tree, src *Source, q vec.Point, k int, wm []vec.Weight, sampleSize int, rng *rand.Rand, pm PenaltyModel) (MWKResult, error) {
 	if err := validateInput(t, q, k, wm); err != nil {
 		return MWKResult{}, err
 	}
 	tick := ctxcheck.Every(ctx, sampleCheckInterval)
 	sets := dominance.FindIncom(t, q)
+	var sc *rankScratch
+	if src != nil {
+		sc = &rankScratch{}
+	}
+	rank := newRankFn(src, sc, &sets, q)
 	ranks := make([]int, len(wm))
 	kMax := 0
 	active := 0
 	for i, w := range wm {
-		ranks[i] = sets.Rank(w, q)
+		r, err := rank(ctx, w)
+		if err != nil {
+			return MWKResult{}, err
+		}
+		ranks[i] = r
 		if ranks[i] > kMax {
 			kMax = ranks[i]
 		}
@@ -57,11 +73,7 @@ func MWKPerVectorCtx(ctx context.Context, t *rtree.Tree, q vec.Point, k int, wm 
 		BaselineChosen: true,
 		NodesVisited:   sets.NodesVisited,
 	}
-	inc := make([]vec.Point, len(sets.I))
-	for i, c := range sets.I {
-		inc[i] = c.Point
-	}
-	sampler, err := sample.NewWeightSampler(q, inc)
+	sampler, err := newSampler(src, &sets, q)
 	if err == sample.ErrNoSampleSpace || sampleSize == 0 {
 		return baseline, nil
 	} else if err != nil {
@@ -74,12 +86,17 @@ func MWKPerVectorCtx(ctx context.Context, t *rtree.Tree, q vec.Point, k int, wm 
 		rank int
 	}
 	samples := make([]sampleRank, 0, sampleSize)
+	sRank := newSampleRankFn(src, sc, &sets, q, kMax, rank)
 	for i := 0; i < sampleSize; i++ {
 		if err := tick.Tick(); err != nil {
 			return MWKResult{}, err
 		}
 		w := sampler.Sample(rng)
-		if r := sets.Rank(w, q); r <= kMax {
+		r, err := sRank(ctx, w)
+		if err != nil {
+			return MWKResult{}, err
+		}
+		if r <= kMax {
 			samples = append(samples, sampleRank{w: w, rank: r})
 		}
 	}

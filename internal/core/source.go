@@ -1,0 +1,258 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+
+	"wqrtq/internal/dominance"
+	"wqrtq/internal/rtree"
+	"wqrtq/internal/sample"
+	"wqrtq/internal/topk"
+	"wqrtq/internal/vec"
+)
+
+// srcRankCutoff is the candidate-set size below which the flattened linear
+// rank scan beats a pruned tree descent — hyperplane-sampled weights often
+// carry near-zero components, whose thin score slabs cut across many tree
+// tiles, so the descent only wins once the linear scan is several thousand
+// points. Both routes compute the same value; the cutoff only affects
+// speed.
+const srcRankCutoff = 8192
+
+// Source carries the skyband-backed acceleration hooks that the refinement
+// algorithms (MQP, MWK, MQWK) route their index work through. A nil
+// *Source — the -skyband=off ablation — preserves the legacy execution
+// exactly; a non-nil Source must be bit-compatible with it:
+//
+//   - CountBeaters(w, fq) must return precisely the number of candidate
+//     points (the universe behind the algorithm's dominance sets: every
+//     point not dominated by and not equal to the reference query point)
+//     with vec.Score(w, p) < fq. dominance.CountBeatersCtx provides this
+//     over the full tree with pruned descent.
+//   - KthPoint(w, k) must return a point achieving exactly the dataset's
+//     k-th smallest score under w. A k-skyband tree qualifies: the k
+//     smallest scores of the dataset are achieved within the band, so only
+//     the identity of a score-tied k-th point may differ, and MQP consumes
+//     the score alone.
+//
+// The sampling loops additionally switch to sample.LazyWeightSampler,
+// whose draw stream is bit-identical to the eager sampler; refined
+// vectors, k' values and penalties therefore match the ablation exactly,
+// which the skyband differential suite asserts end to end.
+type Source struct {
+	CountBeaters func(ctx context.Context, w vec.Weight, fq float64) (int, error)
+	KthPoint     func(ctx context.Context, w vec.Weight, k int) (topk.Result, bool, error)
+	// BandCounts returns a membership test for the bound-skyband of the
+	// whole dataset — keep(id) reports dominance count < bound — or nil
+	// when no such test is available. The sampling loops use it to shrink
+	// the per-sample scan to the k'max-skyband: a sample's rank is needed
+	// exactly only while it is <= k'max, every strict beater of a point
+	// ranked <= k'max lies in the k'max-skyband, and a trimmed count that
+	// reaches k'max proves the true rank exceeds it — so trimming never
+	// changes a kept sample's rank or a discard decision.
+	BandCounts func(bound int) func(id int32) bool
+}
+
+// rankScratch holds the flattened point buffers one sampling call (or one
+// MQWK worker) reuses across its sample query points, so the per-qp
+// flatten costs no allocation after the first use.
+type rankScratch struct {
+	flat []float64 // full incomparable set, newRankFn
+	trim []float64 // k'max-skyband subset, newSampleRankFn
+}
+
+// newRankFn builds the rank evaluator one mwkFromSets call uses for every
+// weighting vector it ranks against a fixed sets/qp pair. All three routes
+// — legacy Sets.Rank, the flattened linear scan, and the source's pruned
+// tree count — return identical values; the choice only affects speed.
+func newRankFn(src *Source, sc *rankScratch, sets *dominance.Sets, qp vec.Point) func(ctx context.Context, w vec.Weight) (int, error) {
+	if src == nil || src.CountBeaters == nil {
+		return func(_ context.Context, w vec.Weight) (int, error) {
+			return sets.Rank(w, qp), nil
+		}
+	}
+	d := len(qp)
+	if len(sets.D)+len(sets.I) <= srcRankCutoff && d <= 4 && sc != nil {
+		// Flatten I into one contiguous buffer: the per-sample scans are
+		// memory-bound on the Ref slice-header indirection, and one |I|·d
+		// copy amortizes over the |S|+|Wm| scans of the call.
+		flat := sc.flat[:0]
+		for _, c := range sets.I {
+			flat = append(flat, c.Point...)
+		}
+		sc.flat = flat
+		return func(_ context.Context, w vec.Weight) (int, error) {
+			fq := vec.Score(w, qp)
+			return 1 + len(sets.D) + countBeatsFlat(flat, w, fq), nil
+		}
+	}
+	if len(sets.D)+len(sets.I) <= srcRankCutoff {
+		return func(_ context.Context, w vec.Weight) (int, error) {
+			fq := vec.Score(w, qp)
+			return 1 + len(sets.D) + countBeats(sets.I, w, fq), nil
+		}
+	}
+	return func(ctx context.Context, w vec.Weight) (int, error) {
+		fq := vec.Score(w, qp)
+		cnt, err := src.CountBeaters(ctx, w, fq)
+		if err != nil {
+			return 0, err
+		}
+		return 1 + len(sets.D) + cnt - countBeats(sets.D, w, fq), nil
+	}
+}
+
+// newSampleRankFn refines a rank evaluator for the sample loop once k'max
+// is known: with band counts available, the scanned incomparable set
+// shrinks to its k'max-skyband subset. Kept samples (rank <= k'max) get
+// their exact rank; discarded ones (true rank > k'max) are still reported
+// above k'max — both directions proved by the dominator-chain argument in
+// Source.BandCounts — so the loop behaves identically to the full scan.
+func newSampleRankFn(src *Source, sc *rankScratch, sets *dominance.Sets, qp vec.Point, kMax int,
+	fallback func(ctx context.Context, w vec.Weight) (int, error)) func(ctx context.Context, w vec.Weight) (int, error) {
+	d := len(qp)
+	if src == nil || src.BandCounts == nil || sc == nil || d > 4 || len(sets.I) < 64 {
+		return fallback
+	}
+	keep := src.BandCounts(kMax)
+	if keep == nil {
+		return fallback
+	}
+	flat := sc.trim[:0]
+	kept := 0
+	for _, c := range sets.I {
+		if keep(c.ID) {
+			flat = append(flat, c.Point...)
+			kept++
+		}
+	}
+	sc.trim = flat
+	if kept*4 >= len(sets.I)*3 {
+		return fallback // trim too weak to pay for itself
+	}
+	nD := len(sets.D)
+	return func(_ context.Context, w vec.Weight) (int, error) {
+		fq := vec.Score(w, qp)
+		return 1 + nD + countBeatsFlat(flat, w, fq), nil
+	}
+}
+
+// countBeatsFlat is countBeats over a flattened point buffer (d values per
+// point, d = len(w)), with the same multiply/add order as vec.Score.
+func countBeatsFlat(flat []float64, w vec.Weight, fq float64) int {
+	cnt := 0
+	switch len(w) {
+	case 2:
+		w0, w1 := w[0], w[1]
+		for i := 0; i+1 < len(flat); i += 2 {
+			s := w0 * flat[i]
+			s += w1 * flat[i+1]
+			if s < fq {
+				cnt++
+			}
+		}
+	case 3:
+		w0, w1, w2 := w[0], w[1], w[2]
+		for i := 0; i+2 < len(flat); i += 3 {
+			s := w0 * flat[i]
+			s += w1 * flat[i+1]
+			s += w2 * flat[i+2]
+			if s < fq {
+				cnt++
+			}
+		}
+	case 4:
+		w0, w1, w2, w3 := w[0], w[1], w[2], w[3]
+		for i := 0; i+3 < len(flat); i += 4 {
+			s := w0 * flat[i]
+			s += w1 * flat[i+1]
+			s += w2 * flat[i+2]
+			s += w3 * flat[i+3]
+			if s < fq {
+				cnt++
+			}
+		}
+	}
+	return cnt
+}
+
+// countBeats counts refs scoring strictly below fq. The unrolled low-
+// dimension bodies evaluate the score with the same sequence of multiplies
+// and left-to-right adds as vec.Score (float addition of a product chain is
+// association-order dependent, and bit-identity with the legacy scan
+// requires the same order), so the count matches Sets.Rank's inner loop bit
+// for bit while avoiding the per-point call and bounds checks.
+func countBeats(refs []dominance.Ref, w vec.Weight, fq float64) int {
+	cnt := 0
+	switch len(w) {
+	case 2:
+		w0, w1 := w[0], w[1]
+		for _, c := range refs {
+			p := c.Point
+			s := w0 * p[0]
+			s += w1 * p[1]
+			if s < fq {
+				cnt++
+			}
+		}
+	case 3:
+		w0, w1, w2 := w[0], w[1], w[2]
+		for _, c := range refs {
+			p := c.Point
+			s := w0 * p[0]
+			s += w1 * p[1]
+			s += w2 * p[2]
+			if s < fq {
+				cnt++
+			}
+		}
+	case 4:
+		w0, w1, w2, w3 := w[0], w[1], w[2], w[3]
+		for _, c := range refs {
+			p := c.Point
+			s := w0 * p[0]
+			s += w1 * p[1]
+			s += w2 * p[2]
+			s += w3 * p[3]
+			if s < fq {
+				cnt++
+			}
+		}
+	default:
+		for _, c := range refs {
+			if vec.Score(w, c.Point) < fq {
+				cnt++
+			}
+		}
+	}
+	return cnt
+}
+
+// kthPoint routes MQP's top k-th search through the source's band tree
+// when available.
+func kthPoint(ctx context.Context, src *Source, t *rtree.Tree, w vec.Weight, k int) (topk.Result, bool, error) {
+	if src != nil && src.KthPoint != nil {
+		return src.KthPoint(ctx, w, k)
+	}
+	return topk.KthPointCtx(ctx, t, w, k)
+}
+
+// weightSampler abstracts the eager and lazy hyperplane samplers, which
+// draw bit-identical streams over the same incomparable point sequence.
+type weightSampler interface {
+	Sample(rng *rand.Rand) vec.Weight
+}
+
+// newSampler builds the sample space over sets.I: the lazy sampler when a
+// source is active (no per-plane materialization), the legacy eager one
+// otherwise. Both return sample.ErrNoSampleSpace for an empty I.
+func newSampler(src *Source, sets *dominance.Sets, qp vec.Point) (weightSampler, error) {
+	if src != nil {
+		return sample.NewLazyWeightSampler(qp, len(sets.I), func(i int) vec.Point { return sets.I[i].Point })
+	}
+	inc := make([]vec.Point, len(sets.I))
+	for i, c := range sets.I {
+		inc[i] = c.Point
+	}
+	return sample.NewWeightSampler(qp, inc)
+}

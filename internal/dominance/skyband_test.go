@@ -1,0 +1,205 @@
+package dominance
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"wqrtq/internal/rtree"
+	"wqrtq/internal/vec"
+)
+
+// genPoints builds the three workload shapes the differential suites use:
+// uniform, correlated (clustered near the diagonal, clamped so duplicates
+// occur) and anticorrelated (large skylines).
+func genPoints(shape string, n, d int, rng *rand.Rand) []vec.Point {
+	pts := make([]vec.Point, n)
+	for i := range pts {
+		p := make(vec.Point, d)
+		switch shape {
+		case "CO":
+			base := rng.Float64()
+			for j := range p {
+				v := base + 0.1*(rng.Float64()-0.5)
+				if v < 0 {
+					v = 0
+				}
+				if v > 1 {
+					v = 1
+				}
+				// Coarse grid so exact duplicates and ties occur.
+				p[j] = float64(int(v*10)) / 10
+			}
+		case "AC":
+			s := 0.8 + 0.4*rng.Float64()
+			acc := 0.0
+			for j := 0; j < d-1; j++ {
+				v := rng.Float64() * (s - acc) / float64(d-j)
+				p[j] = v
+				acc += v
+			}
+			p[d-1] = s - acc
+		default:
+			for j := range p {
+				p[j] = rng.Float64()
+			}
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// TestKSkybandMatchesNaive validates the sort-filter against the quadratic
+// reference — membership and exact dominance counts — across shapes,
+// sizes, dimensions and k, including k beyond n.
+func TestKSkybandMatchesNaive(t *testing.T) {
+	for _, shape := range []string{"UN", "CO", "AC"} {
+		for caseIdx := 0; caseIdx < 40; caseIdx++ {
+			rng := rand.New(rand.NewSource(int64(1000*caseIdx + len(shape))))
+			n := 1 + rng.Intn(200)
+			d := 2 + rng.Intn(3)
+			k := 1 + rng.Intn(20)
+			pts := genPoints(shape, n, d, rng)
+			got := KSkyband(pts, k)
+			want := KSkybandNaive(pts, k)
+			if len(want) == 0 {
+				want = nil
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s case %d (n=%d d=%d k=%d): KSkyband %v, naive %v",
+					shape, caseIdx, n, d, k, got, want)
+			}
+		}
+	}
+}
+
+// TestKSkybandDuplicates pins the duplicate-point behavior: equal points do
+// not dominate each other, so every copy of a band member stays in the
+// band — exactly what duplicate-tolerant top-k needs.
+func TestKSkybandDuplicates(t *testing.T) {
+	pts := []vec.Point{
+		{1, 1}, {1, 1}, {1, 1}, // triple duplicate of the best point
+		{2, 2},             // dominated by all three copies
+		{0.5, 3}, {3, 0.5}, // incomparable with everything above
+	}
+	band := KSkyband(pts, 2)
+	want := []BandPoint{
+		{Index: 0, Count: 0}, {Index: 1, Count: 0}, {Index: 2, Count: 0},
+		{Index: 4, Count: 0}, {Index: 5, Count: 0},
+	}
+	if !reflect.DeepEqual(band, want) {
+		t.Fatalf("KSkyband = %v, want %v", band, want)
+	}
+	// With k = 4 the dominated point (3 dominators) re-enters.
+	band4 := KSkyband(pts, 4)
+	if len(band4) != 6 || band4[3].Index != 3 || band4[3].Count != 3 {
+		t.Fatalf("KSkyband(k=4) = %v, want all six points with counts", band4)
+	}
+}
+
+// TestKSkybandEdges covers the empty and degenerate inputs.
+func TestKSkybandEdges(t *testing.T) {
+	if got := KSkyband(nil, 3); got != nil {
+		t.Fatalf("KSkyband(nil) = %v", got)
+	}
+	if got := KSkyband([]vec.Point{{1, 2}}, 0); got != nil {
+		t.Fatalf("KSkyband(k=0) = %v", got)
+	}
+	one := KSkyband([]vec.Point{{1, 2}}, 1)
+	if !reflect.DeepEqual(one, []BandPoint{{Index: 0, Count: 0}}) {
+		t.Fatalf("KSkyband(single) = %v", one)
+	}
+	// The 1-skyband is the skyline.
+	rng := rand.New(rand.NewSource(7))
+	pts := genPoints("UN", 120, 3, rng)
+	band := KSkyband(pts, 1)
+	sky := Skyline(pts)
+	if len(band) != len(sky) {
+		t.Fatalf("1-skyband has %d members, skyline %d", len(band), len(sky))
+	}
+	for i, m := range band {
+		if m.Index != sky[i] || m.Count != 0 {
+			t.Fatalf("1-skyband member %d = %v, skyline index %d", i, m, sky[i])
+		}
+	}
+}
+
+// TestClassifyIntoMatchesClassify checks the scratch-reusing split against
+// the allocating one over randomized candidates and query points, twice per
+// scratch to exercise reuse.
+func TestClassifyIntoMatchesClassify(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	pts := genPoints("UN", 150, 3, rng)
+	cands := make([]Ref, len(pts))
+	for i, p := range pts {
+		cands[i] = Ref{ID: int32(i), Point: p}
+	}
+	var scratch Sets
+	for i := 0; i < 20; i++ {
+		qp := vec.Point{rng.Float64(), rng.Float64(), rng.Float64()}
+		want := Classify(cands, qp)
+		ClassifyInto(cands, qp, &scratch)
+		// Compare element-wise: an empty reused scratch slice is non-nil
+		// where Classify returns nil, which is immaterial to callers.
+		sameRefs := func(got, exp []Ref) bool {
+			if len(got) != len(exp) {
+				return false
+			}
+			for j := range got {
+				if got[j].ID != exp[j].ID || !vec.Equal(got[j].Point, exp[j].Point) {
+					return false
+				}
+			}
+			return true
+		}
+		if !sameRefs(scratch.D, want.D) || !sameRefs(scratch.I, want.I) {
+			t.Fatalf("case %d: ClassifyInto diverged from Classify", i)
+		}
+	}
+}
+
+// TestCountBeatersMatchesScan checks the pruned tree count against the
+// linear definition — candidates of ref scoring strictly below fq — for
+// randomized trees, reference points, weights (including zero components)
+// and thresholds.
+func TestCountBeatersMatchesScan(t *testing.T) {
+	for caseIdx := 0; caseIdx < 30; caseIdx++ {
+		rng := rand.New(rand.NewSource(int64(500 + caseIdx)))
+		n := 1 + rng.Intn(300)
+		d := 2 + rng.Intn(3)
+		pts := genPoints([]string{"UN", "CO", "AC"}[caseIdx%3], n, d, rng)
+		tr := rtree.Bulk(pts, nil, rtree.Options{PageSize: 256})
+		for trial := 0; trial < 10; trial++ {
+			ref := make(vec.Point, d)
+			for j := range ref {
+				ref[j] = rng.Float64() * rng.Float64() * 2
+			}
+			w := make(vec.Weight, d)
+			sum := 0.0
+			for j := range w {
+				w[j] = rng.Float64()
+				if trial%3 == 0 && j == 0 {
+					w[j] = 0 // exercise zero weight components
+				}
+				sum += w[j]
+			}
+			for j := range w {
+				w[j] /= sum
+			}
+			fq := vec.Score(w, pts[rng.Intn(n)]) * (0.5 + rng.Float64())
+			want := 0
+			for _, p := range pts {
+				if !vec.Dominates(ref, p) && !vec.Equal(p, ref) && vec.Score(w, p) < fq {
+					want++
+				}
+			}
+			got, err := CountBeatersCtx(t.Context(), tr, ref, w, fq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("case %d trial %d: CountBeaters = %d, scan = %d", caseIdx, trial, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package rtopk
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"wqrtq/internal/vec"
+)
+
+// checkMono2D validates a Monochromatic2D answer structurally and against
+// MonoRank: intervals are sorted, disjoint and fully merged (no two
+// adjacent intervals share an endpoint — the flush path must have joined
+// them), membership at every interval midpoint implies rank <= k, and the
+// midpoint of every open segment between breakpoints agrees with the
+// rank-based membership predicate.
+//
+// Endpoints are deliberately not rank-checked at their exact λ: a
+// breakpoint is the root of p ⋅ w = q ⋅ w rounded to one float64, and
+// re-evaluating the scores exactly there can break the intended tie either
+// way (this very suite surfaced that: on grid data a "tying" point can
+// compute strictly below q at the stored endpoint). The open-segment
+// midpoints fully determine the answer, so the equivalence check below is
+// still complete.
+func checkMono2D(t *testing.T, label string, points []vec.Point, q vec.Point, k int) {
+	t.Helper()
+	ivs := Monochromatic2D(points, q, k)
+	for i, iv := range ivs {
+		if !(iv.Lo < iv.Hi) {
+			t.Fatalf("%s: interval %d [%v, %v] has empty interior", label, i, iv.Lo, iv.Hi)
+		}
+		if iv.Lo < 0 || iv.Hi > 1 {
+			t.Fatalf("%s: interval %d [%v, %v] outside [0, 1]", label, i, iv.Lo, iv.Hi)
+		}
+		if i > 0 {
+			if ivs[i-1].Hi >= iv.Lo {
+				t.Fatalf("%s: intervals %d and %d overlap or touch (%v >= %v) — adjacent "+
+					"intervals must merge", label, i-1, i, ivs[i-1].Hi, iv.Lo)
+			}
+		}
+		mid := (iv.Lo + iv.Hi) / 2
+		if r := MonoRank(points, q, mid); r > k {
+			t.Fatalf("%s: λ=%v inside interval %d has rank %d > k=%d", label, mid, i, r, k)
+		}
+	}
+	// Exhaustive cross-check on the open segments between consecutive
+	// breakpoints: rank is constant there, so each segment midpoint decides
+	// the whole segment. Breakpoints are where some point ties with q.
+	lams := []float64{0, 1}
+	for _, p := range points {
+		a := p[0] - q[0]
+		b := p[1] - q[1]
+		if a != b {
+			if lam := b / (b - a); lam > 0 && lam < 1 {
+				lams = append(lams, lam)
+			}
+		}
+	}
+	inAnswer := func(lam float64) bool {
+		for _, iv := range ivs {
+			if iv.Lo <= lam && lam <= iv.Hi {
+				return true
+			}
+		}
+		return false
+	}
+	// Midpoints of adjacent distinct breakpoints lie strictly inside one
+	// open segment (a pairwise midpoint could itself be a breakpoint on
+	// grid data, which is the unstable evaluation excluded above).
+	sort.Float64s(lams)
+	for i := 0; i+1 < len(lams); i++ {
+		if lams[i] == lams[i+1] {
+			continue
+		}
+		mid := (lams[i] + lams[i+1]) / 2
+		if mid <= lams[i] || mid >= lams[i+1] {
+			continue
+		}
+		want := MonoRank(points, q, mid) <= k
+		if got := inAnswer(mid); got != want {
+			t.Fatalf("%s: λ=%v membership %v, rank-based %v", label, mid, got, want)
+		}
+	}
+}
+
+// TestMono2DDuplicateBreakpoints pins the duplicate-λ event handling: all
+// coverage deltas at one breakpoint must apply before the sweep flushes, or
+// intervals gain or lose endpoints. Duplicated points produce exactly
+// coincident breakpoints, and symmetric pairs produce breakpoints shared
+// between an increasing and a decreasing side.
+func TestMono2DDuplicateBreakpoints(t *testing.T) {
+	q := vec.Point{3, 3}
+	points := []vec.Point{
+		// Two identical points tying q at λ = 0.5 from the "beats below"
+		// side, plus the mirrored pair tying at the same λ from the other.
+		{2, 4}, {2, 4},
+		{4, 2}, {4, 2},
+		// A dominated point, irrelevant everywhere.
+		{5, 5},
+		// A dominating point, relevant everywhere.
+		{1, 1},
+	}
+	for k := 1; k <= 6; k++ {
+		checkMono2D(t, "duplicate-breakpoints", points, q, k)
+	}
+}
+
+// TestMono2DAdjacentMerge forces the flush-merge path (out[n-1].Hi == lo):
+// a point whose hyperplane only touches the answer at one λ splits the
+// sweep segments without changing membership, so the reported intervals
+// must still come out joined.
+func TestMono2DAdjacentMerge(t *testing.T) {
+	q := vec.Point{2, 2}
+	// p ties q at λ = 0.5 and beats it on one side only; with k = 2 the
+	// answer is the whole segment and must be reported as one interval,
+	// not two halves meeting at 0.5.
+	points := []vec.Point{{1, 3}, {6, 6}}
+	ivs := Monochromatic2D(points, q, 2)
+	if len(ivs) != 1 || ivs[0].Lo != 0 || ivs[0].Hi != 1 {
+		t.Fatalf("expected the merged full segment, got %v", ivs)
+	}
+	checkMono2D(t, "adjacent-merge", points, q, 1)
+}
+
+// TestMono2DRandomizedGrid runs the structural and MonoRank cross-checks
+// over randomized grid-quantized datasets, where coincident breakpoints
+// and exact ties are common, for a spread of k.
+func TestMono2DRandomizedGrid(t *testing.T) {
+	for caseIdx := 0; caseIdx < 60; caseIdx++ {
+		rng := rand.New(rand.NewSource(int64(2000 + caseIdx)))
+		n := 1 + rng.Intn(25)
+		points := make([]vec.Point, n)
+		for i := range points {
+			// Small integer grid: duplicate points and duplicate λ events
+			// appear with high probability.
+			points[i] = vec.Point{float64(rng.Intn(6)), float64(rng.Intn(6))}
+		}
+		q := vec.Point{float64(1 + rng.Intn(4)), float64(1 + rng.Intn(4))}
+		k := 1 + rng.Intn(5)
+		checkMono2D(t, "grid", points, q, k)
+	}
+}
+
+// TestMono2DRandomizedContinuous mirrors the grid cases on continuous
+// coordinates, where every breakpoint is distinct.
+func TestMono2DRandomizedContinuous(t *testing.T) {
+	for caseIdx := 0; caseIdx < 40; caseIdx++ {
+		rng := rand.New(rand.NewSource(int64(3000 + caseIdx)))
+		n := 1 + rng.Intn(40)
+		points := make([]vec.Point, n)
+		for i := range points {
+			points[i] = vec.Point{rng.Float64() * 4, rng.Float64() * 4}
+		}
+		q := vec.Point{rng.Float64()*2 + 1, rng.Float64()*2 + 1}
+		k := 1 + rng.Intn(6)
+		checkMono2D(t, "continuous", points, q, k)
+	}
+}

@@ -20,16 +20,18 @@ import (
 // Results are identical to Bichromatic (both return sorted indices and
 // evaluate the same predicate exactly).
 func BichromaticParallel(t *rtree.Tree, W []vec.Weight, q vec.Point, k, workers int) []int {
-	res, _ := BichromaticParallelCtx(context.Background(), t, W, q, k, workers)
+	res, _, _ := BichromaticParallelCtx(context.Background(), t, W, q, k, workers)
 	return res
 }
 
 // BichromaticParallelCtx is BichromaticParallel with cooperative
 // cancellation: every worker's chunk evaluation polls the shared ctx, so one
-// cancellation unwinds the whole fan-out.
-func BichromaticParallelCtx(ctx context.Context, t *rtree.Tree, W []vec.Weight, q vec.Point, k, workers int) ([]int, error) {
+// cancellation unwinds the whole fan-out. Stats sum the per-worker chunk
+// evaluations (Evaluated + Pruned == len(W), as on the serial path; the
+// split buffers prune less than one global pass would).
+func BichromaticParallelCtx(ctx context.Context, t *rtree.Tree, W []vec.Weight, q vec.Point, k, workers int) ([]int, Stats, error) {
 	if len(W) == 0 {
-		return nil, ctx.Err()
+		return nil, Stats{CandidateSetSize: t.Len()}, ctx.Err()
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -57,6 +59,7 @@ func BichromaticParallelCtx(ctx context.Context, t *rtree.Tree, W []vec.Weight, 
 		}
 	}
 	results := make([][]int, workers)
+	stats := make([]Stats, workers)
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for i, chunk := range chunks {
@@ -70,11 +73,12 @@ func BichromaticParallelCtx(ctx context.Context, t *rtree.Tree, W []vec.Weight, 
 			for j, wi := range idxs {
 				sub[j] = W[wi]
 			}
-			local, _, err := BichromaticCtx(ctx, t, sub, q, k)
+			local, st, err := BichromaticCtx(ctx, t, sub, q, k)
 			if err != nil {
 				errs[slot] = err
 				return
 			}
+			stats[slot] = st
 			out := make([]int, len(local))
 			for j, li := range local {
 				out[j] = idxs[li]
@@ -83,9 +87,14 @@ func BichromaticParallelCtx(ctx context.Context, t *rtree.Tree, W []vec.Weight, 
 		}(i, chunk)
 	}
 	wg.Wait()
+	total := Stats{CandidateSetSize: t.Len()}
+	for _, st := range stats {
+		total.Evaluated += st.Evaluated
+		total.Pruned += st.Pruned
+	}
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return nil, total, err
 		}
 	}
 	var merged []int
@@ -93,5 +102,5 @@ func BichromaticParallelCtx(ctx context.Context, t *rtree.Tree, W []vec.Weight, 
 		merged = append(merged, r...)
 	}
 	sort.Ints(merged)
-	return merged, nil
+	return merged, total, nil
 }

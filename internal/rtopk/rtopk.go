@@ -33,6 +33,12 @@ const checkInterval = 16
 type Stats struct {
 	Evaluated int // vectors that required a top-k evaluation
 	Pruned    int // vectors rejected by the buffer threshold
+	// CandidateSetSize is the number of indexed points each top-k
+	// evaluation ran against: the k-skyband size when the skyband
+	// sub-index served the query, the full dataset size otherwise. The
+	// caller routing the evaluation fills it in (BichromaticFuncCtx cannot
+	// see the backend).
+	CandidateSetSize int
 }
 
 // Bichromatic returns the indices into W of the weighting vectors whose
@@ -46,9 +52,11 @@ func Bichromatic(t *rtree.Tree, W []vec.Weight, q vec.Point, k int) ([]int, Stat
 // polls ctx every checkInterval vectors, and each underlying top-k
 // evaluation polls on its heap loop, so a canceled query unwinds mid-batch.
 func BichromaticCtx(ctx context.Context, t *rtree.Tree, W []vec.Weight, q vec.Point, k int) ([]int, Stats, error) {
-	return BichromaticFuncCtx(ctx, W, q, k, func(ctx context.Context, w vec.Weight, k int) ([]topk.Result, error) {
+	res, stats, err := BichromaticFuncCtx(ctx, W, q, k, func(ctx context.Context, w vec.Weight, k int) ([]topk.Result, error) {
 		return topk.TopKCtx(ctx, t, w, k)
 	})
+	stats.CandidateSetSize = t.Len()
+	return res, stats, err
 }
 
 // TopKFunc computes the global top-k of the dataset under w. It abstracts

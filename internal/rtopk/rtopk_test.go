@@ -1,6 +1,7 @@
 package rtopk
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -297,7 +298,14 @@ func TestBichromaticParallelMatchesSequentialQuick(t *testing.T) {
 		}
 		want, _ := Bichromatic(tr, W, q, k)
 		for _, workers := range []int{1, 3, 8} {
-			got := BichromaticParallel(tr, W, q, k, workers)
+			got, stats, err := BichromaticParallelCtx(context.Background(), tr, W, q, k, workers)
+			if err != nil {
+				return false
+			}
+			// The summed per-chunk stats must account for every vector.
+			if stats.Evaluated+stats.Pruned != len(W) || stats.CandidateSetSize != tr.Len() {
+				return false
+			}
 			if len(got) != len(want) {
 				return false
 			}

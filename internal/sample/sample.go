@@ -124,6 +124,50 @@ func combineVertices(vs []vec.Weight, rng *rand.Rand) vec.Weight {
 	return w
 }
 
+// LazyWeightSampler draws the exact same weighting-vector stream as a
+// WeightSampler built over the same incomparable points — same rand.Rand
+// consumption, same values — without materializing any hyperplane up front.
+// Each draw picks an index, derives that one point's hyperplane c = p - q,
+// and enumerates its simplex vertices on demand, so construction is O(1)
+// instead of O(|I|·d²) with per-plane allocations. The skyband-routed
+// refinement loops of internal/core build one of these per sample query
+// point.
+//
+// Precondition: every accessible point must be strictly incomparable with q
+// (some coordinate below q and some above, as FindIncom and Classify
+// guarantee for their I sets). Such a hyperplane always intersects the
+// weighting simplex, which is what makes the index stream identical to the
+// eager sampler's: NewWeightSampler drops only planes that miss the
+// simplex, and under the precondition there are none to drop. Sample panics
+// if the precondition is violated.
+type LazyWeightSampler struct {
+	q  vec.Point
+	n  int
+	at func(int) vec.Point
+}
+
+// NewLazyWeightSampler prepares a lazy sample space over n incomparable
+// points accessed through at. It returns ErrNoSampleSpace when n == 0,
+// mirroring the eager constructor.
+func NewLazyWeightSampler(q vec.Point, n int, at func(int) vec.Point) (*LazyWeightSampler, error) {
+	if n == 0 {
+		return nil, ErrNoSampleSpace
+	}
+	return &LazyWeightSampler{q: q, n: n, at: at}, nil
+}
+
+// Sample draws one weighting vector, bit-identically to
+// (*WeightSampler).Sample over the same point sequence.
+func (s *LazyWeightSampler) Sample(rng *rand.Rand) vec.Weight {
+	idx := rng.Intn(s.n)
+	c := vec.Sub(s.at(idx), s.q)
+	vs := HyperplaneVertices(c)
+	if len(vs) == 0 {
+		panic("sample: LazyWeightSampler over a point not incomparable with q")
+	}
+	return combineVertices(vs, rng)
+}
+
 // RandSimplex returns a uniform random point on the standard d-simplex.
 func RandSimplex(rng *rand.Rand, d int) vec.Weight {
 	w := make(vec.Weight, d)

@@ -36,6 +36,7 @@ import (
 
 	"wqrtq/internal/rtopk"
 	"wqrtq/internal/rtree"
+	"wqrtq/internal/skyband"
 	"wqrtq/internal/topk"
 	"wqrtq/internal/vec"
 )
@@ -50,6 +51,14 @@ type Set struct {
 	// clones, like the Index id table.
 	owner       []int32
 	sharedOwner bool
+	// skies are the per-shard k-skyband caches (nil when the skyband
+	// sub-index is disabled). A point in the global top-k is in its own
+	// shard's top-k, hence in that shard's local k-skyband, so evaluating
+	// each shard against its local band and merging preserves scatter-
+	// gather results exactly. Caches are per-snapshot: Clone builds fresh
+	// ones over the cloned trees, and a mutation resets the touched
+	// shard's, so stale bands are unreachable.
+	skies []*skyband.Cache
 }
 
 // MaxShards bounds the shard count: every query fans out one goroutine per
@@ -122,7 +131,9 @@ func (s *Set) Len() int {
 
 // Clone returns a copy-on-write snapshot of the set in O(S): every shard
 // tree is cloned (sharing all nodes) and the ownership table is shared
-// until the next mutation of either side.
+// until the next mutation of either side. Skyband caches are not shared:
+// the clone gets fresh empty ones (same cumulative counters), computed
+// lazily on first use.
 func (s *Set) Clone() *Set {
 	c := &Set{
 		dim:         s.dim,
@@ -133,8 +144,63 @@ func (s *Set) Clone() *Set {
 	for i, t := range s.trees {
 		c.trees[i] = t.Clone()
 	}
+	if s.skies != nil {
+		c.EnableSkyband(s.skies[0].Counters())
+	}
 	s.sharedOwner = true
 	return c
+}
+
+// EnableSkyband attaches a fresh per-shard skyband cache to every shard
+// tree; bands are computed lazily per (shard, k) on first use. ct carries
+// the cumulative counters shared with the rest of the clone family (nil
+// allocates a private set).
+func (s *Set) EnableSkyband(ct *skyband.Counters) {
+	if ct == nil {
+		ct = skyband.NewCounters()
+	}
+	skies := make([]*skyband.Cache, len(s.trees))
+	for i, t := range s.trees {
+		skies[i] = skyband.NewCache(t, ct)
+	}
+	s.skies = skies
+}
+
+// DisableSkyband detaches the per-shard skyband caches; queries revert to
+// the full shard trees.
+func (s *Set) DisableSkyband() { s.skies = nil }
+
+// SkybandEnabled reports whether the per-shard skyband caches are active.
+func (s *Set) SkybandEnabled() bool { return s.skies != nil }
+
+// SkybandStats sums the per-shard cache contents.
+func (s *Set) SkybandStats() skyband.Stats {
+	var st skyband.Stats
+	for _, c := range s.skies {
+		cs := c.Stats()
+		st.Bands += cs.Bands
+		st.Points += cs.Points
+	}
+	return st
+}
+
+// resetSky invalidates shard i's skyband cache after an in-place mutation
+// of its tree.
+func (s *Set) resetSky(i int) {
+	if s.skies != nil {
+		s.skies[i] = skyband.NewCache(s.trees[i], s.skies[i].Counters())
+	}
+}
+
+// bandTree returns the tree queries against shard i should run on for
+// parameter k: the shard's local k-skyband tree when enabled, the full
+// shard tree otherwise. The second return is the candidate count.
+func (s *Set) bandTree(i, k int) (*rtree.Tree, int) {
+	if s.skies == nil {
+		return s.trees[i], s.trees[i].Len()
+	}
+	b := s.skies[i].Band(k)
+	return b.Tree(), b.Size()
 }
 
 // ownOwner gives the set a private copy of the ownership table when it is
@@ -165,6 +231,7 @@ func (s *Set) Insert(p vec.Point, id int) error {
 	s.ownOwner()
 	s.owner = append(s.owner, int32(best))
 	s.trees[best].Insert(p, int32(id))
+	s.resetSky(best)
 	return nil
 }
 
@@ -174,7 +241,12 @@ func (s *Set) Delete(p vec.Point, id int) bool {
 	if id < 0 || id >= len(s.owner) || s.owner[id] < 0 {
 		return false
 	}
-	return s.trees[s.owner[id]].Delete(p, int32(id))
+	si := s.owner[id]
+	if !s.trees[si].Delete(p, int32(id)) {
+		return false
+	}
+	s.resetSky(int(si))
+	return true
 }
 
 // TopKCtx returns the k globally best points under w in rank order: each
@@ -200,17 +272,21 @@ func (s *Set) TopKCtx(ctx context.Context, w vec.Weight, k int) ([]topk.Result, 
 
 // CountBelowCtx returns the number of points scoring strictly below fq
 // under w, summed across shards. The global rank of fq is one plus this.
+// With the skyband sub-index enabled, each shard first counts over its
+// local DefaultRankBand-skyband — exact whenever the local count stays
+// below the band bound — and falls back to its full tree otherwise, so the
+// sum is always the exact global count.
 func (s *Set) CountBelowCtx(ctx context.Context, w vec.Weight, fq float64) (int, error) {
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
 	if len(s.trees) == 1 {
-		return topk.CountBelowCtx(ctx, s.trees[0], w, fq)
+		return s.countBelowShard(ctx, 0, w, fq)
 	}
 	counts := make([]int, len(s.trees))
 	errs := make([]error, len(s.trees))
 	s.scatter(func(i int, t *rtree.Tree) {
-		counts[i], errs[i] = topk.CountBelowCtx(ctx, t, w, fq)
+		counts[i], errs[i] = s.countBelowShard(ctx, i, w, fq)
 	})
 	if err := firstError(errs); err != nil {
 		return 0, err
@@ -220,6 +296,17 @@ func (s *Set) CountBelowCtx(ctx context.Context, w vec.Weight, fq float64) (int,
 		total += c
 	}
 	return total, nil
+}
+
+// countBelowShard counts shard i's strict beats of fq, band-first
+// (skyband.CountBelowCtx: exact local band count when below the bound,
+// full shard tree otherwise).
+func (s *Set) countBelowShard(ctx context.Context, i int, w vec.Weight, fq float64) (int, error) {
+	var sky *skyband.Cache
+	if s.skies != nil {
+		sky = s.skies[i]
+	}
+	return skyband.CountBelowCtx(ctx, sky, s.trees[i], w, fq)
 }
 
 // ExplainCtx returns, for each weighting vector, the points scoring
@@ -267,7 +354,21 @@ func (s *Set) BichromaticCtx(ctx context.Context, W []vec.Weight, q vec.Point, k
 		return nil, rtopk.Stats{}, err
 	}
 	if len(s.trees) == 1 {
-		return rtopk.BichromaticCtx(ctx, s.trees[0], W, q, k)
+		bt, size := s.bandTree(0, k)
+		res, stats, err := rtopk.BichromaticCtx(ctx, bt, W, q, k)
+		stats.CandidateSetSize = size
+		return res, stats, err
+	}
+	// Resolve every shard's candidate tree up front, concurrently: first
+	// use after a snapshot swap builds the local k-skybands in parallel.
+	bts := make([]*rtree.Tree, len(s.trees))
+	sizes := make([]int, len(s.trees))
+	s.scatter(func(i int, t *rtree.Tree) {
+		bts[i], sizes[i] = s.bandTree(i, k)
+	})
+	candTotal := 0
+	for _, sz := range sizes {
+		candTotal += sz
 	}
 	type shardTopK struct {
 		res []topk.Result
@@ -283,7 +384,7 @@ func (s *Set) BichromaticCtx(ctx context.Context, W []vec.Weight, q vec.Point, k
 				res, err := topk.TopKCtx(ctx, t, w, k)
 				outs[i] <- shardTopK{res: res, err: err}
 			}
-		}(i, s.trees[i])
+		}(i, bts[i])
 	}
 	defer func() {
 		for i := range jobs {
@@ -308,7 +409,9 @@ func (s *Set) BichromaticCtx(ctx context.Context, W []vec.Weight, q vec.Point, k
 		}
 		return s.gatherMerge(ctx, per, k)
 	}
-	return rtopk.BichromaticFuncCtx(ctx, W, q, k, eval)
+	res, stats, err := rtopk.BichromaticFuncCtx(ctx, W, q, k, eval)
+	stats.CandidateSetSize = candTotal
+	return res, stats, err
 }
 
 // scatter runs fn once per shard on its own goroutine and waits for all of

@@ -1,0 +1,217 @@
+package skyband
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"wqrtq/internal/rtree"
+	"wqrtq/internal/topk"
+	"wqrtq/internal/vec"
+)
+
+func randPoints(n, d int, rng *rand.Rand) []vec.Point {
+	pts := make([]vec.Point, n)
+	for i := range pts {
+		p := make(vec.Point, d)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func randWeight(d int, rng *rand.Rand) vec.Weight {
+	w := make(vec.Weight, d)
+	sum := 0.0
+	for j := range w {
+		w[j] = rng.ExpFloat64()
+		sum += w[j]
+	}
+	for j := range w {
+		w[j] /= sum
+	}
+	return w
+}
+
+// TestBandTopKMatchesFullTree is the core sub-index property: the k
+// smallest scores of the dataset (as a sequence) are identical over the
+// band tree and the full tree, for any weighting vector.
+func TestBandTopKMatchesFullTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{50, 400, 2000} {
+		pts := randPoints(n, 3, rng)
+		tr := rtree.Bulk(pts, nil)
+		c := NewCache(tr, nil)
+		for _, k := range []int{1, 5, 17} {
+			b := c.Band(k)
+			if b.Size() > tr.Len() {
+				t.Fatalf("band larger than dataset: %d > %d", b.Size(), tr.Len())
+			}
+			for trial := 0; trial < 25; trial++ {
+				w := randWeight(3, rng)
+				got := topk.TopK(b.Tree(), w, k)
+				want := topk.TopK(tr, w, k)
+				if len(got) != len(want) {
+					t.Fatalf("n=%d k=%d: band top-k has %d results, full %d", n, k, len(got), len(want))
+				}
+				for i := range got {
+					if got[i].Score != want[i].Score {
+						t.Fatalf("n=%d k=%d rank %d: band score %v, full %v", n, k, i+1, got[i].Score, want[i].Score)
+					}
+					if got[i].ID != want[i].ID {
+						// Continuous data: ties have probability zero, so
+						// identities must match too.
+						t.Fatalf("n=%d k=%d rank %d: band id %d, full %d", n, k, i+1, got[i].ID, want[i].ID)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBandCappedCountExactBelowBound checks the rank fast path: a band
+// count below the band bound equals the full-tree strict-beat count, and a
+// capped result only ever occurs when the true count is at least the bound.
+func TestBandCappedCountExactBelowBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pts := randPoints(3000, 3, rng)
+	tr := rtree.Bulk(pts, nil)
+	c := NewCache(tr, nil)
+	b := c.Band(DefaultRankBand)
+	if b.Full() {
+		t.Fatalf("expected a real band for n=3000, k=%d", DefaultRankBand)
+	}
+	ctx := context.Background()
+	for trial := 0; trial < 200; trial++ {
+		w := randWeight(3, rng)
+		q := vec.Point{rng.Float64(), rng.Float64(), rng.Float64()}
+		fq := vec.Score(w, q)
+		want := topk.Rank(tr, w, fq) - 1
+		cnt, capped, err := topk.CountBelowCappedCtx(ctx, b.Tree(), w, fq, b.K())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !capped && cnt != want {
+			t.Fatalf("trial %d: band count %d, full count %d", trial, cnt, want)
+		}
+		if capped && want < b.K() {
+			t.Fatalf("trial %d: capped at %d but true count %d < bound", trial, cnt, want)
+		}
+	}
+}
+
+// TestCachePassThroughAndCap covers the full-band pass-through for large k
+// and the k-diversity cap.
+func TestCachePassThroughAndCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := randPoints(100, 2, rng)
+	tr := rtree.Bulk(pts, nil)
+	c := NewCache(tr, nil)
+	if b := c.Band(40); !b.Full() || b.Tree() != tr || b.Size() != 100 {
+		t.Fatalf("Band(40) over n=100 should pass through the full tree")
+	}
+	if got := c.Stats(); got.Bands != 0 {
+		t.Fatalf("pass-through bands must not be cached, Stats = %+v", got)
+	}
+	for k := 1; k <= maxBands; k++ {
+		c.Band(k)
+	}
+	st := c.Stats()
+	if st.Bands != maxBands {
+		t.Fatalf("cached %d bands, want %d", st.Bands, maxBands)
+	}
+	// Beyond the cap: served as pass-through, cache unchanged.
+	if b := c.Band(maxBands + 1); !b.Full() {
+		t.Fatalf("band beyond the cap should pass through")
+	}
+	if got := c.Stats(); got.Bands != maxBands {
+		t.Fatalf("cap exceeded: %d bands cached", got.Bands)
+	}
+}
+
+// TestCacheCountersAndSharing checks build/hit accounting and that one
+// build is shared across concurrent readers.
+func TestCacheCountersAndSharing(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pts := randPoints(800, 3, rng)
+	tr := rtree.Bulk(pts, nil)
+	ct := NewCounters()
+	c := NewCache(tr, ct)
+	var wg sync.WaitGroup
+	bands := make([]*Band, 8)
+	for i := range bands {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			bands[i] = c.Band(7)
+		}(i)
+	}
+	wg.Wait()
+	for _, b := range bands[1:] {
+		if b != bands[0] {
+			t.Fatalf("concurrent readers got different bands")
+		}
+	}
+	s := ct.Snapshot()
+	if s.Builds != 1 {
+		t.Fatalf("builds = %d, want 1", s.Builds)
+	}
+	if s.Builds+s.Hits < 1 {
+		t.Fatalf("counters not accumulating: %+v", s)
+	}
+	c.Band(7)
+	if got := ct.Snapshot().Hits; got < 1 {
+		t.Fatalf("hits = %d after a repeat request", got)
+	}
+	// A second cache sharing the counters keeps accumulating.
+	c2 := NewCache(tr, ct)
+	c2.Band(7)
+	if got := ct.Snapshot().Builds; got != 2 {
+		t.Fatalf("builds across caches = %d, want 2", got)
+	}
+}
+
+// TestBandKeep validates the dominance-count membership test against the
+// stored band counts, including out-of-range ids and bounds above K.
+func TestBandKeep(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	pts := randPoints(600, 3, rng)
+	tr := rtree.Bulk(pts, nil)
+	c := NewCache(tr, nil)
+	b := c.Band(16)
+	if b.Full() {
+		t.Skip("band unexpectedly passed through")
+	}
+	if b.Keep(b.K()+1) != nil {
+		t.Fatalf("Keep above the band bound must be nil")
+	}
+	keep := b.Keep(5)
+	cnt := 0
+	for id := int32(0); id < int32(len(pts)); id++ {
+		if keep(id) {
+			cnt++
+		}
+	}
+	// Cross-check against a direct count of dominators.
+	want := 0
+	for i, p := range pts {
+		dom := 0
+		for j, o := range pts {
+			if i != j && vec.Dominates(o, p) {
+				dom++
+			}
+		}
+		if dom < 5 {
+			want++
+		}
+	}
+	if cnt != want {
+		t.Fatalf("Keep(5) admits %d ids, want %d", cnt, want)
+	}
+	if keep(int32(len(pts) + 10)) {
+		t.Fatalf("Keep must reject out-of-range ids")
+	}
+}

@@ -14,6 +14,7 @@ package topk
 import (
 	"container/heap"
 	"context"
+	"sync"
 
 	"wqrtq/internal/ctxcheck"
 	"wqrtq/internal/rtree"
@@ -33,26 +34,79 @@ type Result struct {
 	Score float64
 }
 
-// heapItem is either an R-tree node or a data point, keyed by min score.
+// heapItem is either an R-tree subtree (idx < 0) or one data entry of a
+// leaf (idx >= 0), keyed by min score. Data entries reference their leaf by
+// (node, idx) instead of carrying id and point: the item stays at three
+// words, so the sift swaps move half the memory and trigger one write
+// barrier instead of three. Leaves reached through a heap item are pinned
+// by the item's node pointer, and copy-on-write clones never mutate nodes
+// of a published snapshot, so the deferred lookup is stable.
 type heapItem struct {
 	score float64
-	node  *rtree.Node // nil for data points
-	id    int32
-	point vec.Point
+	node  *rtree.Node
+	idx   int32
 }
 
+// minHeap is a binary min-heap over heapItem keyed by score. It implements
+// push/pop directly rather than through container/heap: the interface{}
+// boxing of heap.Push allocated one heapItem copy per tree entry, which
+// dominated the allocation profile of every branch-and-bound search. The
+// sift procedures mirror container/heap exactly, so pop order (including
+// order among equal scores) is unchanged.
 type minHeap []heapItem
 
-func (h minHeap) Len() int            { return len(h) }
-func (h minHeap) Less(i, j int) bool  { return h[i].score < h[j].score }
-func (h minHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *minHeap) Push(x interface{}) { *h = append(*h, x.(heapItem)) }
-func (h *minHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+func (h *minHeap) push(it heapItem) {
+	*h = append(*h, it)
+	// Sift up, as container/heap.Push would.
+	s := *h
+	j := len(s) - 1
+	for j > 0 {
+		parent := (j - 1) / 2
+		if s[parent].score <= s[j].score {
+			break
+		}
+		s[parent], s[j] = s[j], s[parent]
+		j = parent
+	}
+}
+
+func (h *minHeap) pop() heapItem {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	top := s[n]
+	s = s[:n]
+	*h = s
+	// Sift down from the root, as container/heap.Pop would.
+	j := 0
+	for {
+		l := 2*j + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && s[r].score < s[l].score {
+			m = r
+		}
+		if s[j].score <= s[m].score {
+			break
+		}
+		s[j], s[m] = s[m], s[j]
+		j = m
+	}
+	return top
+}
+
+// heapPool recycles heap backing arrays across searches. The bounded
+// consumers in this package (TopKCtx, KthPointCtx, ExplainCtx) return their
+// heap on exit; iterators handed to callers keep theirs for the garbage
+// collector. Results never alias the heap storage — they reference tree
+// point slices — so recycling is safe the moment a search returns.
+var heapPool = sync.Pool{
+	New: func() any {
+		h := make(minHeap, 0, 256)
+		return &h
+	},
 }
 
 // Iterator streams the points of an R-tree in ascending score order under a
@@ -61,7 +115,7 @@ func (h *minHeap) Pop() interface{} {
 // object one-by-one" (§3).
 type Iterator struct {
 	w       vec.Weight
-	h       minHeap
+	h       *minHeap
 	visited int // nodes popped, for cost accounting
 	tick    ctxcheck.Ticker
 	err     error // first context error observed; Next reports false after
@@ -77,13 +131,31 @@ func NewIterator(t *rtree.Tree, w vec.Weight) *Iterator {
 // ok=false and Err reports the context's error.
 func NewIteratorCtx(ctx context.Context, t *rtree.Tree, w vec.Weight) *Iterator {
 	it := &Iterator{w: w, tick: ctxcheck.Every(ctx, checkInterval)}
+	h := heapPool.Get().(*minHeap)
+	*h = (*h)[:0]
+	it.h = h
 	root := t.Root()
-	if root.IsLeaf() && root.NumEntries() == 0 {
-		return it
+	if !(root.IsLeaf() && root.NumEntries() == 0) {
+		it.h.push(heapItem{score: 0, node: root, idx: -1})
 	}
-	it.h = minHeap{{score: 0, node: root}}
-	heap.Init(&it.h)
 	return it
+}
+
+// release returns the iterator's heap to the pool. Only the bounded
+// consumers in this package call it, immediately before returning; an
+// iterator must not be used afterwards.
+func (it *Iterator) release() {
+	if it.h == nil {
+		return
+	}
+	h := it.h
+	it.h = nil
+	// Zero the whole backing array, not just the live prefix: popped slots
+	// beyond len still hold node pointers, and a pooled array must not pin
+	// nodes of superseded copy-on-write snapshots.
+	clear((*h)[:cap(*h)])
+	*h = (*h)[:0]
+	heapPool.Put(h)
 }
 
 // Err returns the context error that stopped the iterator, or nil if it ran
@@ -93,28 +165,27 @@ func (it *Iterator) Err() error { return it.err }
 // Next returns the next point in rank order, or ok=false when exhausted or
 // canceled (distinguish via Err).
 func (it *Iterator) Next() (Result, bool) {
-	if it.err != nil {
+	if it.err != nil || it.h == nil {
 		return Result{}, false
 	}
-	for len(it.h) > 0 {
+	for len(*it.h) > 0 {
 		if err := it.tick.Tick(); err != nil {
 			it.err = err
 			return Result{}, false
 		}
-		top := heap.Pop(&it.h).(heapItem)
-		if top.node == nil {
-			return Result{ID: top.id, Point: top.point, Score: top.score}, true
+		top := it.h.pop()
+		if top.idx >= 0 {
+			return Result{ID: top.node.PointID(int(top.idx)), Point: top.node.Point(int(top.idx)), Score: top.score}, true
 		}
 		it.visited++
 		n := top.node
 		if n.IsLeaf() {
 			for i := 0; i < n.NumEntries(); i++ {
-				p := n.Point(i)
-				heap.Push(&it.h, heapItem{score: vec.Score(it.w, p), id: n.PointID(i), point: p})
+				it.h.push(heapItem{score: vec.Score(it.w, n.Point(i)), node: n, idx: int32(i)})
 			}
 		} else {
 			for i := 0; i < n.NumEntries(); i++ {
-				heap.Push(&it.h, heapItem{score: n.EntryRect(i).MinScore(it.w), node: n.Child(i)})
+				it.h.push(heapItem{score: n.EntryRect(i).MinScore(it.w), node: n.Child(i), idx: -1})
 			}
 		}
 	}
@@ -138,6 +209,7 @@ func TopKCtx(ctx context.Context, t *rtree.Tree, w vec.Weight, k int) ([]Result,
 		return nil, nil
 	}
 	it := NewIteratorCtx(ctx, t, w)
+	defer it.release()
 	out := make([]Result, 0, k)
 	for len(out) < k {
 		r, ok := it.Next()
@@ -233,6 +305,63 @@ func countBelow(n *rtree.Node, w vec.Weight, fq float64, tick *ctxcheck.Ticker) 
 func CountBelowCtx(ctx context.Context, t *rtree.Tree, w vec.Weight, fq float64) (int, error) {
 	tick := ctxcheck.Every(ctx, checkInterval)
 	return countBelow(t.Root(), w, fq, &tick)
+}
+
+// CountBelowCappedCtx counts points scoring strictly below fq under w,
+// giving up once the count reaches cap: the return reports the (partial)
+// count and whether the cap was hit. An uncapped return is the exact global
+// strict-beat count. This is the fast path of skyband-backed rank queries:
+// counting over a k-skyband tree is exact whenever the band count stays
+// below k (any dataset with >= k beaters has >= k of them inside the band),
+// and the early exit stops the descent as soon as a fallback to the full
+// tree is inevitable.
+func CountBelowCappedCtx(ctx context.Context, t *rtree.Tree, w vec.Weight, fq float64, bound int) (int, bool, error) {
+	if bound <= 0 {
+		return 0, true, ctx.Err()
+	}
+	tick := ctxcheck.Every(ctx, checkInterval)
+	cnt, err := countBelowCapped(t.Root(), w, fq, bound, &tick)
+	if err != nil {
+		return 0, false, err
+	}
+	return cnt, cnt >= bound, nil
+}
+
+func countBelowCapped(n *rtree.Node, w vec.Weight, fq float64, bound int, tick *ctxcheck.Ticker) (int, error) {
+	if err := tick.Tick(); err != nil {
+		return 0, err
+	}
+	cnt := 0
+	if n.IsLeaf() {
+		for i := 0; i < n.NumEntries(); i++ {
+			if vec.Score(w, n.Point(i)) < fq {
+				cnt++
+				if cnt >= bound {
+					return cnt, nil
+				}
+			}
+		}
+		return cnt, nil
+	}
+	for i := 0; i < n.NumEntries(); i++ {
+		r := n.EntryRect(i)
+		if r.MinScore(w) >= fq {
+			continue
+		}
+		if r.MaxScore(w) < fq {
+			cnt += n.Child(i).Count()
+		} else {
+			sub, err := countBelowCapped(n.Child(i), w, fq, bound-cnt, tick)
+			if err != nil {
+				return 0, err
+			}
+			cnt += sub
+		}
+		if cnt >= bound {
+			return cnt, nil
+		}
+	}
+	return cnt, nil
 }
 
 // MergeCtx k-way merges score-sorted result lists into one sorted list of
@@ -341,6 +470,7 @@ func Explain(t *rtree.Tree, w vec.Weight, q vec.Point) []Result {
 func ExplainCtx(ctx context.Context, t *rtree.Tree, w vec.Weight, q vec.Point) ([]Result, error) {
 	fq := vec.Score(w, q)
 	it := NewIteratorCtx(ctx, t, w)
+	defer it.release()
 	var out []Result
 	for {
 		r, ok := it.Next()

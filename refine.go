@@ -163,6 +163,8 @@ func (ix *Index) Verify(q []float64, k int, Wm [][]float64) (bool, error) {
 type WhyNotAnswer struct {
 	// Result is the bichromatic reverse top-k result (indices into W).
 	Result []int
+	// RTA reports the pruning statistics of the reverse top-k stage.
+	RTA RTAStats
 	// Missing is W minus Result: the why-not candidates.
 	Missing []int
 	// Explanations[i] lists the points responsible for excluding

@@ -68,6 +68,11 @@ type ReverseTopKResponse struct {
 	Elapsed time.Duration
 	// Result holds the indices into W of the matching vectors, ascending.
 	Result []int
+	// RTA reports the evaluation's pruning statistics. For engine requests
+	// served from the result cache or a merged same-(q, k) group, the
+	// statistics are those of the computation that produced the shared
+	// result.
+	RTA RTAStats
 }
 
 // ExplainRequest asks, for each weighting vector in Wm, which points score
@@ -217,11 +222,12 @@ func (ix *Index) ReverseTopKCtx(ctx context.Context, req ReverseTopKRequest) (Re
 	if err := ctx.Err(); err != nil {
 		return resp, err
 	}
-	res, _, err := ix.bichromatic(ctx, ws, req.Q, req.K)
+	res, stats, err := ix.bichromatic(ctx, ws, req.Q, req.K)
 	if err != nil {
 		return resp, err
 	}
 	resp.Result = res
+	resp.RTA = toRTAStats(stats)
 	resp.Elapsed = time.Since(start)
 	return resp, nil
 }
@@ -269,7 +275,7 @@ func (ix *Index) ModifyQueryCtx(ctx context.Context, req ModifyQueryRequest) (Mo
 	if err := ctx.Err(); err != nil {
 		return resp, err
 	}
-	res, err := core.MQPCtx(ctx, ix.tree, req.Q, req.K, ws, pm)
+	res, err := core.MQPSrcCtx(ctx, ix.tree, ix.refineSource(req.Q, req.K), req.Q, req.K, ws, pm)
 	if err != nil {
 		return resp, err
 	}
@@ -294,11 +300,11 @@ func (ix *Index) ModifyPreferencesCtx(ctx context.Context, req ModifyPreferences
 	if err := ctx.Err(); err != nil {
 		return resp, err
 	}
-	run := core.MWKCtx
+	run := core.MWKSrcCtx
 	if req.Opts.PerVector {
-		run = core.MWKPerVectorCtx
+		run = core.MWKPerVectorSrcCtx
 	}
-	res, err := run(ctx, ix.tree, req.Q, req.K, ws, s, rngFor(seed), pm)
+	res, err := run(ctx, ix.tree, ix.refineSource(req.Q, req.K), req.Q, req.K, ws, s, rngFor(seed), pm)
 	if err != nil {
 		return resp, err
 	}
@@ -330,14 +336,15 @@ func (ix *Index) ModifyAllCtx(ctx context.Context, req ModifyAllRequest) (Modify
 		return resp, err
 	}
 	var res core.MQWKResult
+	src := ix.refineSource(req.Q, req.K)
 	if req.Opts.Workers != 0 {
 		workers := req.Opts.Workers
 		if workers < 0 {
 			workers = 0 // MQWKParallel resolves 0 to GOMAXPROCS
 		}
-		res, err = core.MQWKParallelCtx(ctx, ix.tree, req.Q, req.K, ws, s, qs, seed, workers, pm)
+		res, err = core.MQWKParallelSrcCtx(ctx, ix.tree, src, req.Q, req.K, ws, s, qs, seed, workers, pm)
 	} else {
-		res, err = core.MQWKCtx(ctx, ix.tree, req.Q, req.K, ws, s, qs, rngFor(seed), pm)
+		res, err = core.MQWKSrcCtx(ctx, ix.tree, src, req.Q, req.K, ws, s, qs, rngFor(seed), pm)
 	}
 	if err != nil {
 		return resp, err
@@ -364,7 +371,7 @@ func (ix *Index) WhyNotCtx(ctx context.Context, req WhyNotRequest) (WhyNotRespon
 	if err != nil {
 		return resp, err
 	}
-	ans := &WhyNotAnswer{Result: rt.Result}
+	ans := &WhyNotAnswer{Result: rt.Result, RTA: rt.RTA}
 	in := make(map[int]bool, len(rt.Result))
 	for _, i := range rt.Result {
 		in[i] = true

@@ -52,6 +52,12 @@ type EngineConfig struct {
 	// unsharded execution; on multi-core hardware per-shard searches run
 	// concurrently. <= 1 (the default) keeps the monolithic index.
 	Shards int
+	// DisableSkyband turns off the epoch-cached k-skyband sub-index (the
+	// -skyband=off ablation): ReverseTopK, Rank, WhyNot and the refinement
+	// endpoints then run the full-tree execution paths. Results are
+	// identical either way; the sub-index only shrinks the candidate set
+	// each evaluation traverses (see skyband.go and DESIGN.md §8).
+	DisableSkyband bool
 }
 
 func (c EngineConfig) withDefaults() EngineConfig {
@@ -82,6 +88,50 @@ type Engine struct {
 	cache   *engine.LRU[string, any] // nil when disabled
 	metrics *engine.Metrics
 	closed  atomic.Bool
+	// Per-endpoint RTA totals (rtopk and whynot), accumulated when a
+	// computation actually runs — cache hits and merged co-waiters share
+	// the producing run's statistics without re-counting them.
+	rtaRtopk  rtaTotals
+	rtaWhynot rtaTotals
+}
+
+// rtaTotals accumulates reverse top-k pruning statistics for one endpoint.
+type rtaTotals struct {
+	runs       atomic.Int64
+	evaluated  atomic.Int64
+	pruned     atomic.Int64
+	candidates atomic.Int64
+}
+
+func (t *rtaTotals) add(s RTAStats) {
+	t.runs.Add(1)
+	t.evaluated.Add(int64(s.Evaluated))
+	t.pruned.Add(int64(s.Pruned))
+	t.candidates.Add(int64(s.CandidateSetSize))
+}
+
+// RTATotals is the cumulative RTA work of one endpoint, as surfaced in
+// EngineStats and /v1/stats.
+type RTATotals struct {
+	// Runs counts the RTA evaluations actually executed (cache hits and
+	// merged co-waiters do not add runs).
+	Runs int64 `json:"runs"`
+	// Evaluated and Pruned total the per-run vector counts.
+	Evaluated int64 `json:"evaluated"`
+	Pruned    int64 `json:"pruned"`
+	// CandidatePoints totals the per-run candidate-set sizes; divided by
+	// Runs it is the average number of points each top-k evaluation ran
+	// against — the production-visible measure of the skyband win.
+	CandidatePoints int64 `json:"candidate_points"`
+}
+
+func (t *rtaTotals) snapshot() RTATotals {
+	return RTATotals{
+		Runs:            t.runs.Load(),
+		Evaluated:       t.evaluated.Load(),
+		Pruned:          t.pruned.Load(),
+		CandidatePoints: t.candidates.Load(),
+	}
 }
 
 // NewEngine wraps ix in a serving engine. The engine takes ownership of the
@@ -97,6 +147,9 @@ func NewEngine(ix *Index, cfg EngineConfig) (*Engine, error) {
 		if err := ix.Reshard(cfg.Shards); err != nil {
 			return nil, err
 		}
+	}
+	if ix.SkybandEnabled() == cfg.DisableSkyband {
+		ix.SetSkyband(!cfg.DisableSkyband)
 	}
 	e := &Engine{cfg: cfg, metrics: engine.NewMetrics()}
 	e.current.Store(ix)
@@ -308,7 +361,9 @@ func (e *Engine) ReverseTopKCtx(ctx context.Context, req ReverseTopKRequest) (Re
 	if err != nil {
 		return resp, err
 	}
-	resp.Result = v.([]int)
+	rv := v.(rtopkVal)
+	resp.Result = rv.res
+	resp.RTA = rv.rta
 	resp.Elapsed = time.Since(start)
 	return resp, nil
 }
@@ -473,6 +528,13 @@ type EngineStats struct {
 	CacheMisses    int64 `json:"cache_misses"`
 	CacheLen       int   `json:"cache_len"`
 	CacheEvictions int64 `json:"cache_evictions"`
+	// Skyband describes the k-skyband sub-index: the bands cached on the
+	// current snapshot and the cumulative build/hit/fallback counters.
+	Skyband SkybandStats `json:"skyband"`
+	// RTA aggregates reverse top-k pruning work per endpoint ("rtopk",
+	// "whynot"), so the skyband candidate-set win is observable in
+	// production, not just in benchmarks.
+	RTA map[string]RTATotals `json:"rta"`
 }
 
 // Stats returns the engine's serving counters.
@@ -484,6 +546,11 @@ func (e *Engine) Stats() EngineStats {
 		NumIDs:    snap.NumIDs(),
 		Shards:    snap.Shards(),
 		Endpoints: e.metrics.Snapshot(),
+		Skyband:   snap.SkybandStats(),
+		RTA: map[string]RTATotals{
+			"rtopk":  e.rtaRtopk.snapshot(),
+			"whynot": e.rtaWhynot.snapshot(),
+		},
 	}
 	for _, c := range s.Endpoints {
 		s.Canceled += c.Canceled
@@ -706,6 +773,7 @@ func (e *Engine) exec(batch []*engineReq) {
 			resp, err = snap.WhyNotCtx(cctx, WhyNotRequest{Q: r.q, K: r.k, W: r.W, Opts: r.opts})
 			if err == nil {
 				val = resp.Answer
+				e.rtaWhynot.add(resp.Answer.RTA)
 			}
 		case "modify_query":
 			var resp ModifyQueryResponse
@@ -741,31 +809,42 @@ func toWeights(W [][]float64) []vec.Weight {
 	return ws
 }
 
+// rtopkVal is the engine's cached reverse top-k result: the matching
+// indices plus the pruning statistics of the run that produced them.
+type rtopkVal struct {
+	res []int
+	rta RTAStats
+}
+
 // execRTopK evaluates a group of reverse top-k requests sharing (q, k)
 // under ctx (which cancels only when every waiter is gone). The weight sets
 // are merged with duplicates removed — weight vectors shared by co-waiters
 // are evaluated once — so RTA's threshold buffer prunes across the whole
 // group and no vector costs two top-k evaluations; per-request results fan
-// back out through the slot map.
+// back out through the slot map, each carrying the shared run's statistics.
 func (e *Engine) execRTopK(ctx context.Context, snap *Index, grp []*engineReq, finish func(*engineReq, any, error)) {
 	if len(grp) == 1 {
 		r := grp[0]
-		val, _, err := snap.bichromatic(ctx, toWeights(r.W), vec.Point(r.q), r.k)
+		res, stats, err := snap.bichromatic(ctx, toWeights(r.W), vec.Point(r.q), r.k)
 		if err != nil {
 			finish(r, nil, err)
 			return
 		}
-		finish(r, val, nil)
+		rta := toRTAStats(stats)
+		e.rtaRtopk.add(rta)
+		finish(r, rtopkVal{res: res, rta: rta}, nil)
 		return
 	}
 	merged, slots := mergeRTopKWeights(grp)
-	res, _, err := snap.bichromatic(ctx, merged, vec.Point(grp[0].q), grp[0].k)
+	res, stats, err := snap.bichromatic(ctx, merged, vec.Point(grp[0].q), grp[0].k)
 	if err != nil {
 		for _, r := range grp {
 			finish(r, nil, err)
 		}
 		return
 	}
+	rta := toRTAStats(stats)
+	e.rtaRtopk.add(rta)
 	inResult := make([]bool, len(merged))
 	for _, mi := range res {
 		inResult[mi] = true
@@ -777,7 +856,7 @@ func (e *Engine) execRTopK(ctx context.Context, snap *Index, grp []*engineReq, f
 				part = append(part, j)
 			}
 		}
-		finish(r, part, nil)
+		finish(r, rtopkVal{res: part, rta: rta}, nil)
 	}
 }
 

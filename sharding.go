@@ -21,6 +21,7 @@ import (
 
 	"wqrtq/internal/rtopk"
 	"wqrtq/internal/shard"
+	"wqrtq/internal/skyband"
 	"wqrtq/internal/topk"
 	"wqrtq/internal/vec"
 )
@@ -54,6 +55,9 @@ func (ix *Index) Reshard(s int) error {
 	if err != nil {
 		return invalidArgf("reshard: %v", err)
 	}
+	if !ix.skyOff {
+		set.EnableSkyband(ix.skyCounters())
+	}
 	ix.shards = set
 	return nil
 }
@@ -77,7 +81,11 @@ func (ix *Index) topkResults(ctx context.Context, w vec.Weight, k int) ([]topk.R
 }
 
 // rankResult answers a validated rank query (1 + global strict-beat count)
-// through the sharded or monolithic backend.
+// through the sharded or monolithic backend. With the skyband sub-index
+// enabled, the count first runs over the DefaultRankBand-skyband — exact
+// whenever it stays below the band bound, since any dataset with >= K
+// beaters has >= K of them inside the K-skyband — and falls back to the
+// count-pruned full tree otherwise.
 func (ix *Index) rankResult(ctx context.Context, w vec.Weight, fq float64) (int, error) {
 	if ix.shards != nil {
 		cnt, err := ix.shards.CountBelowCtx(ctx, w, fq)
@@ -86,16 +94,32 @@ func (ix *Index) rankResult(ctx context.Context, w vec.Weight, fq float64) (int,
 		}
 		return 1 + cnt, nil
 	}
-	return topk.RankCtx(ctx, ix.tree, w, fq)
+	sky := ix.sky
+	if ix.skyOff {
+		sky = nil
+	}
+	cnt, err := skyband.CountBelowCtx(ctx, sky, ix.tree, w, fq)
+	if err != nil {
+		return 0, err
+	}
+	return 1 + cnt, nil
 }
 
 // bichromatic answers a validated bichromatic reverse top-k query through
 // the sharded or monolithic backend. Both run the same RTA loop; the
 // sharded form assembles each evaluated vector's global top-k from
-// per-shard buffers.
+// per-shard buffers. With the skyband sub-index enabled, every top-k
+// evaluation runs against the (per-shard) k-skyband tree: the k smallest
+// scores of each shard are achieved inside its local band, so buffers,
+// threshold decisions and results match the full-tree execution exactly.
 func (ix *Index) bichromatic(ctx context.Context, W []vec.Weight, q vec.Point, k int) ([]int, rtopk.Stats, error) {
 	if ix.shards != nil {
 		return ix.shards.BichromaticCtx(ctx, W, q, k)
+	}
+	if b := ix.band(k); b != nil {
+		res, stats, err := rtopk.BichromaticCtx(ctx, b.Tree(), W, q, k)
+		stats.CandidateSetSize = b.Size()
+		return res, stats, err
 	}
 	return rtopk.BichromaticCtx(ctx, ix.tree, W, q, k)
 }

@@ -1,0 +1,178 @@
+package wqrtq
+
+// The k-skyband sub-index (internal/skyband) bound to the Index: every
+// reverse-top-k-shaped evaluation — the RTA loop behind ReverseTopK and
+// WhyNot, rank counting, MQP's top k-th searches, and the MWK/MQWK sampling
+// loops — runs against a lazily computed, epoch-cached k-skyband candidate
+// set instead of the full dataset. Only points dominated by fewer than k
+// others can appear in any top-k result, so results are bit-identical to
+// the full-tree paths (the differential suite in skyband_test.go proves it
+// end to end); the candidate set is typically orders of magnitude smaller
+// than n, which is where the speedup comes from (see DESIGN.md §8 and
+// BENCH_skyband.json).
+
+import (
+	"context"
+
+	"wqrtq/internal/core"
+	"wqrtq/internal/dominance"
+	"wqrtq/internal/rtopk"
+	"wqrtq/internal/skyband"
+	"wqrtq/internal/topk"
+	"wqrtq/internal/vec"
+)
+
+// SetSkyband toggles the k-skyband sub-index (enabled by default). Results
+// are identical either way; disabling it — the -skyband=off ablation —
+// reverts every query to the full-tree execution paths. It must be
+// serialized with mutations and Clone, like Reshard.
+func (ix *Index) SetSkyband(enabled bool) {
+	ix.skyOff = !enabled
+	if ix.shards != nil {
+		if enabled && !ix.shards.SkybandEnabled() {
+			ix.shards.EnableSkyband(ix.skyCounters())
+		} else if !enabled {
+			ix.shards.DisableSkyband()
+		}
+	}
+}
+
+// SkybandEnabled reports whether the k-skyband sub-index is active.
+func (ix *Index) SkybandEnabled() bool { return !ix.skyOff }
+
+// skyCounters returns the cumulative skyband counters of the clone family.
+func (ix *Index) skyCounters() *skyband.Counters {
+	if ix.sky == nil {
+		return nil
+	}
+	return ix.sky.Counters()
+}
+
+// resetSkyband swaps in a fresh cache after an in-place mutation, so the
+// next banded query recomputes against the current point set. (Engine
+// traffic never hits this path for invalidation — every mutation publishes
+// a Clone, which starts with an empty cache.)
+func (ix *Index) resetSkyband() {
+	ix.sky = skyband.NewCache(ix.tree, ix.skyCounters())
+}
+
+// band returns the k-skyband of the current snapshot, or nil when the
+// sub-index is disabled.
+func (ix *Index) band(k int) *skyband.Band {
+	if ix.skyOff || ix.sky == nil {
+		return nil
+	}
+	return ix.sky.Band(k)
+}
+
+// coreSource builds the acceleration hooks the refinement algorithms run
+// through for query point q and parameter k, or nil when disabled. The
+// hooks are bit-compatible with the legacy scans (see core.Source). Every
+// band resolves lazily inside its hook, so an algorithm that never calls a
+// hook (MWK uses neither KthPoint nor, for small k'max, BandCounts) never
+// pays a band construction.
+func (ix *Index) coreSource(q vec.Point, k int) *core.Source {
+	if ix.skyOff || ix.sky == nil {
+		return nil
+	}
+	return &core.Source{
+		CountBeaters: func(ctx context.Context, w vec.Weight, fq float64) (int, error) {
+			return dominance.CountBeatersCtx(ctx, ix.tree, q, w, fq)
+		},
+		KthPoint: func(ctx context.Context, w vec.Weight, kk int) (topk.Result, bool, error) {
+			if kk == k {
+				if b := ix.band(k); b != nil && !b.Full() {
+					return topk.KthPointCtx(ctx, b.Tree(), w, kk)
+				}
+			}
+			return topk.KthPointCtx(ctx, ix.tree, w, kk)
+		},
+		BandCounts: func(bound int) func(id int32) bool {
+			// Round the band parameter up to a power of two so the
+			// per-request k'max values (which vary query to query) map
+			// onto a handful of cached bands per snapshot, and refuse
+			// large bounds outright: a wide band is expensive to build
+			// and trims little, so the sampling loops are better served
+			// by their flattened full scans.
+			bandK := 16
+			for bandK < bound {
+				bandK <<= 1
+			}
+			if bandK > 2*skyband.DefaultRankBand || fullBandTrim*bandK >= ix.tree.Len() {
+				return nil
+			}
+			bb := ix.band(bandK)
+			if bb == nil || bb.Full() {
+				return nil
+			}
+			return bb.Keep(bound)
+		},
+	}
+}
+
+// fullBandTrim rejects sample-loop trim bands whose k is large relative to
+// the dataset (the band would cover most of it).
+const fullBandTrim = 64
+
+// refineSource is coreSource guarded for the refinement entry points, which
+// validate q and k inside internal/core: obviously invalid input gets a nil
+// source, so no band is built before the validation error surfaces.
+func (ix *Index) refineSource(q []float64, k int) *core.Source {
+	if k <= 0 || len(q) != ix.Dim() || ix.tree.Len() == 0 {
+		return nil
+	}
+	return ix.coreSource(vec.Point(q), k)
+}
+
+// SkybandStats is a point-in-time view of the skyband sub-index.
+type SkybandStats struct {
+	// Enabled reports whether queries route through the sub-index.
+	Enabled bool `json:"enabled"`
+	// Bands and Points describe the bands materialized for the current
+	// snapshot (across all shards when sharded).
+	Bands  int `json:"bands"`
+	Points int `json:"points"`
+	// Builds and Hits count band computations and band-cache hits over the
+	// index's whole lifetime (cumulative across snapshots). Fallbacks
+	// counts rank queries that exceeded their band bound and fell back to
+	// a full tree.
+	Builds    int64 `json:"builds"`
+	Hits      int64 `json:"hits"`
+	Fallbacks int64 `json:"fallbacks"`
+}
+
+// SkybandStats reports the sub-index's cache contents and cumulative
+// counters.
+func (ix *Index) SkybandStats() SkybandStats {
+	s := SkybandStats{Enabled: ix.SkybandEnabled()}
+	if ix.sky == nil {
+		return s
+	}
+	cs := ix.sky.Stats()
+	s.Bands, s.Points = cs.Bands, cs.Points
+	if ix.shards != nil && ix.shards.SkybandEnabled() {
+		ss := ix.shards.SkybandStats()
+		s.Bands += ss.Bands
+		s.Points += ss.Points
+	}
+	ct := ix.sky.Counters().Snapshot()
+	s.Builds, s.Hits, s.Fallbacks = ct.Builds, ct.Hits, ct.Fallbacks
+	return s
+}
+
+// RTAStats reports the pruning work of one reverse top-k evaluation: how
+// many weighting vectors required a top-k evaluation, how many the RTA
+// buffer threshold rejected without one, and how many indexed points each
+// evaluation ran against (the k-skyband size when the sub-index served the
+// query, the full dataset size otherwise).
+type RTAStats struct {
+	Evaluated        int `json:"evaluated"`
+	Pruned           int `json:"pruned"`
+	CandidateSetSize int `json:"candidate_set_size"`
+}
+
+// toRTAStats converts the internal evaluation statistics to the public
+// response form.
+func toRTAStats(s rtopk.Stats) RTAStats {
+	return RTAStats{Evaluated: s.Evaluated, Pruned: s.Pruned, CandidateSetSize: s.CandidateSetSize}
+}

@@ -52,6 +52,7 @@ import (
 	"wqrtq/internal/rtopk"
 	"wqrtq/internal/rtree"
 	"wqrtq/internal/shard"
+	"wqrtq/internal/skyband"
 	"wqrtq/internal/topk"
 	"wqrtq/internal/vec"
 )
@@ -87,6 +88,12 @@ type Index struct {
 	points []vec.Point
 	shared bool       // points backing array is shared with a Clone
 	shards *shard.Set // optional spatial partition (sharding.go); nil = monolithic
+	// sky is the snapshot's k-skyband sub-index cache (skyband.go): bands
+	// are computed lazily per (snapshot, k) and shared by all readers;
+	// clones and mutations swap in a fresh cache, so stale bands are
+	// unreachable. skyOff is the -skyband=off ablation switch.
+	sky    *skyband.Cache
+	skyOff bool
 }
 
 // NewIndex validates and bulk-loads a dataset. Every point must be
@@ -107,7 +114,8 @@ func NewIndex(points [][]float64) (*Index, error) {
 		}
 		ps[i] = p
 	}
-	return &Index{tree: rtree.Bulk(ps, nil), points: ps}, nil
+	tree := rtree.Bulk(ps, nil)
+	return &Index{tree: tree, points: ps, sky: skyband.NewCache(tree, nil)}, nil
 }
 
 // Len returns the number of indexed points.
