@@ -100,6 +100,7 @@ func BenchmarkSkyband(b *testing.B) {
 type benchRecord struct {
 	N          int     `json:"n"`
 	Skyband    string  `json:"skyband"`
+	Kernel     string  `json:"kernel,omitempty"`
 	Endpoint   string  `json:"endpoint"`
 	Iterations int     `json:"iterations"`
 	NsPerOp    float64 `json:"ns_per_op"`
@@ -131,24 +132,12 @@ func TestRecordBench(t *testing.T) {
 		t.Skip("set RECORD_BENCH=1 to re-record BENCH_skyband.json")
 	}
 	const n = 20000
-	snap := benchSnapshot{
-		Benchmark:  "BenchmarkSkyband",
-		Date:       time.Now().UTC().Format("2006-01-02"),
-		Go:         runtime.Version(),
-		GOOS:       runtime.GOOS,
-		GOARCH:     runtime.GOARCH,
-		NumCPU:     runtime.NumCPU(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Dataset: map[string]any{
-			"shape": "independent", "n": n, "d": benchDim, "k": benchK,
-			"reverse_topk_vectors": 200, "whynot_vectors": 20, "whynot_samples": 16,
-		},
-		Note: "Recorded by `RECORD_BENCH=1 go test -run TestRecordBench .` — the environment " +
-			"fields above come from the recording process itself. skyband=off preserves the " +
-			"pre-sub-index execution paths (the -skyband=off ablation); results are bit-identical " +
-			"either way (TestSkybandDifferential). Compare against BENCH_shard.json (same dataset " +
-			"configuration) for the cross-release trajectory.",
-	}
+	snap := newBenchSnapshot("BenchmarkSkyband",
+		"Recorded by `RECORD_BENCH=1 go test -run TestRecordBench$ .` — the environment "+
+			"fields above come from the recording process itself. skyband=off preserves the "+
+			"pre-sub-index execution paths (the -skyband=off ablation); results are bit-identical "+
+			"either way (TestSkybandDifferential). Compare against BENCH_shard.json (same dataset "+
+			"configuration) for the cross-release trajectory.", n)
 	for _, mode := range []string{"on", "off"} {
 		env := newSkybandBenchEnv(t, n, mode == "on")
 		// Warm the epoch caches so the recorded steady-state numbers do not
@@ -165,12 +154,37 @@ func TestRecordBench(t *testing.T) {
 			})
 		}
 	}
+	writeBenchSnapshot(t, "BENCH_skyband.json", snap)
+}
+
+// writeBenchSnapshot commits one benchmark snapshot document; shared by
+// the RECORD_BENCH recorders.
+func writeBenchSnapshot(t *testing.T, path string, snap benchSnapshot) {
+	t.Helper()
 	out, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile("BENCH_skyband.json", append(out, '\n'), 0o644); err != nil {
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("wrote BENCH_skyband.json (%d results)", len(snap.Results))
+	t.Logf("wrote %s (%d results)", path, len(snap.Results))
+}
+
+// newBenchSnapshot captures the run environment for one snapshot document.
+func newBenchSnapshot(benchmark, note string, n int) benchSnapshot {
+	return benchSnapshot{
+		Benchmark:  benchmark,
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		Go:         runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Dataset: map[string]any{
+			"shape": "independent", "n": n, "d": benchDim, "k": benchK,
+			"reverse_topk_vectors": 200, "whynot_vectors": 20, "whynot_samples": 16,
+		},
+		Note: note,
+	}
 }

@@ -53,9 +53,13 @@ func cmdServe(args []string) error {
 	queryTimeout := fs.Duration("query-timeout", 30*time.Second, "per-query deadline (0 disables); expired queries answer 503")
 	shards := fs.Int("shards", 1, "spatial shards for scatter-gather query execution (<= 1 keeps the monolithic index)")
 	skyband := fs.String("skyband", "on", "k-skyband candidate sub-index: on (default) or off (full-tree ablation; results identical)")
+	kernelFlag := fs.String("kernel", "on", "blocked SoA scoring kernel: on (default) or off (scalar ablation; results bit-identical)")
 	fs.Parse(args)
 	if *skyband != "on" && *skyband != "off" {
 		return fmt.Errorf("wqrtq serve: -skyband must be on or off, got %q", *skyband)
+	}
+	if *kernelFlag != "on" && *kernelFlag != "off" {
+		return fmt.Errorf("wqrtq serve: -kernel must be on or off, got %q", *kernelFlag)
 	}
 	ix, _, err := loadIndex(*data)
 	if err != nil {
@@ -68,6 +72,7 @@ func cmdServe(args []string) error {
 		CacheSize:      *cacheSize,
 		Shards:         *shards,
 		DisableSkyband: *skyband == "off",
+		DisableKernel:  *kernelFlag == "off",
 	})
 	if err != nil {
 		return err

@@ -338,3 +338,54 @@ func TestServeClosedEngine503(t *testing.T) {
 		t.Fatalf("status %d, want 503; body %s", rec.Code, rec.Body.String())
 	}
 }
+
+// TestServeKernelStats pins the -kernel plumbing: an engine with the
+// kernel enabled surfaces its blocked-sweep counters in /v1/stats after a
+// reverse top-k, a DisableKernel engine reports the ablation, and the
+// answers match either way.
+func TestServeKernelStats(t *testing.T) {
+	pts := [][]float64{{1, 8}, {2, 5}, {4, 3}, {8, 2}, {9, 1}}
+	build := func(disable bool) http.Handler {
+		ix, err := wqrtq.NewIndex(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := wqrtq.NewEngine(ix, wqrtq.EngineConfig{DisableKernel: disable})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(e.Close)
+		return newServeHandler(e, 0)
+	}
+	body := `{"q":[3,4],"k":2,"weights":[[0.25,0.75],[0.5,0.5],[0.75,0.25]]}`
+	on, off := build(false), build(true)
+	recOn := post(t, on, "/v1/rtopk", body)
+	recOff := post(t, off, "/v1/rtopk", body)
+	if recOn.Code != http.StatusOK || recOn.Body.String() != recOff.Body.String() {
+		t.Fatalf("kernel on/off answers diverge:\n on: %s\noff: %s", recOn.Body.String(), recOff.Body.String())
+	}
+	stats := func(h http.Handler) (enabled bool, blocks int64) {
+		req := httptest.NewRequest(http.MethodGet, "/v1/stats", nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("stats status %d", rec.Code)
+		}
+		var st struct {
+			Kernel struct {
+				Enabled bool  `json:"enabled"`
+				Blocks  int64 `json:"blocks"`
+			} `json:"kernel"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+			t.Fatalf("stats not JSON: %v", err)
+		}
+		return st.Kernel.Enabled, st.Kernel.Blocks
+	}
+	if enabled, blocks := stats(on); !enabled || blocks < 1 {
+		t.Fatalf("kernel stats not populated on the enabled engine: enabled=%v blocks=%d", enabled, blocks)
+	}
+	if enabled, blocks := stats(off); enabled || blocks != 0 {
+		t.Fatalf("ablated engine reports kernel work: enabled=%v blocks=%d", enabled, blocks)
+	}
+}

@@ -72,10 +72,12 @@ func (ix *Index) Delete(id int) (bool, error) {
 // externally serialized with each other; queries need no synchronization.
 func (ix *Index) Clone() *Index {
 	c := &Index{
-		tree:   ix.tree.Clone(),
-		points: ix.points[:len(ix.points):len(ix.points)],
-		shared: true,
-		skyOff: ix.skyOff,
+		tree:      ix.tree.Clone(),
+		points:    ix.points[:len(ix.points):len(ix.points)],
+		shared:    true,
+		skyOff:    ix.skyOff,
+		kct:       ix.kct,
+		kernelOff: ix.kernelOff,
 	}
 	c.sky = skyband.NewCache(c.tree, ix.skyCounters())
 	if ix.shards != nil {

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"wqrtq/internal/dataset"
+	"wqrtq/internal/dominance"
+	"wqrtq/internal/kernel"
+	"wqrtq/internal/sample"
+	"wqrtq/internal/vec"
+)
+
+// kernelSource builds a Source with the blocked kernel enabled, mirroring
+// the hooks the Index wires up (band trimming omitted — the allocation
+// guards target the universe paths).
+func kernelSource(t *testing.T) *Source {
+	t.Helper()
+	return &Source{
+		Kernel: kernel.NewCounters(),
+		CountBeaters: func(ctx context.Context, w vec.Weight, fq float64) (int, error) {
+			t.Fatal("small universes must not reach the tree count")
+			return 0, nil
+		},
+	}
+}
+
+// TestSampleLoopAllocsPerOp extends the TestTopKAllocsPerOp-style guards to
+// the sampling loops: with a warm pooled scratch, the blocked rank
+// evaluations — rankBlock over the universe image and the capped
+// sampleRankBlock — must not allocate at all, and one full mwkFromSets
+// sampling call must stay within a small budget dominated by its result
+// and the per-draw sample weights (a regression here silently multiplies
+// the cost of every refinement request).
+func TestSampleLoopAllocsPerOp(t *testing.T) {
+	ds := dataset.Independent(2000, 3, 5)
+	tr := ds.Tree()
+	src := kernelSource(t)
+	q := vec.Point{0.05, 0.06, 0.05}
+	sets := dominance.FindIncom(tr, q)
+	if len(sets.I) < 100 {
+		t.Fatalf("universe too small for a meaningful guard: |I|=%d", len(sets.I))
+	}
+	rng := rand.New(rand.NewSource(9))
+	wm := make([]vec.Weight, 8)
+	for i := range wm {
+		wm[i] = sample.RandSimplex(rng, 3)
+	}
+	ranks := make([]int, len(wm))
+
+	sc := getRankScratch()
+	defer putRankScratch(sc)
+	ev := newRankEval(src, sc, &sets, q)
+	if !ev.blocked() {
+		t.Fatal("kernel evaluator expected")
+	}
+	ev.rankBlock(wm, ranks) // warm block buffers
+	if allocs := testing.AllocsPerRun(100, func() {
+		ev.rankBlock(wm, ranks)
+	}); allocs > 1 {
+		// One closure allocation feeding kernel.CountBelowWeights is
+		// tolerated; per-weight or per-point allocations are not.
+		t.Fatalf("rankBlock allocates %.1f objects per op, want <= 1", allocs)
+	}
+	kMax := 0
+	for _, r := range ranks {
+		if r > kMax {
+			kMax = r
+		}
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		ev.sampleRankBlock(wm, ranks, kMax)
+	}); allocs != 0 {
+		t.Fatalf("sampleRankBlock allocates %.1f objects per op, want 0", allocs)
+	}
+
+	// Whole-call budget: one warm mwkFromSets run (64 samples) allocates
+	// for its returned refinement, the kept-sample list and one fresh
+	// weight per draw — roughly 1-2 objects per sample all-in. 4 per
+	// sample leaves slack while still failing on per-point boxing.
+	const samples = 64
+	pm := PenaltyModel{Alpha: 0.5, Beta: 0.5, Gamma: 0.5, Lambda: 0.5}
+	callRng := rand.New(rand.NewSource(11))
+	if _, err := mwkFromSets(context.Background(), src, sc, &sets, q, 3, wm, samples, callRng, pm); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := mwkFromSets(context.Background(), src, sc, &sets, q, 3, wm, samples, callRng, pm); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 4*samples {
+		t.Fatalf("mwkFromSets allocates %.1f objects per call for %d samples, want <= %d",
+			allocs, samples, 4*samples)
+	}
+}

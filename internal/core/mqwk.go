@@ -55,8 +55,9 @@ func MQWKCtx(ctx context.Context, t *rtree.Tree, q vec.Point, k int, wm []vec.We
 // MQWKSrcCtx is MQWKCtx with every per-sample evaluation routed through an
 // optional skyband Source: the MQP optimum uses the band's k-th scores, and
 // each sample query point's MWK search classifies candidates into reused
-// scratch, samples hyperplanes lazily and ranks through pruned tree counts.
-// Results are bit-identical to MQWKCtx for any valid Source.
+// scratch, samples hyperplanes lazily and ranks through pruned tree counts
+// (blocked through the scoring kernel when enabled). Results are
+// bit-identical to MQWKCtx for any valid Source.
 func MQWKSrcCtx(ctx context.Context, t *rtree.Tree, src *Source, q vec.Point, k int, wm []vec.Weight, sampleSize, qSampleSize int, rng *rand.Rand, pm PenaltyModel) (MQWKResult, error) {
 	if err := validateInput(t, q, k, wm); err != nil {
 		return MQWKResult{}, err
@@ -72,11 +73,30 @@ func MQWKSrcCtx(ctx context.Context, t *rtree.Tree, src *Source, q vec.Point, k 
 		}
 		return MQWKResult{}, fmt.Errorf("core: MQWK needs the MQP optimum: %w", err)
 	}
-	qMin := mqp.RefinedQ
 
 	// Reuse cache: one traversal serves every sample point in [q_min, q].
-	cands, _ := dominance.Candidates(t, q)
+	// On the source path the candidate buffer comes from the pooled
+	// scratch, so repeated refinements reuse one backing array.
+	var sc *rankScratch
+	if src != nil {
+		sc = getRankScratch()
+		defer putRankScratch(sc)
+	}
+	var cands []dominance.Ref
+	if sc != nil {
+		cands, _ = dominance.CandidatesInto(t, q, sc.candBuf[:0])
+		sc.candBuf = cands
+	} else {
+		cands, _ = dominance.Candidates(t, q)
+	}
+	return mqwkResolved(ctx, src, sc, mqp.RefinedQ, cands, q, k, wm, sampleSize, qSampleSize, rng, pm)
+}
 
+// mqwkResolved is the sampling search of Algorithm 3 given the MQP optimum
+// and the candidate cache (one resolution serves both the standalone entry
+// point and the fused why-not pipeline, which shares these across
+// refinement solutions).
+func mqwkResolved(ctx context.Context, src *Source, sc *rankScratch, qMin vec.Point, cands []dominance.Ref, q vec.Point, k int, wm []vec.Weight, sampleSize, qSampleSize int, rng *rand.Rand, pm PenaltyModel) (MQWKResult, error) {
 	best := MQWKResult{
 		RefinedQ:         qMin,
 		RefinedWm:        cloneWeights(wm),
@@ -87,10 +107,12 @@ func MQWKSrcCtx(ctx context.Context, t *rtree.Tree, src *Source, q vec.Point, k 
 		TreeTraversals:   2,
 	}
 
-	var scratch dominance.Sets // reused across samples on the source path
-	var sc *rankScratch
-	if src != nil {
-		sc = &rankScratch{}
+	var scratch *dominance.Sets // reused across samples on the source path
+	if sc != nil {
+		prepareFixedUniverse(src, sc, cands, wm, qSampleSize+1)
+		scratch = &sc.sets
+	} else if src != nil {
+		scratch = new(dominance.Sets)
 	}
 	evaluate := func(qp vec.Point) error {
 		if err := ctx.Err(); err != nil {
@@ -98,8 +120,10 @@ func MQWKSrcCtx(ctx context.Context, t *rtree.Tree, src *Source, q vec.Point, k 
 		}
 		var sets dominance.Sets
 		if src != nil {
-			dominance.ClassifyInto(cands, qp, &scratch)
-			sets = scratch
+			if !classifyFixed(sc, qp, scratch) {
+				dominance.ClassifyInto(cands, qp, scratch)
+			}
+			sets = *scratch
 		} else {
 			sets = dominance.Classify(cands, qp)
 		}

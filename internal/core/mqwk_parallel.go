@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 	"fmt"
-	"math/rand"
 	"runtime"
 	"sync"
 
@@ -59,14 +58,21 @@ func MQWKParallelSrcCtx(ctx context.Context, t *rtree.Tree, src *Source, q vec.P
 		}
 		return MQWKResult{}, fmt.Errorf("core: MQWK needs the MQP optimum: %w", err)
 	}
-	qMin := mqp.RefinedQ
 	cands, _ := dominance.Candidates(t, q)
+	return mqwkParallelResolved(ctx, src, mqp.RefinedQ, cands, q, k, wm, sampleSize, qSampleSize, seed, workers, pm)
+}
 
+// mqwkParallelResolved is the parallel sampling search given the MQP
+// optimum and the candidate cache (shared with the fused why-not
+// pipeline, like mqwkResolved).
+func mqwkParallelResolved(ctx context.Context, src *Source, qMin vec.Point, cands []dominance.Ref, q vec.Point, k int, wm []vec.Weight, sampleSize, qSampleSize int, seed int64, workers int, pm PenaltyModel) (MQWKResult, error) {
 	// Endpoint candidates and sample points, all drawn up front so the
 	// parallel phase is pure computation.
 	points := make([]vec.Point, 0, qSampleSize+1)
 	points = append(points, vec.Clone(q))
-	points = append(points, sample.Box(rand.New(rand.NewSource(seed)), qMin, q, qSampleSize)...)
+	boxRng := getRng(seed)
+	points = append(points, sample.Box(boxRng, qMin, q, qSampleSize)...)
+	putRng(boxRng)
 
 	type cand struct {
 		res MQWKResult
@@ -74,6 +80,14 @@ func MQWKParallelSrcCtx(ctx context.Context, t *rtree.Tree, src *Source, q vec.P
 		ok  bool
 	}
 	results := make([]cand, len(points))
+	// The call-fixed universe (flatten + sorted score columns) is prepared
+	// once by the coordinator and adopted read-only by every worker.
+	var prep *rankScratch
+	if src != nil {
+		prep = getRankScratch()
+		defer putRankScratch(prep)
+		prepareFixedUniverse(src, prep, cands, wm, qSampleSize+1)
+	}
 	var wg sync.WaitGroup
 	jobs := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -83,8 +97,15 @@ func MQWKParallelSrcCtx(ctx context.Context, t *rtree.Tree, src *Source, q vec.P
 			var scratch dominance.Sets // per-worker scratch on the source path
 			var sc *rankScratch
 			if src != nil {
-				sc = &rankScratch{}
+				// Workers draw from the shared scratch pool rather than
+				// allocating per call, so repeated MQWK requests reuse the
+				// same warm flatten/kernel/draw buffers across the fan-out.
+				sc = getRankScratch()
+				defer putRankScratch(sc)
+				sc.adoptFixedUniverse(prep)
 			}
+			jobRng := getRng(1)
+			defer putRng(jobRng)
 			for i := range jobs {
 				if err := ctx.Err(); err != nil {
 					results[i] = cand{err: err}
@@ -93,13 +114,15 @@ func MQWKParallelSrcCtx(ctx context.Context, t *rtree.Tree, src *Source, q vec.P
 				qp := points[i]
 				var sets dominance.Sets
 				if src != nil {
-					dominance.ClassifyInto(cands, qp, &scratch)
+					if !classifyFixed(sc, qp, &scratch) {
+						dominance.ClassifyInto(cands, qp, &scratch)
+					}
 					sets = scratch
 				} else {
 					sets = dominance.Classify(cands, qp)
 				}
-				rng := rand.New(rand.NewSource(seed + int64(i) + 1))
-				wk, err := mwkFromSets(ctx, src, sc, &sets, qp, k, wm, sampleSize, rng, pm)
+				jobRng.Seed(seed + int64(i) + 1)
+				wk, err := mwkFromSets(ctx, src, sc, &sets, qp, k, wm, sampleSize, jobRng, pm)
 				if err != nil {
 					results[i] = cand{err: err}
 					continue

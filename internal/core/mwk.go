@@ -59,12 +59,18 @@ func MWKSrcCtx(ctx context.Context, t *rtree.Tree, src *Source, q vec.Point, k i
 	if sampleSize < 0 {
 		return MWKResult{}, fmt.Errorf("core: negative sample size %d", sampleSize)
 	}
-	sets := dominance.FindIncom(t, q)
 	var sc *rankScratch
+	var sets *dominance.Sets
 	if src != nil {
-		sc = &rankScratch{}
+		sc = getRankScratch()
+		defer putRankScratch(sc)
+		dominance.FindIncomInto(t, q, &sc.sets)
+		sets = &sc.sets
+	} else {
+		s := dominance.FindIncom(t, q)
+		sets = &s
 	}
-	res, err := mwkFromSets(ctx, src, sc, &sets, q, k, wm, sampleSize, rng, pm)
+	res, err := mwkFromSets(ctx, src, sc, sets, q, k, wm, sampleSize, rng, pm)
 	if err != nil {
 		return MWKResult{}, err
 	}
@@ -86,22 +92,33 @@ func MWKFromSetsCtx(ctx context.Context, sets *dominance.Sets, q vec.Point, k in
 }
 
 // mwkFromSets is the sampling search with an optional skyband Source: rank
-// evaluations go through rankOf (pruned tree counting when it pays) and the
-// sample space through newSampler (lazy hyperplane enumeration), both
-// bit-compatible with the legacy scans.
+// evaluations go through a rankEval (blocked kernel sweeps or pruned tree
+// counting when they pay) and the sample space through newSampler (lazy
+// hyperplane enumeration), all bit-compatible with the legacy scans.
 func mwkFromSets(ctx context.Context, src *Source, sc *rankScratch, sets *dominance.Sets, q vec.Point, k int, wm []vec.Weight, sampleSize int, rng *rand.Rand, pm PenaltyModel) (MWKResult, error) {
 	tick := ctxcheck.Every(ctx, sampleCheckInterval)
-	rank := newRankFn(src, sc, sets, q)
+	ev := newRankEval(src, sc, sets, q)
 	// Actual rankings and k'max (lines 7-9).
 	ranks := make([]int, len(wm))
 	kMax := 0
 	active := 0
-	for i, w := range wm {
-		r, err := rank(ctx, w)
-		if err != nil {
+	if wmRanks(sc, sets, q, wm, ranks) {
+		// Served from the call-fixed sorted score columns (MQWK reuse).
+	} else if ev.blocked() && len(wm) > 1 {
+		if err := ctx.Err(); err != nil {
 			return MWKResult{}, err
 		}
-		ranks[i] = r
+		ev.rankBlock(wm, ranks)
+	} else {
+		for i, w := range wm {
+			r, err := ev.fn(ctx, w)
+			if err != nil {
+				return MWKResult{}, err
+			}
+			ranks[i] = r
+		}
+	}
+	for i := range wm {
 		if ranks[i] > kMax {
 			kMax = ranks[i]
 		}
@@ -133,25 +150,12 @@ func mwkFromSets(ctx context.Context, src *Source, sc *rankScratch, sets *domina
 	}
 
 	// Draw and rank the samples (lines 3-6), keeping only those whose rank
-	// does not exceed k'max (line 13's break, applied at construction).
-	type sampleRank struct {
-		w    vec.Weight
-		rank int
-	}
-	samples := make([]sampleRank, 0, sampleSize)
-	sRank := newSampleRankFn(src, sc, sets, q, kMax, rank)
-	for i := 0; i < sampleSize; i++ {
-		if err := tick.Tick(); err != nil {
-			return MWKResult{}, err
-		}
-		w := sampler.Sample(rng)
-		r, err := sRank(ctx, w)
-		if err != nil {
-			return MWKResult{}, err
-		}
-		if r <= kMax {
-			samples = append(samples, sampleRank{w: w, rank: r})
-		}
+	// does not exceed k'max; see drawRankedSamples for the blocked form.
+	sev := newSampleRankEval(src, sc, sets, q, kMax, ev)
+	samples, err := drawRankedSamples(ctx, &tick, sev, sc, newDraw(sampler, sc, rng),
+		make([]sampleRank, 0, sampleSize), sampleSize, kMax)
+	if err != nil {
+		return MWKResult{}, err
 	}
 	sort.SliceStable(samples, func(i, j int) bool { return samples[i].rank < samples[j].rank })
 

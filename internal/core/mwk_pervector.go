@@ -39,22 +39,44 @@ func MWKPerVectorSrcCtx(ctx context.Context, t *rtree.Tree, src *Source, q vec.P
 	if err := validateInput(t, q, k, wm); err != nil {
 		return MWKResult{}, err
 	}
-	tick := ctxcheck.Every(ctx, sampleCheckInterval)
-	sets := dominance.FindIncom(t, q)
 	var sc *rankScratch
+	var sets *dominance.Sets
 	if src != nil {
-		sc = &rankScratch{}
+		sc = getRankScratch()
+		defer putRankScratch(sc)
+		dominance.FindIncomInto(t, q, &sc.sets)
+		sets = &sc.sets
+	} else {
+		s := dominance.FindIncom(t, q)
+		sets = &s
 	}
-	rank := newRankFn(src, sc, &sets, q)
+	return mwkPerVectorFromSets(ctx, src, sc, sets, q, k, wm, sampleSize, rng, pm)
+}
+
+// mwkPerVectorFromSets is the per-vector candidate strategy given
+// precomputed dominance sets, mirroring mwkFromSets for the fused why-not
+// pipeline.
+func mwkPerVectorFromSets(ctx context.Context, src *Source, sc *rankScratch, sets *dominance.Sets, q vec.Point, k int, wm []vec.Weight, sampleSize int, rng *rand.Rand, pm PenaltyModel) (MWKResult, error) {
+	tick := ctxcheck.Every(ctx, sampleCheckInterval)
+	ev := newRankEval(src, sc, sets, q)
 	ranks := make([]int, len(wm))
 	kMax := 0
 	active := 0
-	for i, w := range wm {
-		r, err := rank(ctx, w)
-		if err != nil {
+	if ev.blocked() && len(wm) > 1 {
+		if err := ctx.Err(); err != nil {
 			return MWKResult{}, err
 		}
-		ranks[i] = r
+		ev.rankBlock(wm, ranks)
+	} else {
+		for i, w := range wm {
+			r, err := ev.fn(ctx, w)
+			if err != nil {
+				return MWKResult{}, err
+			}
+			ranks[i] = r
+		}
+	}
+	for i := range wm {
 		if ranks[i] > kMax {
 			kMax = ranks[i]
 		}
@@ -73,32 +95,20 @@ func MWKPerVectorSrcCtx(ctx context.Context, t *rtree.Tree, src *Source, q vec.P
 		BaselineChosen: true,
 		NodesVisited:   sets.NodesVisited,
 	}
-	sampler, err := newSampler(src, &sets, q)
+	sampler, err := newSampler(src, sets, q)
 	if err == sample.ErrNoSampleSpace || sampleSize == 0 {
 		return baseline, nil
 	} else if err != nil {
 		return MWKResult{}, err
 	}
 	// Draw once, shared by all why-not vectors. Only samples that improve
-	// q's rank below k'max are useful (Lemma 4).
-	type sampleRank struct {
-		w    vec.Weight
-		rank int
-	}
-	samples := make([]sampleRank, 0, sampleSize)
-	sRank := newSampleRankFn(src, sc, &sets, q, kMax, rank)
-	for i := 0; i < sampleSize; i++ {
-		if err := tick.Tick(); err != nil {
-			return MWKResult{}, err
-		}
-		w := sampler.Sample(rng)
-		r, err := sRank(ctx, w)
-		if err != nil {
-			return MWKResult{}, err
-		}
-		if r <= kMax {
-			samples = append(samples, sampleRank{w: w, rank: r})
-		}
+	// q's rank below k'max are useful (Lemma 4); see drawRankedSamples for
+	// the blocked form shared with mwkFromSets.
+	sev := newSampleRankEval(src, sc, sets, q, kMax, ev)
+	samples, err := drawRankedSamples(ctx, &tick, sev, sc, newDraw(sampler, sc, rng),
+		make([]sampleRank, 0, sampleSize), sampleSize, kMax)
+	if err != nil {
+		return MWKResult{}, err
 	}
 	if len(samples) == 0 {
 		return baseline, nil

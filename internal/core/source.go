@@ -3,8 +3,13 @@ package core
 import (
 	"context"
 	"math/rand"
+	"sort"
+	"sync"
+
+	"wqrtq/internal/ctxcheck"
 
 	"wqrtq/internal/dominance"
+	"wqrtq/internal/kernel"
 	"wqrtq/internal/rtree"
 	"wqrtq/internal/sample"
 	"wqrtq/internal/topk"
@@ -51,28 +56,408 @@ type Source struct {
 	// reaches k'max proves the true rank exceeds it — so trimming never
 	// changes a kept sample's rank or a discard decision.
 	BandCounts func(bound int) func(id int32) bool
+	// Kernel, when non-nil, enables the blocked SoA scoring kernel
+	// (internal/kernel) for the rank evaluations of the sampling loops:
+	// the incomparable set is flattened column-major once per sample query
+	// point and whole blocks of weighting vectors are ranked in one sweep.
+	// The counters record the blocked work. nil — the -kernel=off ablation
+	// — keeps the scalar per-weight scans; ranks, the rng stream and every
+	// refinement answer are bit-identical either way (the scores are the
+	// same multiply/add chains, only evaluated block-at-a-time).
+	Kernel *kernel.Counters
 }
 
-// rankScratch holds the flattened point buffers one sampling call (or one
-// MQWK worker) reuses across its sample query points, so the per-qp
-// flatten costs no allocation after the first use.
+// rankScratch holds the buffers one sampling call (or one MQWK worker)
+// reuses across its sample query points: the row-major flattened point
+// buffers of the scalar scans, the column-major kernel scratch of the
+// blocked scans, the sampler's draw scratch, the per-block weight and rank
+// arrays, and the call-fixed universe state of the MQWK reuse technique.
+// Scratches are pooled (getRankScratch/putRankScratch), so parallel MQWK
+// workers and successive calls share warm buffers instead of allocating
+// per call.
 type rankScratch struct {
-	flat []float64 // full incomparable set, newRankFn
-	trim []float64 // k'max-skyband subset, newSampleRankFn
+	flat []float64 // full incomparable set, scalar path
+	trim []float64 // k'max-skyband subset, scalar path
+	ks   kernel.Scratch
+	draw sample.DrawScratch
+	// blocked-loop buffers: the drawn weight block, and the full-length
+	// threshold/count/rank arrays of rankBlock.
+	wblock []vec.Weight
+	rblock []int
+	fqs    []float64
+	counts []int
+	// Call-fixed universe (§4.4 reuse, kernel path): ks.Uni holds the SoA
+	// image of the *candidate superset* — every point not dominated by and
+	// not equal to the call's reference point — shared by all sample query
+	// points of one MQWK call. Counting against the superset is exact
+	// after subtracting the D-beats: points the sample point dominates can
+	// never score strictly below it (score sums of coordinate-wise >=
+	// points are >= under non-negative weights, with IEEE rounding
+	// monotone), equal points tie, so count(cands) = count(D) + count(I).
+	uniFixed bool
+	// uniShared, when non-nil, points at another scratch's prepared
+	// universe image (read-only after preparation): MQWK workers adopt
+	// the coordinator's flatten and score columns instead of rebuilding
+	// them per worker. nil means the universe lives in ks.Uni.
+	uniShared *kernel.Coords
+	// Sorted score columns of the call's why-not vectors over the fixed
+	// universe (kernel.ScoreBlock + one sort per vector): each sample
+	// query point's Wm rankings then cost one binary search per vector
+	// instead of one universe sweep. wmFor pins the identity of the
+	// weight slice the columns were built for.
+	wmFor    []vec.Weight
+	wmCols   []float64
+	wmSorted [][]float64
+	// uniRefs aliases the candidate slice behind the fixed universe, for
+	// id-based band trimming; candBuf is the reusable backing array the
+	// sequential MQWK path fills it from; sets is the pooled dominance-set
+	// scratch the per-query-point classifications write into.
+	uniRefs []dominance.Ref
+	candBuf []dominance.Ref
+	sets    dominance.Sets
+	// Call-cached band trims: trims[i] holds the SoA image of
+	// (trimBounds[i]-skyband ∩ candidate superset), one slot per distinct
+	// band bound seen this call (bounds are powers of two from a handful
+	// of buckets, so alternating k'max values across sample query points
+	// reuse their slots instead of rebuilding). dBand is the
+	// per-query-point scratch for D ∩ band.
+	trimBounds [4]int
+	trimKeeps  [4]func(id int32) bool
+	trims      [4]kernel.Coords
+	dBand      []dominance.Ref
 }
 
-// newRankFn builds the rank evaluator one mwkFromSets call uses for every
-// weighting vector it ranks against a fixed sets/qp pair. All three routes
-// — legacy Sets.Rank, the flattened linear scan, and the source's pruned
-// tree count — return identical values; the choice only affects speed.
-func newRankFn(src *Source, sc *rankScratch, sets *dominance.Sets, qp vec.Point) func(ctx context.Context, w vec.Weight) (int, error) {
+var rankScratchPool = sync.Pool{New: func() any { return new(rankScratch) }}
+
+// getRankScratch takes a scratch from the shared pool; pair with
+// putRankScratch.
+func getRankScratch() *rankScratch { return rankScratchPool.Get().(*rankScratch) }
+
+// putRankScratch clears the call-scoped state — including every reference
+// into snapshot point data, so an idle pooled scratch never pins a dead
+// epoch's points or bands — and returns the scratch to the pool. The
+// float64 backing arrays (SoA images, packed blocks, score columns) hold
+// no pointers and are retained for reuse.
+func putRankScratch(sc *rankScratch) {
+	if sc == nil {
+		return
+	}
+	sc.uniFixed = false
+	sc.uniShared = nil
+	sc.uniRefs = nil
+	sc.wmFor = nil
+	sc.wmSorted = sc.wmSorted[:0]
+	sc.trimBounds = [4]int{}
+	sc.trimKeeps = [4]func(id int32) bool{}
+	clearRefs(sc.candBuf)
+	clearRefs(sc.dBand)
+	clearRefs(sc.sets.D)
+	clearRefs(sc.sets.I)
+	for i := range sc.wblock {
+		sc.wblock[i] = nil
+	}
+	rankScratchPool.Put(sc)
+}
+
+// clearRefs zeroes a Ref slice through its full capacity, dropping the
+// point references while keeping the backing array.
+func clearRefs(refs []dominance.Ref) {
+	refs = refs[:cap(refs)]
+	for i := range refs {
+		refs[i] = dominance.Ref{}
+	}
+}
+
+// dSubCap bounds the dominating-set size up to which the fixed-universe
+// evaluators pay the per-weight D-subtraction scan; a larger D makes the
+// per-query-point flatten the cheaper route.
+const dSubCap = 512
+
+// uni returns the scratch's fixed-universe image: the adopted shared one
+// when present, its own otherwise.
+func (sc *rankScratch) uni() *kernel.Coords {
+	if sc.uniShared != nil {
+		return sc.uniShared
+	}
+	return &sc.ks.Uni
+}
+
+// adoptFixedUniverse points this scratch at a coordinator scratch's
+// prepared call-fixed state — the universe image, candidate refs and
+// sorted score columns, all read-only after preparation — so parallel
+// workers skip the per-worker flatten, ScoreBlock sweep and sorts. Band
+// trims stay per-worker (they are built lazily into mutable scratch).
+func (sc *rankScratch) adoptFixedUniverse(prep *rankScratch) {
+	if prep == nil || !prep.uniFixed {
+		return
+	}
+	sc.uniFixed = true
+	sc.uniShared = prep.uni()
+	sc.uniRefs = prep.uniRefs
+	sc.wmFor = prep.wmFor
+	sc.wmSorted = append(sc.wmSorted[:0], prep.wmSorted...)
+}
+
+// wmColsMinQPs is the sample-query-point count from which the sorted
+// per-vector score columns pay for themselves: one sort costs on the
+// order of a hundred linear sweeps of the same column, so binary-searched
+// Wm rankings only win when enough query points amortize it (the paper's
+// default |Q| = 800 clears the bar comfortably; small benchmark sweeps do
+// not).
+const wmColsMinQPs = 64
+
+// prepareFixedUniverse fills the scratch's call-fixed state for one MQWK
+// call: the SoA image of cands and — when enough sample query points will
+// amortize the sorts — the sorted per-vector score columns. No-op (leaves
+// uniFixed false) when the kernel is off or the universe exceeds the
+// linear-scan cutoff.
+func prepareFixedUniverse(src *Source, sc *rankScratch, cands []dominance.Ref, wm []vec.Weight, qSamples int) {
+	if src == nil || src.Kernel == nil || sc == nil || len(cands) == 0 || len(cands) > srcRankCutoff {
+		return
+	}
+	d := len(cands[0].Point)
+	if d > 4 {
+		return
+	}
+	if !(sc.uniFixed && len(sc.uniRefs) == len(cands) && &sc.uniRefs[0] == &cands[0]) {
+		sc.ks.Uni.Fill(d, len(cands), func(i int) []float64 { return cands[i].Point })
+		sc.uniFixed = true
+		sc.uniRefs = cands
+	}
+	if qSamples < wmColsMinQPs || sc.wmFor != nil {
+		return
+	}
+	// Score columns of the why-not vectors over the fixed universe, one
+	// blocked sweep + one sort per vector; every sample query point's Wm
+	// rankings then binary-search these columns.
+	n := len(cands)
+	if cap(sc.wmCols) < len(wm)*n {
+		sc.wmCols = make([]float64, len(wm)*n)
+	}
+	cols := sc.wmCols[:len(wm)*n]
+	wb, _, _ := sc.ks.Block(len(wm), d)
+	for i, w := range wm {
+		copy(wb[i*d:(i+1)*d], w)
+	}
+	kernel.ScoreBlock(&sc.ks.Uni, wb, len(wm), cols)
+	src.Kernel.Add(len(wm), n)
+	if cap(sc.wmSorted) < len(wm) {
+		sc.wmSorted = make([][]float64, len(wm))
+	}
+	sc.wmSorted = sc.wmSorted[:len(wm)]
+	for i := range wm {
+		col := cols[i*n : (i+1)*n]
+		sort.Float64s(col)
+		sc.wmSorted[i] = col
+	}
+	sc.wmFor = wm
+}
+
+// classifyFixed is dominance.ClassifyInto over the call-fixed universe,
+// reading the coordinate tests off the column-major image (sequential
+// streams instead of one pointer chase per candidate) and emitting refs
+// from uniRefs in the same order with the same conditions — the output is
+// identical. Reports false when no fixed universe is prepared.
+func classifyFixed(sc *rankScratch, qp vec.Point, s *dominance.Sets) bool {
+	if sc == nil || !sc.uniFixed {
+		return false
+	}
+	s.D = s.D[:0]
+	s.I = s.I[:0]
+	s.NodesVisited = 0
+	refs := sc.uniRefs
+	uni := sc.uni()
+	switch len(qp) {
+	case 2:
+		x, y := uni.Col(0), uni.Col(1)
+		q0, q1 := qp[0], qp[1]
+		for i := range refs {
+			p0, p1 := x[i], y[i]
+			le := p0 <= q0 && p1 <= q1
+			ge := p0 >= q0 && p1 >= q1
+			if le {
+				if !ge {
+					s.D = append(s.D, refs[i])
+				}
+			} else if !ge {
+				s.I = append(s.I, refs[i])
+			}
+		}
+	case 3:
+		x, y, z := uni.Col(0), uni.Col(1), uni.Col(2)
+		q0, q1, q2 := qp[0], qp[1], qp[2]
+		for i := range refs {
+			p0, p1, p2 := x[i], y[i], z[i]
+			le := p0 <= q0 && p1 <= q1 && p2 <= q2
+			ge := p0 >= q0 && p1 >= q1 && p2 >= q2
+			if le {
+				if !ge {
+					s.D = append(s.D, refs[i])
+				}
+			} else if !ge {
+				s.I = append(s.I, refs[i])
+			}
+		}
+	case 4:
+		x, y, z, u := uni.Col(0), uni.Col(1), uni.Col(2), uni.Col(3)
+		q0, q1, q2, q3 := qp[0], qp[1], qp[2], qp[3]
+		for i := range refs {
+			p0, p1, p2, p3 := x[i], y[i], z[i], u[i]
+			le := p0 <= q0 && p1 <= q1 && p2 <= q2 && p3 <= q3
+			ge := p0 >= q0 && p1 >= q1 && p2 >= q2 && p3 >= q3
+			if le {
+				if !ge {
+					s.D = append(s.D, refs[i])
+				}
+			} else if !ge {
+				s.I = append(s.I, refs[i])
+			}
+		}
+	default:
+		return false
+	}
+	return true
+}
+
+// rankEval evaluates q's rank under weighting vectors against one fixed
+// (sets, qp) pair. fn answers a single weight; when the blocked kernel is
+// active, soa additionally holds the column-major image of the scanned
+// candidate set and rankBlock answers a whole block of weights in one
+// sweep. A non-empty dSub marks soa as a superset image (the call-fixed
+// candidate universe, or its band trim): the dominating points it contains
+// are counted by the sweep and subtracted per weight, which is exact —
+// count(superset) = count(D-part) + count(I-part), since points the query
+// point dominates never score strictly below it and equal points tie. All
+// routes — the legacy Sets.Rank scan, the flattened scalar scans, the
+// pruned tree count and the blocked kernel — return identical values; the
+// choice only affects speed.
+type rankEval struct {
+	fn   func(ctx context.Context, w vec.Weight) (int, error)
+	soa  *kernel.Coords // non-nil → blocked evaluation available
+	sc   *rankScratch
+	ct   *kernel.Counters
+	base int // 1 + |D|
+	qp   vec.Point
+	dSub []dominance.Ref // dominating points included in soa, to subtract
+}
+
+func (e *rankEval) blocked() bool { return e.soa != nil }
+
+// rankBlock ranks every weight of ws in blocked kernel sweeps, writing the
+// ranks into out. Values are identical to calling fn per weight.
+func (e *rankEval) rankBlock(ws []vec.Weight, out []int) {
+	sc := e.sc
+	if cap(sc.fqs) < len(ws) {
+		sc.fqs = make([]float64, len(ws))
+	}
+	if cap(sc.counts) < len(ws) {
+		sc.counts = make([]int, len(ws))
+	}
+	fqs := sc.fqs[:len(ws)]
+	counts := sc.counts[:len(ws)]
+	for i, w := range ws {
+		fqs[i] = vec.Score(w, e.qp)
+	}
+	kernel.CountBelowWeights(e.soa, len(ws), func(i int) []float64 { return ws[i] }, fqs, counts, &sc.ks, e.ct)
+	for i, w := range ws {
+		out[i] = e.base + counts[i] - countBeats(e.dSub, w, fqs[i])
+	}
+}
+
+// sampleRankBlock ranks a block of sampled weights, exploiting that the
+// sample loop needs exact ranks only up to kMax: each weight's count runs
+// capped (kernel.CountBelowCapped) at cap = kMax - base + |dSub|, which
+// guarantees an uncapped count yields the exact rank and a capped one
+// proves the true rank exceeds kMax — the reported value is then merely
+// some number > kMax, which the loop discards exactly as it would the
+// true one. Kept samples and their ranks are therefore identical to the
+// uncapped evaluation (and to the scalar path), while discarded samples
+// abandon their sweeps early.
+func (e *rankEval) sampleRankBlock(ws []vec.Weight, out []int, kMax int) {
+	scanned := 0
+	capAt := kMax - e.base + len(e.dSub)
+	for i, w := range ws {
+		fq := vec.Score(w, e.qp)
+		cnt, n := kernel.CountBelowCapped(e.soa, w, fq, capAt)
+		scanned += n
+		if cnt > capAt {
+			// count(soa) > kMax - base + |dSub| and count(dSub-part) <=
+			// |dSub| force the true rank past kMax; report the bound.
+			out[i] = kMax + 1
+		} else {
+			out[i] = e.base + cnt - countBeats(e.dSub, w, fq)
+		}
+	}
+	e.ct.Add(len(ws), scanned)
+}
+
+// kernelRankFn builds the single-weight evaluator of a blocked rankEval: a
+// one-weight kernel sweep over soa, counted like any other block.
+func kernelRankFn(e *rankEval) func(ctx context.Context, w vec.Weight) (int, error) {
+	return func(_ context.Context, w vec.Weight) (int, error) {
+		fq := vec.Score(w, e.qp)
+		wb, bf, bc := e.sc.ks.Block(1, len(w))
+		copy(wb, w)
+		bf[0] = fq
+		kernel.CountBelowBlock(e.soa, wb, bf, bc)
+		e.ct.Add(1, e.soa.Len())
+		return e.base + bc[0] - countBeats(e.dSub, w, fq), nil
+	}
+}
+
+// wmRanks answers the why-not vectors' rankings against one sample query
+// point from the call-fixed sorted score columns: rank_i = 1 + |D| +
+// |{cands : score < fq_i}| - |{D : score < fq_i}|, with the candidate
+// count read off the sorted column by binary search. Available (non-nil
+// sc.wmFor pinning the same wm slice) only on the MQWK fixed-universe
+// path; values are identical to rankBlock over the universe, which in turn
+// matches the scalar scan.
+func wmRanks(sc *rankScratch, sets *dominance.Sets, qp vec.Point, wm []vec.Weight, out []int) bool {
+	if sc == nil || !sc.uniFixed || len(sc.wmFor) != len(wm) || len(sets.D) > dSubCap {
+		return false
+	}
+	if len(wm) > 0 && &sc.wmFor[0] != &wm[0] {
+		return false
+	}
+	base := 1 + len(sets.D)
+	for i, w := range wm {
+		fq := vec.Score(w, qp)
+		out[i] = base + sort.SearchFloat64s(sc.wmSorted[i], fq) - countBeats(sets.D, w, fq)
+	}
+	return true
+}
+
+// newRankEval builds the rank evaluator one mwkFromSets call uses for every
+// weighting vector it ranks against a fixed sets/qp pair.
+func newRankEval(src *Source, sc *rankScratch, sets *dominance.Sets, qp vec.Point) *rankEval {
+	e := &rankEval{qp: qp, base: 1 + len(sets.D), sc: sc}
 	if src == nil || src.CountBeaters == nil {
-		return func(_ context.Context, w vec.Weight) (int, error) {
+		e.fn = func(_ context.Context, w vec.Weight) (int, error) {
 			return sets.Rank(w, qp), nil
 		}
+		return e
 	}
 	d := len(qp)
 	if len(sets.D)+len(sets.I) <= srcRankCutoff && d <= 4 && sc != nil {
+		if src.Kernel != nil && sc.uniFixed && len(sets.D) <= dSubCap {
+			// Call-fixed candidate-superset image (§4.4 reuse): no per-
+			// query-point flatten; the D-part of each count is subtracted
+			// per weight.
+			e.soa = sc.uni()
+			e.ct = src.Kernel
+			e.dSub = sets.D
+			e.fn = kernelRankFn(e)
+			return e
+		}
+		if src.Kernel != nil && !sc.uniFixed {
+			// Column-major SoA image of I, swept block-at-a-time by the
+			// kernel; derived once per (sets, qp) pair.
+			sc.ks.Uni.Fill(d, len(sets.I), func(i int) []float64 { return sets.I[i].Point })
+			e.soa = &sc.ks.Uni
+			e.ct = src.Kernel
+			e.fn = kernelRankFn(e)
+			return e
+		}
 		// Flatten I into one contiguous buffer: the per-sample scans are
 		// memory-bound on the Ref slice-header indirection, and one |I|·d
 		// copy amortizes over the |S|+|Wm| scans of the call.
@@ -81,18 +466,20 @@ func newRankFn(src *Source, sc *rankScratch, sets *dominance.Sets, qp vec.Point)
 			flat = append(flat, c.Point...)
 		}
 		sc.flat = flat
-		return func(_ context.Context, w vec.Weight) (int, error) {
+		e.fn = func(_ context.Context, w vec.Weight) (int, error) {
 			fq := vec.Score(w, qp)
 			return 1 + len(sets.D) + countBeatsFlat(flat, w, fq), nil
 		}
+		return e
 	}
 	if len(sets.D)+len(sets.I) <= srcRankCutoff {
-		return func(_ context.Context, w vec.Weight) (int, error) {
+		e.fn = func(_ context.Context, w vec.Weight) (int, error) {
 			fq := vec.Score(w, qp)
 			return 1 + len(sets.D) + countBeats(sets.I, w, fq), nil
 		}
+		return e
 	}
-	return func(ctx context.Context, w vec.Weight) (int, error) {
+	e.fn = func(ctx context.Context, w vec.Weight) (int, error) {
 		fq := vec.Score(w, qp)
 		cnt, err := src.CountBeaters(ctx, w, fq)
 		if err != nil {
@@ -100,23 +487,98 @@ func newRankFn(src *Source, sc *rankScratch, sets *dominance.Sets, qp vec.Point)
 		}
 		return 1 + len(sets.D) + cnt - countBeats(sets.D, w, fq), nil
 	}
+	return e
 }
 
-// newSampleRankFn refines a rank evaluator for the sample loop once k'max
+// newSampleRankEval refines a rank evaluator for the sample loop once k'max
 // is known: with band counts available, the scanned incomparable set
 // shrinks to its k'max-skyband subset. Kept samples (rank <= k'max) get
 // their exact rank; discarded ones (true rank > k'max) are still reported
 // above k'max — both directions proved by the dominator-chain argument in
 // Source.BandCounts — so the loop behaves identically to the full scan.
-func newSampleRankFn(src *Source, sc *rankScratch, sets *dominance.Sets, qp vec.Point, kMax int,
-	fallback func(ctx context.Context, w vec.Weight) (int, error)) func(ctx context.Context, w vec.Weight) (int, error) {
+// The trim decision (band availability, the kept-fraction payoff test) is
+// shared by the scalar and blocked paths, so kernel-on and kernel-off scan
+// the same subset and report the same ranks.
+func newSampleRankEval(src *Source, sc *rankScratch, sets *dominance.Sets, qp vec.Point, kMax int, uni *rankEval) *rankEval {
 	d := len(qp)
 	if src == nil || src.BandCounts == nil || sc == nil || d > 4 || len(sets.I) < 64 {
-		return fallback
+		return uni
+	}
+	if src.Kernel != nil && sc.uniFixed && len(sets.D) <= dSubCap {
+		// Call-cached superset trim: the band bound rounds k'max up to a
+		// power of two (mirroring the BandCounts hook's own rounding), so
+		// sample query points whose k'max values land in the same bucket
+		// share one trim of the fixed universe. A bound-superset trim is
+		// rank-preserving for exactly the samples the loop keeps: every
+		// strict beater of a point ranked <= k'max lies in the
+		// k'max-skyband ⊆ bound-skyband, and a discarded sample's trimmed
+		// count still reaches past k'max. The per-query-point D-part is
+		// subtracted like the universe evaluator's.
+		bound := 16
+		for bound < kMax {
+			bound <<= 1
+		}
+		slot := -1
+		for i, b := range sc.trimBounds {
+			if b == bound {
+				slot = i
+				break
+			}
+			if b == 0 {
+				keep := src.BandCounts(bound)
+				if keep == nil {
+					return uni
+				}
+				sc.trims[i].Reset(d)
+				for _, c := range sc.uniRefs {
+					if keep(c.ID) {
+						sc.trims[i].Append(c.Point)
+					}
+				}
+				sc.trimBounds[i] = bound
+				sc.trimKeeps[i] = keep
+				slot = i
+				break
+			}
+		}
+		if slot < 0 {
+			return uni // more distinct bounds than slots; sweep the universe
+		}
+		trim := &sc.trims[slot]
+		if trim.Len()*4 >= sc.uni().Len()*3 {
+			return uni // trim too weak to pay for itself
+		}
+		keep := sc.trimKeeps[slot]
+		db := sc.dBand[:0]
+		for _, c := range sets.D {
+			if keep(c.ID) {
+				db = append(db, c)
+			}
+		}
+		sc.dBand = db
+		e := &rankEval{qp: qp, base: 1 + len(sets.D), sc: sc, soa: trim, ct: src.Kernel, dSub: db}
+		e.fn = kernelRankFn(e)
+		return e
 	}
 	keep := src.BandCounts(kMax)
 	if keep == nil {
-		return fallback
+		return uni
+	}
+	if src.Kernel != nil && !sc.uniFixed {
+		sc.ks.Trim.Reset(d)
+		kept := 0
+		for _, c := range sets.I {
+			if keep(c.ID) {
+				sc.ks.Trim.Append(c.Point)
+				kept++
+			}
+		}
+		if kept*4 >= len(sets.I)*3 {
+			return uni // trim too weak to pay for itself
+		}
+		e := &rankEval{qp: qp, base: 1 + len(sets.D), sc: sc, soa: &sc.ks.Trim, ct: src.Kernel}
+		e.fn = kernelRankFn(e)
+		return e
 	}
 	flat := sc.trim[:0]
 	kept := 0
@@ -128,13 +590,15 @@ func newSampleRankFn(src *Source, sc *rankScratch, sets *dominance.Sets, qp vec.
 	}
 	sc.trim = flat
 	if kept*4 >= len(sets.I)*3 {
-		return fallback // trim too weak to pay for itself
+		return uni // trim too weak to pay for itself
 	}
 	nD := len(sets.D)
-	return func(_ context.Context, w vec.Weight) (int, error) {
+	e := &rankEval{qp: qp, base: 1 + nD, sc: sc}
+	e.fn = func(_ context.Context, w vec.Weight) (int, error) {
 		fq := vec.Score(w, qp)
 		return 1 + nD + countBeatsFlat(flat, w, fq), nil
 	}
+	return e
 }
 
 // countBeatsFlat is countBeats over a flattened point buffer (d values per
@@ -256,3 +720,87 @@ func newSampler(src *Source, sets *dominance.Sets, qp vec.Point) (weightSampler,
 	}
 	return sample.NewWeightSampler(qp, inc)
 }
+
+// newDraw returns the per-sample draw function: the scratch-backed lazy
+// draw when available (identical values and rng stream, one allocation per
+// draw instead of several), the plain Sample otherwise.
+func newDraw(sampler weightSampler, sc *rankScratch, rng *rand.Rand) func() vec.Weight {
+	if ls, ok := sampler.(*sample.LazyWeightSampler); ok && sc != nil {
+		return func() vec.Weight { return ls.SampleScratch(rng, &sc.draw) }
+	}
+	return func() vec.Weight { return sampler.Sample(rng) }
+}
+
+// sampleRank is one drawn weighting vector with its (exact, <= k'max)
+// rank.
+type sampleRank struct {
+	w    vec.Weight
+	rank int
+}
+
+// drawRankedSamples draws sampleSize weighting vectors and keeps those
+// ranking within kMax (Algorithm 2 lines 3-6 with line 13's break applied
+// at construction), appending to samples. With a blocked evaluator the
+// draws fill a block first — consuming the rng stream in the same order
+// as the scalar loop — and one capped kernel pass ranks the whole block,
+// so the kept samples and their ranks are identical on every route. Both
+// MWK candidate strategies share this loop.
+func drawRankedSamples(ctx context.Context, tick *ctxcheck.Ticker, sev *rankEval, sc *rankScratch, draw func() vec.Weight, samples []sampleRank, sampleSize, kMax int) ([]sampleRank, error) {
+	if sev.blocked() {
+		if cap(sc.wblock) < kernel.BlockSize {
+			sc.wblock = make([]vec.Weight, kernel.BlockSize)
+			sc.rblock = make([]int, kernel.BlockSize)
+		}
+		for done := 0; done < sampleSize; {
+			nb := sampleSize - done
+			if nb > kernel.BlockSize {
+				nb = kernel.BlockSize
+			}
+			wb := sc.wblock[:nb]
+			for j := 0; j < nb; j++ {
+				if err := tick.Tick(); err != nil {
+					return samples, err
+				}
+				wb[j] = draw()
+			}
+			rb := sc.rblock[:nb]
+			sev.sampleRankBlock(wb, rb, kMax)
+			for j := 0; j < nb; j++ {
+				if rb[j] <= kMax {
+					samples = append(samples, sampleRank{w: wb[j], rank: rb[j]})
+				}
+			}
+			done += nb
+		}
+		return samples, nil
+	}
+	for i := 0; i < sampleSize; i++ {
+		if err := tick.Tick(); err != nil {
+			return samples, err
+		}
+		w := draw()
+		r, err := sev.fn(ctx, w)
+		if err != nil {
+			return samples, err
+		}
+		if r <= kMax {
+			samples = append(samples, sampleRank{w: w, rank: r})
+		}
+	}
+	return samples, nil
+}
+
+// rngPool recycles the ~5 KiB math/rand source state across sampling
+// calls: Seed fully resets a source, so a pooled rng re-seeded with the
+// caller's seed draws the exact stream a fresh rand.New(rand.NewSource)
+// would.
+var rngPool = sync.Pool{New: func() any { return rand.New(rand.NewSource(1)) }}
+
+// getRng takes a pooled rng seeded to the given seed; pair with putRng.
+func getRng(seed int64) *rand.Rand {
+	r := rngPool.Get().(*rand.Rand)
+	r.Seed(seed)
+	return r
+}
+
+func putRng(r *rand.Rand) { rngPool.Put(r) }

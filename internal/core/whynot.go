@@ -1,0 +1,127 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+
+	"wqrtq/internal/dominance"
+	"wqrtq/internal/rtree"
+	"wqrtq/internal/vec"
+)
+
+// WhyNotRefinements bundles the three refinement solutions of one why-not
+// answer.
+type WhyNotRefinements struct {
+	MQP  MQPResult
+	MWK  MWKResult
+	MQWK MQWKResult
+}
+
+// WhyNotRefineSrcCtx computes all three refinement solutions of a why-not
+// question over shared traversal state — the pipeline fusion behind
+// Index.WhyNot. Run separately, the solutions repeat each other's index
+// work: MWK's FindIncom and MQWK's candidate cache are the same pruned
+// traversal, and MQWK's line 2 re-runs the MQP optimum that the first
+// solution just produced. Here one Candidates walk feeds both samplings
+// (classifying at q yields exactly FindIncom's D/I sets, in the same
+// encounter order) and the MQP result is computed once and reused as
+// MQWK's q_min, so a why-not request pays one traversal and one QP solve
+// instead of three and two.
+//
+// Every result is bit-identical to the standalone entry points with the
+// same arguments: each stage seeds its own rng exactly as the separate
+// calls do, and the shared state is equal by construction to what each
+// stage would have recomputed.
+func WhyNotRefineSrcCtx(ctx context.Context, t *rtree.Tree, src *Source, q vec.Point, k int, wm []vec.Weight, sampleSize, qSampleSize int, seed int64, workers int, perVector bool, pm PenaltyModel) (WhyNotRefinements, error) {
+	var out WhyNotRefinements
+	if err := validateInput(t, q, k, wm); err != nil {
+		return out, err
+	}
+	if sampleSize < 0 {
+		return out, fmt.Errorf("core: negative sample size %d", sampleSize)
+	}
+	if qSampleSize < 0 {
+		return out, fmt.Errorf("core: negative query sample size %d", qSampleSize)
+	}
+	mqp, err := MQPSrcCtx(ctx, t, src, q, k, wm, pm)
+	if err != nil {
+		if ctx.Err() != nil {
+			return out, ctx.Err()
+		}
+		return out, fmt.Errorf("core: why-not refinement needs the MQP optimum: %w", err)
+	}
+	out.MQP = mqp
+
+	// One pruned traversal serves both samplings: classified at q it is
+	// FindIncom's D/I split (the traversal visits the same nodes in the
+	// same order and applies the same per-point conditions), and it is
+	// MQWK's §4.4 reuse cache as-is.
+	var sc *rankScratch
+	if src != nil {
+		sc = getRankScratch()
+		defer putRankScratch(sc)
+	}
+	var cands []dominance.Ref
+	var visited int
+	if sc != nil {
+		cands, visited = dominance.CandidatesInto(t, q, sc.candBuf[:0])
+		sc.candBuf = cands
+	} else {
+		cands, visited = dominance.Candidates(t, q)
+	}
+
+	var sets *dominance.Sets
+	if sc != nil {
+		prepareFixedUniverse(src, sc, cands, wm, qSampleSize+1)
+		sets = &sc.sets
+		if !classifyFixed(sc, q, sets) {
+			dominance.ClassifyInto(cands, q, sets)
+		}
+	} else {
+		s := dominance.Classify(cands, q)
+		sets = &s
+	}
+	sets.NodesVisited = visited
+
+	// Second solution (MWK), on its own rng stream exactly like the
+	// standalone entry point.
+	mwkRng := getRng(seed)
+	if perVector {
+		out.MWK, err = mwkPerVectorFromSets(ctx, src, sc, sets, q, k, wm, sampleSize, mwkRng, pm)
+	} else {
+		out.MWK, err = mwkFromSets(ctx, src, sc, sets, q, k, wm, sampleSize, mwkRng, pm)
+		if err == nil {
+			out.MWK.NodesVisited = visited
+		}
+	}
+	putRng(mwkRng)
+	if err != nil {
+		return out, err
+	}
+
+	// Third solution (MQWK), reusing q_min and the candidate cache.
+	if workers != 0 {
+		if workers < 0 {
+			workers = 0 // resolved to GOMAXPROCS inside
+		}
+		out.MQWK, err = mqwkParallelFused(ctx, src, mqp.RefinedQ, cands, q, k, wm, sampleSize, qSampleSize, seed, workers, pm)
+	} else {
+		mqwkRng := getRng(seed)
+		out.MQWK, err = mqwkResolved(ctx, src, sc, mqp.RefinedQ, cands, q, k, wm, sampleSize, qSampleSize, mqwkRng, pm)
+		putRng(mqwkRng)
+	}
+	if err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// mqwkParallelFused resolves the worker count like MQWKParallelSrcCtx
+// before delegating to the shared parallel search.
+func mqwkParallelFused(ctx context.Context, src *Source, qMin vec.Point, cands []dominance.Ref, q vec.Point, k int, wm []vec.Weight, sampleSize, qSampleSize int, seed int64, workers int, pm PenaltyModel) (MQWKResult, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return mqwkParallelResolved(ctx, src, qMin, cands, q, k, wm, sampleSize, qSampleSize, seed, workers, pm)
+}

@@ -32,9 +32,17 @@ type Sets struct {
 // lower corner is coordinate-wise >= q contains only such points.
 func FindIncom(t *rtree.Tree, q vec.Point) Sets {
 	var s Sets
-	s.NodesVisited = 1
-	walk(t.Root(), q, &s)
+	FindIncomInto(t, q, &s)
 	return s
+}
+
+// FindIncomInto is FindIncom writing into caller-owned scratch, reusing
+// the D and I backing arrays like ClassifyInto.
+func FindIncomInto(t *rtree.Tree, q vec.Point, s *Sets) {
+	s.D = s.D[:0]
+	s.I = s.I[:0]
+	s.NodesVisited = 1
+	walk(t.Root(), q, s)
 }
 
 func walk(n *rtree.Node, q vec.Point, s *Sets) {
@@ -67,7 +75,14 @@ func walk(n *rtree.Node, q vec.Point, s *Sets) {
 // behind the §4.4 reuse technique: MQWK samples its query points from the
 // box [q_min, q], so one traversal with respect to q serves all samples.
 func Candidates(t *rtree.Tree, q vec.Point) ([]Ref, int) {
-	var out []Ref
+	return CandidatesInto(t, q, nil)
+}
+
+// CandidatesInto is Candidates appending into a caller-owned buffer
+// (typically buf[:0] of a pooled backing array), so repeated traversals
+// reuse one allocation.
+func CandidatesInto(t *rtree.Tree, q vec.Point, buf []Ref) ([]Ref, int) {
+	out := buf
 	visited := 1
 	var rec func(n *rtree.Node)
 	rec = func(n *rtree.Node) {

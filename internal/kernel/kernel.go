@@ -1,0 +1,564 @@
+// Package kernel implements the blocked structure-of-arrays scoring kernel
+// behind the "many weights × one point set" computations of the framework:
+// the per-sample rank evaluations of the MWK/MQWK refinement loops, and the
+// candidate counting of reverse top-k over a k-skyband.
+//
+// # Layout
+//
+// A Coords holds a candidate set flattened column-major (d coordinate
+// columns of length n, one per dimension). The blocked entry points take a
+// block of B weighting vectors packed row-major (weight b occupying
+// wb[b*d : (b+1)*d]) and sweep the candidate columns once, evaluating all B
+// scores per point while the point's coordinates sit in registers. The
+// scalar alternative — B independent sweeps, one per weight — reads every
+// candidate coordinate B times from memory; the blocked sweep reads it
+// once, so a 100-sample refinement pays one memory pass instead of one
+// hundred.
+//
+// # Bit-identicality
+//
+// Every score is evaluated with the same sequence of multiplies and
+// left-to-right adds as vec.Score (s := w0*p0; s += w1*p1; ...). Float
+// addition of a product chain is association-order dependent, and the
+// framework's differential guarantees (kernel-on vs kernel-off answers must
+// match bit for bit) hinge on this order being preserved; the register-
+// blocked inner loops below change only which weight is applied when, never
+// the arithmetic within one (weight, point) score.
+//
+// # Blocking factor
+//
+// BlockSize bounds how many weights one packed sweep carries: the packed
+// block (BlockSize×d float64s) plus the threshold and counter arrays must
+// stay L1-resident alongside the streamed coordinate columns, and 64
+// weights × 4 dims × 8 bytes = 2 KiB leaves that comfortably true on
+// every current core. Within a block, the inner loops are additionally
+// register-blocked in groups of four weights, amortizing each point load
+// over four score evaluations without spilling the accumulators.
+package kernel
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// BlockSize is the number of weighting vectors one packed sweep evaluates;
+// callers with more weights chunk them (CountBelowWeights does this
+// internally).
+const BlockSize = 64
+
+// Coords is a candidate point set flattened column-major: Col(j)[i] is
+// coordinate j of point i. The zero value is empty; Reset prepares it for a
+// new point set while retaining column capacity, so a pooled Coords costs
+// no allocation in steady state.
+type Coords struct {
+	n    int
+	cols [][]float64
+}
+
+// Reset empties the coordinate columns and sets the dimensionality,
+// retaining backing capacity.
+func (c *Coords) Reset(d int) {
+	if cap(c.cols) < d {
+		cols := make([][]float64, d)
+		copy(cols, c.cols)
+		c.cols = cols
+	}
+	c.cols = c.cols[:d]
+	for j := range c.cols {
+		c.cols[j] = c.cols[j][:0]
+	}
+	c.n = 0
+}
+
+// Append adds one point (len d) to the set.
+func (c *Coords) Append(p []float64) {
+	for j := range c.cols {
+		c.cols[j] = append(c.cols[j], p[j])
+	}
+	c.n++
+}
+
+// Len returns the number of points.
+func (c *Coords) Len() int { return c.n }
+
+// Dim returns the dimensionality.
+func (c *Coords) Dim() int { return len(c.cols) }
+
+// Col returns coordinate column j.
+func (c *Coords) Col(j int) []float64 { return c.cols[j] }
+
+// Fill resets c to dimension d and appends n points accessed through at.
+func (c *Coords) Fill(d, n int, at func(int) []float64) {
+	c.Reset(d)
+	for i := 0; i < n; i++ {
+		c.Append(at(i))
+	}
+}
+
+// CountBelowBlock counts, for each weight b in the packed block wb (len(fqs)
+// weights, row-major d values each), the points of c scoring strictly below
+// fqs[b], writing the counts into counts[b]. It performs no allocation.
+// Dimensions 2–4 run register-blocked specializations; other dimensions use
+// the generic sweep. Counts are exact and identical to a scalar scan: each
+// score is computed with vec.Score's arithmetic order, and the comparison
+// is the same strict <.
+func CountBelowBlock(c *Coords, wb []float64, fqs []float64, counts []int) {
+	if len(counts) < len(fqs) {
+		panic("kernel: counts shorter than fqs")
+	}
+	if c.n == 0 {
+		for b := range fqs {
+			counts[b] = 0
+		}
+		return
+	}
+	switch len(c.cols) {
+	case 2:
+		countBelow2(c.cols[0], c.cols[1], wb, fqs, counts)
+	case 3:
+		countBelow3(c.cols[0], c.cols[1], c.cols[2], wb, fqs, counts)
+	case 4:
+		countBelow4(c.cols[0], c.cols[1], c.cols[2], c.cols[3], wb, fqs, counts)
+	default:
+		countBelowGeneric(c.cols, wb, fqs, counts)
+	}
+}
+
+func countBelow2(x, y, wb, fqs []float64, counts []int) {
+	y = y[:len(x)]
+	b := 0
+	for ; b+4 <= len(fqs); b += 4 {
+		w := wb[b*2 : b*2+8]
+		w00, w01 := w[0], w[1]
+		w10, w11 := w[2], w[3]
+		w20, w21 := w[4], w[5]
+		w30, w31 := w[6], w[7]
+		f0, f1, f2, f3 := fqs[b], fqs[b+1], fqs[b+2], fqs[b+3]
+		var c0, c1, c2, c3 int
+		for i, xi := range x {
+			yi := y[i]
+			s := w00 * xi
+			s += w01 * yi
+			if s < f0 {
+				c0++
+			}
+			s = w10 * xi
+			s += w11 * yi
+			if s < f1 {
+				c1++
+			}
+			s = w20 * xi
+			s += w21 * yi
+			if s < f2 {
+				c2++
+			}
+			s = w30 * xi
+			s += w31 * yi
+			if s < f3 {
+				c3++
+			}
+		}
+		counts[b], counts[b+1], counts[b+2], counts[b+3] = c0, c1, c2, c3
+	}
+	for ; b < len(fqs); b++ {
+		w0, w1 := wb[b*2], wb[b*2+1]
+		fq := fqs[b]
+		cnt := 0
+		for i, xi := range x {
+			s := w0 * xi
+			s += w1 * y[i]
+			if s < fq {
+				cnt++
+			}
+		}
+		counts[b] = cnt
+	}
+}
+
+func countBelow3(x, y, z, wb, fqs []float64, counts []int) {
+	y = y[:len(x)]
+	z = z[:len(x)]
+	b := 0
+	for ; b+4 <= len(fqs); b += 4 {
+		w := wb[b*3 : b*3+12]
+		w00, w01, w02 := w[0], w[1], w[2]
+		w10, w11, w12 := w[3], w[4], w[5]
+		w20, w21, w22 := w[6], w[7], w[8]
+		w30, w31, w32 := w[9], w[10], w[11]
+		f0, f1, f2, f3 := fqs[b], fqs[b+1], fqs[b+2], fqs[b+3]
+		var c0, c1, c2, c3 int
+		for i, xi := range x {
+			yi, zi := y[i], z[i]
+			s := w00 * xi
+			s += w01 * yi
+			s += w02 * zi
+			if s < f0 {
+				c0++
+			}
+			s = w10 * xi
+			s += w11 * yi
+			s += w12 * zi
+			if s < f1 {
+				c1++
+			}
+			s = w20 * xi
+			s += w21 * yi
+			s += w22 * zi
+			if s < f2 {
+				c2++
+			}
+			s = w30 * xi
+			s += w31 * yi
+			s += w32 * zi
+			if s < f3 {
+				c3++
+			}
+		}
+		counts[b], counts[b+1], counts[b+2], counts[b+3] = c0, c1, c2, c3
+	}
+	for ; b < len(fqs); b++ {
+		w0, w1, w2 := wb[b*3], wb[b*3+1], wb[b*3+2]
+		fq := fqs[b]
+		cnt := 0
+		for i, xi := range x {
+			s := w0 * xi
+			s += w1 * y[i]
+			s += w2 * z[i]
+			if s < fq {
+				cnt++
+			}
+		}
+		counts[b] = cnt
+	}
+}
+
+func countBelow4(x, y, z, u, wb, fqs []float64, counts []int) {
+	y = y[:len(x)]
+	z = z[:len(x)]
+	u = u[:len(x)]
+	b := 0
+	for ; b+2 <= len(fqs); b += 2 {
+		w := wb[b*4 : b*4+8]
+		w00, w01, w02, w03 := w[0], w[1], w[2], w[3]
+		w10, w11, w12, w13 := w[4], w[5], w[6], w[7]
+		f0, f1 := fqs[b], fqs[b+1]
+		var c0, c1 int
+		for i, xi := range x {
+			yi, zi, ui := y[i], z[i], u[i]
+			s := w00 * xi
+			s += w01 * yi
+			s += w02 * zi
+			s += w03 * ui
+			if s < f0 {
+				c0++
+			}
+			s = w10 * xi
+			s += w11 * yi
+			s += w12 * zi
+			s += w13 * ui
+			if s < f1 {
+				c1++
+			}
+		}
+		counts[b], counts[b+1] = c0, c1
+	}
+	for ; b < len(fqs); b++ {
+		w0, w1, w2, w3 := wb[b*4], wb[b*4+1], wb[b*4+2], wb[b*4+3]
+		fq := fqs[b]
+		cnt := 0
+		for i, xi := range x {
+			s := w0 * xi
+			s += w1 * y[i]
+			s += w2 * z[i]
+			s += w3 * u[i]
+			if s < fq {
+				cnt++
+			}
+		}
+		counts[b] = cnt
+	}
+}
+
+func countBelowGeneric(cols [][]float64, wb, fqs []float64, counts []int) {
+	d := len(cols)
+	n := len(cols[0])
+	for b := range fqs {
+		w := wb[b*d : (b+1)*d]
+		fq := fqs[b]
+		cnt := 0
+		for i := 0; i < n; i++ {
+			s := w[0] * cols[0][i]
+			for j := 1; j < d; j++ {
+				s += w[j] * cols[j][i]
+			}
+			if s < fq {
+				cnt++
+			}
+		}
+		counts[b] = cnt
+	}
+}
+
+// CountBelowCapped counts the points of c scoring strictly below fq under
+// the single weight w, abandoning the scan once the count exceeds cap: the
+// returned count is exact when <= cap and cap+1 otherwise, and scanned
+// reports how many points were examined. The sampling loops use it for
+// ranks that only matter while small — a sample whose rank exceeds k'max
+// is discarded whatever its exact value, so most discarded samples cost a
+// fraction of a full sweep. The scan order is the Coords order and the
+// arithmetic is vec.Score's, so an uncapped result is bit-identical to
+// CountBelowBlock's.
+func CountBelowCapped(c *Coords, w []float64, fq float64, cap int) (count, scanned int) {
+	if cap < 0 {
+		return cap + 1, 0
+	}
+	n := c.n
+	switch len(c.cols) {
+	case 2:
+		x, y := c.cols[0][:n], c.cols[1][:n]
+		w0, w1 := w[0], w[1]
+		for i, xi := range x {
+			s := w0 * xi
+			s += w1 * y[i]
+			if s < fq {
+				count++
+				if count > cap {
+					return count, i + 1
+				}
+			}
+		}
+	case 3:
+		x, y, z := c.cols[0][:n], c.cols[1][:n], c.cols[2][:n]
+		w0, w1, w2 := w[0], w[1], w[2]
+		for i, xi := range x {
+			s := w0 * xi
+			s += w1 * y[i]
+			s += w2 * z[i]
+			if s < fq {
+				count++
+				if count > cap {
+					return count, i + 1
+				}
+			}
+		}
+	case 4:
+		x, y, z, u := c.cols[0][:n], c.cols[1][:n], c.cols[2][:n], c.cols[3][:n]
+		w0, w1, w2, w3 := w[0], w[1], w[2], w[3]
+		for i, xi := range x {
+			s := w0 * xi
+			s += w1 * y[i]
+			s += w2 * z[i]
+			s += w3 * u[i]
+			if s < fq {
+				count++
+				if count > cap {
+					return count, i + 1
+				}
+			}
+		}
+	default:
+		d := len(c.cols)
+		for i := 0; i < n; i++ {
+			s := w[0] * c.cols[0][i]
+			for j := 1; j < d; j++ {
+				s += w[j] * c.cols[j][i]
+			}
+			if s < fq {
+				count++
+				if count > cap {
+					return count, i + 1
+				}
+			}
+		}
+	}
+	return count, n
+}
+
+// ScoreBlock produces the score columns of a packed weight block in one
+// sweep over the candidate columns: out[b*n+i] is the score of point i
+// under weight b (n = c.Len(), len(out) >= B*n). It performs no allocation.
+// Scores are bit-identical to vec.Score.
+func ScoreBlock(c *Coords, wb []float64, nWeights int, out []float64) {
+	d := len(c.cols)
+	n := c.n
+	if len(out) < nWeights*n {
+		panic("kernel: score output shorter than B*n")
+	}
+	if n == 0 {
+		return
+	}
+	switch d {
+	case 2:
+		x, y := c.cols[0], c.cols[1][:c.n]
+		for b := 0; b < nWeights; b++ {
+			w0, w1 := wb[b*2], wb[b*2+1]
+			col := out[b*n : (b+1)*n]
+			for i, xi := range x {
+				s := w0 * xi
+				s += w1 * y[i]
+				col[i] = s
+			}
+		}
+	case 3:
+		x, y, z := c.cols[0], c.cols[1][:c.n], c.cols[2][:c.n]
+		for b := 0; b < nWeights; b++ {
+			w0, w1, w2 := wb[b*3], wb[b*3+1], wb[b*3+2]
+			col := out[b*n : (b+1)*n]
+			for i, xi := range x {
+				s := w0 * xi
+				s += w1 * y[i]
+				s += w2 * z[i]
+				col[i] = s
+			}
+		}
+	case 4:
+		x, y, z, u := c.cols[0], c.cols[1][:c.n], c.cols[2][:c.n], c.cols[3][:c.n]
+		for b := 0; b < nWeights; b++ {
+			w0, w1, w2, w3 := wb[b*4], wb[b*4+1], wb[b*4+2], wb[b*4+3]
+			col := out[b*n : (b+1)*n]
+			for i, xi := range x {
+				s := w0 * xi
+				s += w1 * y[i]
+				s += w2 * z[i]
+				s += w3 * u[i]
+				col[i] = s
+			}
+		}
+	default:
+		for b := 0; b < nWeights; b++ {
+			w := wb[b*d : (b+1)*d]
+			col := out[b*n : (b+1)*n]
+			for i := 0; i < n; i++ {
+				s := w[0] * c.cols[0][i]
+				for j := 1; j < d; j++ {
+					s += w[j] * c.cols[j][i]
+				}
+				col[i] = s
+			}
+		}
+	}
+}
+
+// Scratch holds the reusable buffers of one blocked evaluation site: the
+// SoA images of the scanned candidate sets and the packed per-block weight,
+// threshold and count arrays. Obtain one with GetScratch and return it with
+// PutScratch; in steady state a pooled Scratch makes the blocked paths
+// allocation-free.
+type Scratch struct {
+	// Uni is the SoA image of the full candidate universe of one call;
+	// Trim the k'max-trimmed subset the sampling loops scan.
+	Uni  Coords
+	Trim Coords
+	// WB, Fqs and Counts are the packed block buffers.
+	WB     []float64
+	Fqs    []float64
+	Counts []int
+}
+
+// Block ensures the packed buffers hold at least b weights of dimension d
+// and returns them sliced to exactly b.
+func (s *Scratch) Block(b, d int) (wb, fqs []float64, counts []int) {
+	if cap(s.WB) < b*d {
+		s.WB = make([]float64, b*d)
+	}
+	if cap(s.Fqs) < b {
+		s.Fqs = make([]float64, b)
+	}
+	if cap(s.Counts) < b {
+		s.Counts = make([]int, b)
+	}
+	return s.WB[:b*d], s.Fqs[:b], s.Counts[:b]
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
+// GetScratch takes a Scratch from the shared pool.
+func GetScratch() *Scratch { return scratchPool.Get().(*Scratch) }
+
+// PutScratch returns a Scratch to the shared pool.
+func PutScratch(s *Scratch) {
+	if s != nil {
+		scratchPool.Put(s)
+	}
+}
+
+// Counters accumulates blocked-kernel activity. One Counters is shared by
+// every snapshot in a clone family (like the skyband counters), so the
+// serving engine reports cumulative numbers over the index's lifetime.
+type Counters struct {
+	blocks  atomic.Int64
+	weights atomic.Int64
+	points  atomic.Int64
+}
+
+// NewCounters creates a zeroed counter set.
+func NewCounters() *Counters { return &Counters{} }
+
+// Add records one blocked sweep evaluating nWeights weights over nPoints
+// candidate points.
+func (c *Counters) Add(nWeights, nPoints int) {
+	if c == nil {
+		return
+	}
+	c.blocks.Add(1)
+	c.weights.Add(int64(nWeights))
+	c.points.Add(int64(nPoints))
+}
+
+// CountersSnapshot is a point-in-time copy of the cumulative counters.
+type CountersSnapshot struct {
+	// Blocks counts blocked sweeps; Weights the weighting vectors they
+	// evaluated; Points the candidate points per sweep, summed — so
+	// Weights*Points/Blocks approximates the score evaluations amortized
+	// per sweep.
+	Blocks  int64 `json:"blocks"`
+	Weights int64 `json:"weights"`
+	Points  int64 `json:"points"`
+}
+
+// Snapshot copies the counters.
+func (c *Counters) Snapshot() CountersSnapshot {
+	if c == nil {
+		return CountersSnapshot{}
+	}
+	return CountersSnapshot{
+		Blocks:  c.blocks.Load(),
+		Weights: c.weights.Load(),
+		Points:  c.points.Load(),
+	}
+}
+
+// CountBelowWeights evaluates count-below for an arbitrary number of
+// weights, chunking them into BlockSize packed sweeps through sc's buffers:
+// for every i, counts[i] = |{p in c : f(ws[i], p) < fqs[i]}|. ws is indexed
+// through at (avoiding a []vec.Weight dependency); ct, when non-nil,
+// records the blocked work.
+func CountBelowWeights(c *Coords, nWeights int, at func(int) []float64, fqs []float64, counts []int, sc *Scratch, ct *Counters) {
+	_ = CountBelowWeightsCtx(context.Background(), c, nWeights, at, fqs, counts, sc, ct)
+}
+
+// CountBelowWeightsCtx is CountBelowWeights with cooperative cancellation:
+// ctx is polled before every blocked sweep, so a canceled caller unwinds
+// within one BlockSize chunk.
+func CountBelowWeightsCtx(ctx context.Context, c *Coords, nWeights int, at func(int) []float64, fqs []float64, counts []int, sc *Scratch, ct *Counters) error {
+	d := c.Dim()
+	for base := 0; base < nWeights; base += BlockSize {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		nb := nWeights - base
+		if nb > BlockSize {
+			nb = BlockSize
+		}
+		wb, bf, bc := sc.Block(nb, d)
+		for j := 0; j < nb; j++ {
+			copy(wb[j*d:(j+1)*d], at(base+j))
+			bf[j] = fqs[base+j]
+		}
+		CountBelowBlock(c, wb, bf, bc)
+		copy(counts[base:base+nb], bc)
+		ct.Add(nb, c.Len())
+	}
+	return nil
+}

@@ -1,0 +1,223 @@
+package kernel
+
+import (
+	"math/rand"
+	"testing"
+
+	"wqrtq/internal/sample"
+	"wqrtq/internal/vec"
+)
+
+// refCountBelow is the scalar reference: one vec.Score per (weight, point).
+func refCountBelow(pts []vec.Point, w vec.Weight, fq float64) int {
+	cnt := 0
+	for _, p := range pts {
+		if vec.Score(w, p) < fq {
+			cnt++
+		}
+	}
+	return cnt
+}
+
+func randPoints(rng *rand.Rand, n, d int) []vec.Point {
+	pts := make([]vec.Point, n)
+	for i := range pts {
+		p := make(vec.Point, d)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func coordsOf(pts []vec.Point, d int) *Coords {
+	var c Coords
+	c.Fill(d, len(pts), func(i int) []float64 { return pts[i] })
+	return &c
+}
+
+// TestCountBelowBlockMatchesScalar checks the blocked counts against the
+// scalar reference for every specialized dimension, a generic dimension,
+// block sizes around the register-blocking boundaries, and empty inputs.
+func TestCountBelowBlockMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, d := range []int{2, 3, 4, 5, 7} {
+		for _, n := range []int{0, 1, 3, 64, 257} {
+			pts := randPoints(rng, n, d)
+			c := coordsOf(pts, d)
+			for _, nw := range []int{1, 2, 3, 4, 5, 8, 9, 63, 64} {
+				wb := make([]float64, nw*d)
+				fqs := make([]float64, nw)
+				ws := make([]vec.Weight, nw)
+				for b := 0; b < nw; b++ {
+					w := sample.RandSimplex(rng, d)
+					ws[b] = w
+					copy(wb[b*d:(b+1)*d], w)
+					// Thresholds spread around the score distribution so
+					// counts are neither all-0 nor all-n.
+					fqs[b] = rng.Float64() * float64(d)
+				}
+				counts := make([]int, nw)
+				CountBelowBlock(c, wb, fqs, counts)
+				for b := 0; b < nw; b++ {
+					if want := refCountBelow(pts, ws[b], fqs[b]); counts[b] != want {
+						t.Fatalf("d=%d n=%d nw=%d b=%d: count %d, scalar %d", d, n, nw, b, counts[b], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestScoreBlockBitIdentical checks that every blocked score equals
+// vec.Score bit for bit (not merely within epsilon): the kernel preserves
+// the multiply/add association order the differential suites rely on.
+func TestScoreBlockBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, d := range []int{2, 3, 4, 6} {
+		n := 101
+		pts := randPoints(rng, n, d)
+		c := coordsOf(pts, d)
+		const nw = 9
+		wb := make([]float64, nw*d)
+		ws := make([]vec.Weight, nw)
+		for b := 0; b < nw; b++ {
+			ws[b] = sample.RandSimplex(rng, d)
+			copy(wb[b*d:(b+1)*d], ws[b])
+		}
+		out := make([]float64, nw*n)
+		ScoreBlock(c, wb, nw, out)
+		for b := 0; b < nw; b++ {
+			for i, p := range pts {
+				if got, want := out[b*n+i], vec.Score(ws[b], p); got != want {
+					t.Fatalf("d=%d b=%d i=%d: score %v, vec.Score %v", d, b, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestCountBelowWeightsChunking drives the BlockSize-chunking wrapper past
+// one block and checks the counters account for every sweep.
+func TestCountBelowWeightsChunking(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	const d, n, nw = 3, 200, 2*BlockSize + 17
+	pts := randPoints(rng, n, d)
+	c := coordsOf(pts, d)
+	ws := make([]vec.Weight, nw)
+	fqs := make([]float64, nw)
+	for i := range ws {
+		ws[i] = sample.RandSimplex(rng, d)
+		fqs[i] = rng.Float64() * 2
+	}
+	counts := make([]int, nw)
+	sc := GetScratch()
+	defer PutScratch(sc)
+	ct := NewCounters()
+	CountBelowWeights(c, nw, func(i int) []float64 { return ws[i] }, fqs, counts, sc, ct)
+	for i := range ws {
+		if want := refCountBelow(pts, ws[i], fqs[i]); counts[i] != want {
+			t.Fatalf("weight %d: count %d, scalar %d", i, counts[i], want)
+		}
+	}
+	snap := ct.Snapshot()
+	if snap.Blocks != 3 || snap.Weights != nw || snap.Points != 3*int64(n) {
+		t.Fatalf("counters %+v, want 3 blocks / %d weights / %d points", snap, nw, 3*n)
+	}
+	if (*Counters)(nil).Snapshot() != (CountersSnapshot{}) {
+		t.Fatal("nil counters must snapshot to zero")
+	}
+}
+
+// TestCoordsReuse checks Reset/Append capacity reuse across refills and
+// dimension changes.
+func TestCoordsReuse(t *testing.T) {
+	var c Coords
+	c.Fill(3, 10, func(i int) []float64 { return []float64{float64(i), 1, 2} })
+	if c.Len() != 10 || c.Dim() != 3 {
+		t.Fatalf("fill: len=%d dim=%d", c.Len(), c.Dim())
+	}
+	c.Fill(2, 4, func(i int) []float64 { return []float64{float64(i), -1} })
+	if c.Len() != 4 || c.Dim() != 2 {
+		t.Fatalf("refill: len=%d dim=%d", c.Len(), c.Dim())
+	}
+	for i := 0; i < 4; i++ {
+		if c.Col(0)[i] != float64(i) || c.Col(1)[i] != -1 {
+			t.Fatalf("refill contents wrong at %d: %v %v", i, c.Col(0)[i], c.Col(1)[i])
+		}
+	}
+}
+
+// TestKernelAllocsPerOp guards the acceptance requirement of zero
+// allocations per op in the kernel inner loops: with warmed scratch,
+// CountBelowBlock, ScoreBlock and the chunking wrapper must not allocate.
+func TestKernelAllocsPerOp(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	const d, n, nw = 3, 512, BlockSize
+	pts := randPoints(rng, n, d)
+	c := coordsOf(pts, d)
+	ws := make([]vec.Weight, nw)
+	fqs := make([]float64, nw)
+	for i := range ws {
+		ws[i] = sample.RandSimplex(rng, d)
+		fqs[i] = rng.Float64()
+	}
+	wb := make([]float64, nw*d)
+	for b := range ws {
+		copy(wb[b*d:(b+1)*d], ws[b])
+	}
+	counts := make([]int, nw)
+	out := make([]float64, nw*n)
+	sc := GetScratch()
+	defer PutScratch(sc)
+	ct := NewCounters()
+	at := func(i int) []float64 { return ws[i] }
+	CountBelowWeights(c, nw, at, fqs, counts, sc, ct) // warm sc's block buffers
+
+	if allocs := testing.AllocsPerRun(100, func() {
+		CountBelowBlock(c, wb, fqs, counts)
+	}); allocs != 0 {
+		t.Fatalf("CountBelowBlock allocates %.1f objects per op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		ScoreBlock(c, wb, nw, out)
+	}); allocs != 0 {
+		t.Fatalf("ScoreBlock allocates %.1f objects per op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		CountBelowWeights(c, nw, at, fqs, counts, sc, ct)
+	}); allocs != 0 {
+		t.Fatalf("CountBelowWeights allocates %.1f objects per op, want 0", allocs)
+	}
+}
+
+// BenchmarkCountBelow compares the blocked sweep against the equivalent
+// scalar scans at the refinement loop's typical shape.
+func BenchmarkCountBelow(b *testing.B) {
+	rng := rand.New(rand.NewSource(23))
+	const d, n, nw = 3, 1024, BlockSize
+	pts := randPoints(rng, n, d)
+	c := coordsOf(pts, d)
+	wb := make([]float64, nw*d)
+	fqs := make([]float64, nw)
+	ws := make([]vec.Weight, nw)
+	for i := range ws {
+		ws[i] = sample.RandSimplex(rng, d)
+		copy(wb[i*d:(i+1)*d], ws[i])
+		fqs[i] = rng.Float64()
+	}
+	counts := make([]int, nw)
+	b.Run("blocked", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			CountBelowBlock(c, wb, fqs, counts)
+		}
+	})
+	b.Run("scalar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j := range ws {
+				counts[j] = refCountBelow(pts, ws[j], fqs[j])
+			}
+		}
+	})
+}

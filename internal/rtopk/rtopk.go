@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"wqrtq/internal/ctxcheck"
+	"wqrtq/internal/kernel"
 	"wqrtq/internal/rtree"
 	"wqrtq/internal/topk"
 	"wqrtq/internal/vec"
@@ -165,72 +166,91 @@ type Interval struct {
 // Monochromatic2D computes the exact monochromatic reverse top-k result for
 // a 2-dimensional dataset: the maximal intervals of λ (with w = (λ, 1-λ))
 // whose top-k contains q. Intervals with empty interior are not reported.
+//
+// q's rank is constant on each open segment between consecutive
+// breakpoints (the λ values where some point ties with q), so the answer
+// is a union of such segments. Membership of each segment is decided by
+// evaluating the actual strict-beat count at the segment's midpoint — the
+// same arithmetic MonoRank performs — rather than by accumulating the
+// analytically derived ±1 coverage deltas of a sweep. The sweep was
+// cheaper but fragile: a breakpoint is the root of f(w,p) = f(w,q) rounded
+// to one float64, and on grid-quantized data the rounded root's
+// re-evaluated tie could break either way, letting the event arithmetic
+// drift from what score evaluation at any concrete λ reports. Midpoint
+// evaluation makes the answer agree with MonoRank at every segment
+// midpoint by construction. The counts run through the blocked scoring
+// kernel — all segment midpoints are scored against the flattened point
+// set in BlockSize sweeps — so the robust evaluation stays cheap: O(n·s/B)
+// memory passes for s segments instead of the sweep's O(n log n), with the
+// point image read once per B midpoints.
 func Monochromatic2D(points []vec.Point, q vec.Point, k int) []Interval {
 	if len(q) != 2 {
 		panic("rtopk: Monochromatic2D requires 2-dimensional data")
 	}
-	// For each p: beats(λ) ⇔ f(w,p) < f(w,q) ⇔ b + λ(a-b) < 0 with
-	// a = p[0]-q[0], b = p[1]-q[1]. Build +1/-1 coverage events over [0,1].
-	type event struct {
-		at    float64
-		delta int
-	}
-	var events []event
-	baseline := 0 // points beating q on the whole interval
+	// Breakpoints: λ* = b/(b-a) per point with a = p[0]-q[0], b = p[1]-q[1]
+	// (a != b), kept when strictly inside (0, 1).
+	lams := make([]float64, 0, len(points)+2)
 	for _, p := range points {
 		a := p[0] - q[0]
 		b := p[1] - q[1]
-		switch {
-		case a == b:
-			if a < 0 {
-				baseline++
-			}
-		case a < b:
-			// Decreasing g: beats for λ > λ*.
-			lam := b / (b - a)
-			if lam < 0 {
-				baseline++
-			} else if lam < 1 {
-				events = append(events, event{at: lam, delta: +1})
-			}
-		default: // a > b, increasing g: beats for λ < λ*.
-			lam := b / (b - a)
-			if lam > 1 {
-				baseline++
-			} else if lam > 0 {
-				events = append(events, event{at: lam, delta: -1}, event{at: 0, delta: +1})
-			}
+		if a == b {
+			continue
+		}
+		if lam := b / (b - a); lam > 0 && lam < 1 {
+			lams = append(lams, lam)
 		}
 	}
-	sort.Slice(events, func(i, j int) bool { return events[i].at < events[j].at })
+	sort.Float64s(lams)
+	// Segment boundaries: 0, the distinct breakpoints, 1.
+	bounds := make([]float64, 0, len(lams)+2)
+	bounds = append(bounds, 0)
+	for _, lam := range lams {
+		if lam != bounds[len(bounds)-1] {
+			bounds = append(bounds, lam)
+		}
+	}
+	if bounds[len(bounds)-1] != 1 {
+		bounds = append(bounds, 1)
+	}
 
-	// Sweep the open segments between consecutive breakpoints.
+	// Score every segment midpoint through the blocked kernel.
+	sc := kernel.GetScratch()
+	defer kernel.PutScratch(sc)
+	sc.Uni.Fill(2, len(points), func(i int) []float64 { return points[i] })
+	nSeg := len(bounds) - 1
+	mids := make([]float64, nSeg)
+	fqs := make([]float64, nSeg)
+	counts := make([]int, nSeg)
+	for i := 0; i < nSeg; i++ {
+		mid := (bounds[i] + bounds[i+1]) / 2
+		mids[i] = mid
+		// f(w, q) with w = (mid, 1-mid), in vec.Score order.
+		fq := mid * q[0]
+		fq += (1 - mid) * q[1]
+		fqs[i] = fq
+	}
+	var wpair [2]float64
+	kernel.CountBelowWeights(&sc.Uni, nSeg, func(i int) []float64 {
+		wpair[0] = mids[i]
+		wpair[1] = 1 - mids[i]
+		return wpair[:]
+	}, fqs, counts, sc, nil)
+
+	// Merge consecutive member segments (count < k ⇔ rank <= k, ties won
+	// by q) into maximal closed intervals; single-breakpoint memberships
+	// between two non-member segments have empty interior and are not
+	// representable, matching the documented contract.
 	var out []Interval
-	count := baseline
-	prev := 0.0
-	flush := func(lo, hi float64, c int) {
-		if hi <= lo {
-			return
+	for i := 0; i < nSeg; i++ {
+		if counts[i] >= k {
+			continue
 		}
-		if c <= k-1 {
-			if n := len(out); n > 0 && out[n-1].Hi == lo {
-				out[n-1].Hi = hi
-			} else {
-				out = append(out, Interval{Lo: lo, Hi: hi})
-			}
+		if n := len(out); n > 0 && out[n-1].Hi == bounds[i] {
+			out[n-1].Hi = bounds[i+1]
+		} else {
+			out = append(out, Interval{Lo: bounds[i], Hi: bounds[i+1]})
 		}
 	}
-	i := 0
-	for i < len(events) {
-		at := events[i].at
-		flush(prev, at, count)
-		for i < len(events) && events[i].at == at {
-			count += events[i].delta
-			i++
-		}
-		prev = at
-	}
-	flush(prev, 1, count)
 	return out
 }
 

@@ -168,6 +168,105 @@ func (s *LazyWeightSampler) Sample(rng *rand.Rand) vec.Weight {
 	return combineVertices(vs, rng)
 }
 
+// DrawScratch holds the per-draw temporaries of SampleScratch — the
+// hyperplane coefficients, the vertex set and the Dirichlet coefficients —
+// so a sampling loop's draws allocate only the returned weight. The zero
+// value is ready for use.
+type DrawScratch struct {
+	c    []float64
+	vs   []vec.Weight
+	vbuf []float64
+	coef []float64
+}
+
+// SampleScratch is Sample with caller-owned scratch: it draws the exact
+// same weighting vector — same rand.Rand consumption, same float values —
+// while reusing sc's buffers for every intermediate, so only the returned
+// weight is a fresh allocation. The blocked sampling loops of internal/core
+// use it to keep per-draw garbage off the refinement hot path.
+func (s *LazyWeightSampler) SampleScratch(rng *rand.Rand, sc *DrawScratch) vec.Weight {
+	idx := rng.Intn(s.n)
+	p := s.at(idx)
+	d := len(s.q)
+	if cap(sc.c) < d {
+		sc.c = make([]float64, d)
+	}
+	c := sc.c[:d]
+	for i := range c {
+		c[i] = p[i] - s.q[i]
+	}
+	vs := hyperplaneVerticesInto(c, sc)
+	if len(vs) == 0 {
+		panic("sample: LazyWeightSampler over a point not incomparable with q")
+	}
+	if len(vs) == 1 {
+		return vec.CloneWeight(vs[0])
+	}
+	if cap(sc.coef) < len(vs) {
+		sc.coef = make([]float64, len(vs))
+	}
+	coef := sc.coef[:len(vs)]
+	sum := 0.0
+	for i := range coef {
+		coef[i] = rng.ExpFloat64()
+		sum += coef[i]
+	}
+	w := make(vec.Weight, d)
+	for i, v := range vs {
+		cf := coef[i] / sum
+		for j := range w {
+			w[j] += cf * v[j]
+		}
+	}
+	return w
+}
+
+// hyperplaneVerticesInto is HyperplaneVertices with the vertex slices carved
+// out of sc's backing buffer, in the same order and with the same values.
+func hyperplaneVerticesInto(c []float64, sc *DrawScratch) []vec.Weight {
+	d := len(c)
+	// At most d axis vertices plus d(d-1)/2 edge vertices.
+	maxV := d + d*(d-1)/2
+	if cap(sc.vbuf) < maxV*d {
+		sc.vbuf = make([]float64, maxV*d)
+	}
+	if cap(sc.vs) < maxV {
+		sc.vs = make([]vec.Weight, maxV)
+	}
+	buf := sc.vbuf[:0]
+	out := sc.vs[:0]
+	grab := func() vec.Weight {
+		start := len(buf)
+		buf = buf[:start+d]
+		v := vec.Weight(buf[start : start+d])
+		for i := range v {
+			v[i] = 0
+		}
+		return v
+	}
+	for i := 0; i < d; i++ {
+		if c[i] == 0 {
+			v := grab()
+			v[i] = 1
+			out = append(out, v)
+		}
+	}
+	for i := 0; i < d; i++ {
+		for j := i + 1; j < d; j++ {
+			if (c[i] > 0 && c[j] < 0) || (c[i] < 0 && c[j] > 0) {
+				t := c[j] / (c[j] - c[i])
+				v := grab()
+				v[i] = t
+				v[j] = 1 - t
+				out = append(out, v)
+			}
+		}
+	}
+	sc.vbuf = buf
+	sc.vs = out
+	return out
+}
+
 // RandSimplex returns a uniform random point on the standard d-simplex.
 func RandSimplex(rng *rand.Rand, d int) vec.Weight {
 	w := make(vec.Weight, d)

@@ -192,3 +192,124 @@ func TestDirichletCombinationCoversPolytope(t *testing.T) {
 		t.Errorf("only %d distinct samples out of 100; sampler looks degenerate", len(distinct))
 	}
 }
+
+// --- Lazy sampler: degenerate spaces and the scratch-draw variant ----------
+
+// lazyOver builds a LazyWeightSampler over the same incomparable sequence an
+// eager sampler would see.
+func lazyOver(q vec.Point, inc []vec.Point) (*LazyWeightSampler, error) {
+	return NewLazyWeightSampler(q, len(inc), func(i int) vec.Point { return inc[i] })
+}
+
+// drawBoth draws n samples from an eager and a lazy sampler over the same
+// space with identically seeded rngs and requires bit-identical streams.
+func drawBoth(t *testing.T, label string, q vec.Point, inc []vec.Point, n int) {
+	t.Helper()
+	eager, errE := NewWeightSampler(q, inc)
+	lazy, errL := lazyOver(q, inc)
+	if errE != nil || errL != nil {
+		t.Fatalf("%s: constructors failed: eager=%v lazy=%v", label, errE, errL)
+	}
+	rngE := rand.New(rand.NewSource(42))
+	rngL := rand.New(rand.NewSource(42))
+	rngS := rand.New(rand.NewSource(42))
+	var sc DrawScratch
+	for i := 0; i < n; i++ {
+		we := eager.Sample(rngE)
+		wl := lazy.Sample(rngL)
+		ws := lazy.SampleScratch(rngS, &sc)
+		if !vec.Equal(vec.Point(we), vec.Point(wl)) {
+			t.Fatalf("%s: draw %d diverged: eager %v, lazy %v", label, i, we, wl)
+		}
+		if !vec.Equal(vec.Point(wl), vec.Point(ws)) {
+			t.Fatalf("%s: draw %d diverged: lazy %v, scratch %v", label, i, wl, ws)
+		}
+	}
+}
+
+// TestLazySamplerEmptyUniverse pins the empty candidate universe: both
+// constructors must refuse with ErrNoSampleSpace, so the refinement loops
+// fall back to the k-only baseline identically on both paths.
+func TestLazySamplerEmptyUniverse(t *testing.T) {
+	if _, err := NewWeightSampler(vec.Point{1, 1}, nil); err != ErrNoSampleSpace {
+		t.Errorf("eager: err = %v, want ErrNoSampleSpace", err)
+	}
+	if _, err := lazyOver(vec.Point{1, 1}, nil); err != ErrNoSampleSpace {
+		t.Errorf("lazy: err = %v, want ErrNoSampleSpace", err)
+	}
+}
+
+// TestLazySampler1D pins d=1: no point is strictly incomparable with q in
+// one dimension, so the only admissible 1-D "hyperplane" is the degenerate
+// c = 0 of a point equal to q, whose single vertex (1) both samplers return
+// with identical rng consumption; a genuinely one-signed c violates the
+// incomparability precondition and must panic on the lazy side, mirroring
+// the eager constructor's refusal.
+func TestLazySampler1D(t *testing.T) {
+	q := vec.Point{3}
+	drawBoth(t, "d=1 equal point", q, []vec.Point{{3}}, 16)
+
+	if _, err := NewWeightSampler(q, []vec.Point{{5}}); err != ErrNoSampleSpace {
+		t.Fatalf("eager over one-signed 1-D plane: err = %v, want ErrNoSampleSpace", err)
+	}
+	lazy, err := lazyOver(q, []vec.Point{{5}})
+	if err != nil {
+		t.Fatalf("lazy constructor is O(1) and cannot pre-check planes: %v", err)
+	}
+	for _, scratch := range []bool{false, true} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("lazy draw (scratch=%v) over a non-incomparable point must panic", scratch)
+				}
+			}()
+			rng := rand.New(rand.NewSource(1))
+			if scratch {
+				var sc DrawScratch
+				lazy.SampleScratch(rng, &sc)
+			} else {
+				lazy.Sample(rng)
+			}
+		}()
+	}
+}
+
+// TestLazySamplerDuplicateHyperplanes pins duplicate planes: repeated
+// incomparable points produce coincident hyperplanes, and the index-uniform
+// draw must keep the duplicated plane's doubled mass with an identical
+// stream on both samplers.
+func TestLazySamplerDuplicateHyperplanes(t *testing.T) {
+	q := vec.Point{4, 4, 4}
+	inc := []vec.Point{{9, 3, 2}, {9, 3, 2}, {9, 3, 2}, {1, 9, 5}}
+	drawBoth(t, "duplicate planes", q, inc, 200)
+}
+
+// TestLazySamplerMoreSamplesThanPlanes pins sampleSize > universe: drawing
+// far more samples than there are hyperplanes revisits planes, and the
+// streams must stay bit-identical throughout (the lazy sampler re-derives
+// the plane on every visit; the eager one reuses its materialization).
+func TestLazySamplerMoreSamplesThanPlanes(t *testing.T) {
+	q := vec.Point{4, 4}
+	inc := []vec.Point{{9, 3}, {1, 9}}
+	drawBoth(t, "samples > universe", q, inc, 500)
+}
+
+// TestSampleScratchAllocs guards the scratch draw: after warm-up each draw
+// allocates only the returned weight (one object).
+func TestSampleScratchAllocs(t *testing.T) {
+	q := vec.Point{4, 4, 4}
+	inc := []vec.Point{{9, 3, 2}, {1, 9, 5}, {3, 7, 4}}
+	lazy, err := lazyOver(q, inc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	var sc DrawScratch
+	lazy.SampleScratch(rng, &sc) // warm the scratch buffers
+	allocs := testing.AllocsPerRun(200, func() {
+		lazy.SampleScratch(rng, &sc)
+	})
+	if allocs > 1 {
+		t.Fatalf("SampleScratch allocates %.1f objects per draw, want <= 1", allocs)
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"sync"
 
+	"wqrtq/internal/kernel"
 	"wqrtq/internal/rtopk"
 	"wqrtq/internal/rtree"
 	"wqrtq/internal/skyband"
@@ -59,6 +60,13 @@ type Set struct {
 	// ones over the cloned trees, and a mutation resets the touched
 	// shard's, so stale bands are unreachable.
 	skies []*skyband.Cache
+	// kct enables the blocked scoring kernel for reverse top-k (nil = the
+	// -kernel=off ablation): when the per-shard candidate bands fit the
+	// kernel cutoff, each shard counts strict beaters for the whole weight
+	// block in flattened sweeps and the gather sums the counts, instead of
+	// running the per-vector RTA top-k lockstep. The counters are shared
+	// across the clone family, like the skyband counters.
+	kct *kernel.Counters
 }
 
 // MaxShards bounds the shard count: every query fans out one goroutine per
@@ -147,6 +155,7 @@ func (s *Set) Clone() *Set {
 	if s.skies != nil {
 		c.EnableSkyband(s.skies[0].Counters())
 	}
+	c.kct = s.kct
 	s.sharedOwner = true
 	return c
 }
@@ -169,6 +178,22 @@ func (s *Set) EnableSkyband(ct *skyband.Counters) {
 // DisableSkyband detaches the per-shard skyband caches; queries revert to
 // the full shard trees.
 func (s *Set) DisableSkyband() { s.skies = nil }
+
+// EnableKernel routes eligible reverse top-k evaluations through the
+// blocked scoring kernel, recording work in ct (nil allocates a private
+// counter set).
+func (s *Set) EnableKernel(ct *kernel.Counters) {
+	if ct == nil {
+		ct = kernel.NewCounters()
+	}
+	s.kct = ct
+}
+
+// DisableKernel reverts reverse top-k to the per-vector RTA lockstep.
+func (s *Set) DisableKernel() { s.kct = nil }
+
+// KernelEnabled reports whether the blocked kernel is active.
+func (s *Set) KernelEnabled() bool { return s.kct != nil }
 
 // SkybandEnabled reports whether the per-shard skyband caches are active.
 func (s *Set) SkybandEnabled() bool { return s.skies != nil }
@@ -201,6 +226,15 @@ func (s *Set) bandTree(i, k int) (*rtree.Tree, int) {
 	}
 	b := s.skies[i].Band(k)
 	return b.Tree(), b.Size()
+}
+
+// band returns shard i's local k-skyband band, or nil when the skyband
+// sub-index is disabled.
+func (s *Set) band(i, k int) *skyband.Band {
+	if s.skies == nil {
+		return nil
+	}
+	return s.skies[i].Band(k)
 }
 
 // ownOwner gives the set a private copy of the ownership table when it is
@@ -354,6 +388,11 @@ func (s *Set) BichromaticCtx(ctx context.Context, W []vec.Weight, q vec.Point, k
 		return nil, rtopk.Stats{}, err
 	}
 	if len(s.trees) == 1 {
+		if b := s.band(0, k); b != nil && s.kct != nil && s.dim <= 4 && b.Size() <= rtopk.CoordsCutoff {
+			res, stats, err := rtopk.BichromaticCoordsCtx(ctx, b.Coords(), W, q, k, s.kct)
+			stats.CandidateSetSize = b.Size()
+			return res, stats, err
+		}
 		bt, size := s.bandTree(0, k)
 		res, stats, err := rtopk.BichromaticCtx(ctx, bt, W, q, k)
 		stats.CandidateSetSize = size
@@ -363,12 +402,21 @@ func (s *Set) BichromaticCtx(ctx context.Context, W []vec.Weight, q vec.Point, k
 	// use after a snapshot swap builds the local k-skybands in parallel.
 	bts := make([]*rtree.Tree, len(s.trees))
 	sizes := make([]int, len(s.trees))
+	bands := make([]*skyband.Band, len(s.trees))
 	s.scatter(func(i int, t *rtree.Tree) {
-		bts[i], sizes[i] = s.bandTree(i, k)
+		if b := s.band(i, k); b != nil {
+			bands[i] = b
+			bts[i], sizes[i] = b.Tree(), b.Size()
+		} else {
+			bts[i], sizes[i] = s.trees[i], s.trees[i].Len()
+		}
 	})
 	candTotal := 0
 	for _, sz := range sizes {
 		candTotal += sz
+	}
+	if s.kct != nil && s.skies != nil && s.dim <= 4 && candTotal <= rtopk.CoordsCutoff {
+		return s.bichromaticBlocked(ctx, W, q, k, bands, candTotal)
 	}
 	type shardTopK struct {
 		res []topk.Result
@@ -412,6 +460,48 @@ func (s *Set) BichromaticCtx(ctx context.Context, W []vec.Weight, q vec.Point, k
 	res, stats, err := rtopk.BichromaticFuncCtx(ctx, W, q, k, eval)
 	stats.CandidateSetSize = candTotal
 	return res, stats, err
+}
+
+// bichromaticBlocked answers the bichromatic query by per-shard blocked
+// counting: each shard sweeps its flattened local k-skyband once per
+// kernel.BlockSize weights, and the gather sums the per-shard strict-beat
+// counts. A shard's local band count is exact while below k and saturates
+// at >= k otherwise (the count-preservation property on
+// rtopk.BichromaticCoordsCtx, applied shard-wise), so the summed test
+// sum < k decides global membership exactly as the merged RTA evaluation:
+// if the true global count is below k every local count is exact, and if
+// it is not, either some shard saturates at >= k or the exact locals
+// already sum past k.
+func (s *Set) bichromaticBlocked(ctx context.Context, W []vec.Weight, q vec.Point, k int, bands []*skyband.Band, candTotal int) ([]int, rtopk.Stats, error) {
+	stats := rtopk.Stats{Evaluated: len(W), CandidateSetSize: candTotal}
+	fqs := make([]float64, len(W))
+	for i, w := range W {
+		fqs[i] = vec.Score(w, q)
+	}
+	at := func(j int) []float64 { return W[j] }
+	per := make([][]int, len(bands))
+	errs := make([]error, len(bands))
+	s.scatter(func(i int, _ *rtree.Tree) {
+		sc := kernel.GetScratch()
+		defer kernel.PutScratch(sc)
+		counts := make([]int, len(W))
+		errs[i] = kernel.CountBelowWeightsCtx(ctx, bands[i].Coords(), len(W), at, fqs, counts, sc, s.kct)
+		per[i] = counts
+	})
+	if err := firstError(errs); err != nil {
+		return nil, stats, err
+	}
+	var result []int
+	for wi := range W {
+		total := 0
+		for i := range per {
+			total += per[i][wi]
+		}
+		if total < k {
+			result = append(result, wi)
+		}
+	}
+	return result, stats, nil
 }
 
 // scatter runs fn once per shard on its own goroutine and waits for all of

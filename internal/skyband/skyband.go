@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 
 	"wqrtq/internal/dominance"
+	"wqrtq/internal/kernel"
 	"wqrtq/internal/rtree"
 	"wqrtq/internal/topk"
 	"wqrtq/internal/vec"
@@ -98,6 +99,11 @@ type Band struct {
 	// id (-1 for non-members, whose count is >= k). nil for pass-through
 	// bands.
 	counts []int32
+	// coords is the lazily built column-major image of the band points for
+	// the blocked scoring kernel; one sync.Once-guarded flatten shared by
+	// every reader of the band.
+	coordsOnce sync.Once
+	coords     kernel.Coords
 }
 
 // K returns the band parameter.
@@ -113,6 +119,24 @@ func (b *Band) Size() int { return b.size }
 // Full reports a pass-through band: k was too large for the skyband to
 // prune, so the band tree is the snapshot's full tree.
 func (b *Band) Full() bool { return b.full }
+
+// Coords returns the band's flattened column-major coordinates for the
+// blocked scoring kernel, built lazily on first use and shared by all
+// readers (bands are immutable, so the image never goes stale). The point
+// order is the band tree's visit order; blocked counting is order-
+// independent, so consumers see the same counts as a tree evaluation.
+// Callers should bound the band size themselves before flattening a
+// pass-through band, whose image is the whole dataset.
+func (b *Band) Coords() *kernel.Coords {
+	b.coordsOnce.Do(func() {
+		b.coords.Reset(b.tree.Dim())
+		b.tree.Visit(
+			func(rtree.Rect, *rtree.Node) bool { return true },
+			func(_ int32, p vec.Point) { b.coords.Append(p) },
+		)
+	})
+	return &b.coords
+}
 
 // Keep returns a membership test for the bound-skyband, bound <= K(): the
 // returned function reports whether the record's dominance count is below

@@ -1,0 +1,77 @@
+package wqrtq
+
+// The blocked SoA scoring kernel (internal/kernel) bound to the Index:
+// every "many weights × one candidate set" evaluation — the per-sample
+// rank counting of the MWK/MQWK refinement loops and the reverse top-k
+// membership tests over a k-skyband — runs as cache-friendly blocked
+// sweeps over column-major flattened coordinates instead of one scalar
+// scan (or one branch-and-bound top-k) per weighting vector. Results are
+// bit-identical to the -kernel=off ablation: every score is the same
+// multiply/add chain as vec.Score, only evaluated block-at-a-time (the
+// kernel differential suite in kernel_test.go proves it end to end; see
+// DESIGN.md §9 for the cost model).
+
+import (
+	"wqrtq/internal/kernel"
+	"wqrtq/internal/rtopk"
+)
+
+// kernelRTACutoff is the candidate-set size up to which reverse top-k
+// routes through the blocked counting evaluation instead of the RTA loop
+// (rtopk.CoordsCutoff re-exported as the Index-level policy constant, so
+// the monolithic and sharded paths share one eligibility threshold).
+const kernelRTACutoff = rtopk.CoordsCutoff
+
+// SetKernel toggles the blocked scoring kernel (enabled by default).
+// Results are identical either way; disabling it — the -kernel=off
+// ablation — reverts the sampling loops and reverse top-k to scalar
+// per-weight evaluation. It must be serialized with mutations and Clone,
+// like SetSkyband. The kernel rides on the skyband candidate sets: with
+// the skyband sub-index disabled there is nothing to flatten, and queries
+// run the legacy paths regardless of this switch.
+func (ix *Index) SetKernel(enabled bool) {
+	ix.kernelOff = !enabled
+	if ix.shards != nil {
+		if enabled {
+			ix.shards.EnableKernel(ix.kct)
+		} else {
+			ix.shards.DisableKernel()
+		}
+	}
+}
+
+// KernelEnabled reports whether the blocked scoring kernel is active.
+func (ix *Index) KernelEnabled() bool { return !ix.kernelOff }
+
+// kernelCounters returns the cumulative kernel counters of the clone
+// family, or nil when the kernel is disabled (the nil propagates into
+// core.Source.Kernel as the ablation switch).
+func (ix *Index) kernelCounters() *kernel.Counters {
+	if ix.kernelOff {
+		return nil
+	}
+	return ix.kct
+}
+
+// KernelStats is a point-in-time view of the blocked scoring kernel.
+type KernelStats struct {
+	// Enabled reports whether eligible evaluations route through the
+	// blocked kernel.
+	Enabled bool `json:"enabled"`
+	// Blocks counts blocked sweeps over a flattened candidate set;
+	// Weights the weighting vectors they evaluated; Points the candidate
+	// points per sweep, summed. Weights/Blocks is the achieved blocking
+	// factor — how many scans each memory pass amortized. All counters
+	// are cumulative across snapshots of the clone family.
+	Blocks  int64 `json:"blocks"`
+	Weights int64 `json:"weights"`
+	Points  int64 `json:"points"`
+}
+
+// KernelStats reports the kernel's cumulative counters.
+func (ix *Index) KernelStats() KernelStats {
+	s := KernelStats{Enabled: ix.KernelEnabled()}
+	cs := ix.kct.Snapshot()
+	s.Blocks, s.Weights, s.Points = cs.Blocks, cs.Weights, cs.Points
+	return s
+}

@@ -1,0 +1,371 @@
+package wqrtq
+
+// Differential property suite for the blocked scoring kernel: with the
+// kernel enabled (the default), every endpoint must answer bit-identically
+// to the -kernel=off ablation — same reverse top-k index sets and the same
+// why-not answers down to the last bit of every penalty, which pins the
+// blocked rank counting, the capped sample scans, the call-fixed universe
+// of the fused pipeline and the blocked RTA membership test — across
+// UN/CO/AC workloads, shard counts including 1, skyband on and off, and
+// mutation streams that invalidate the epoch caches. A separate suite pins
+// the fused WhyNot pipeline against the standalone refinement endpoints.
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"wqrtq/internal/dataset"
+	"wqrtq/internal/sample"
+)
+
+// kernelPair builds two identical indexes over pts with s shards and the
+// given skyband setting, one with the kernel on (default) and one ablated
+// off.
+func kernelPair(t *testing.T, pts [][]float64, s int, skybandOn bool) (on, off *Index) {
+	t.Helper()
+	on, err := NewIndexSharded(pts, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !on.KernelEnabled() {
+		t.Fatal("kernel must be enabled by default")
+	}
+	on.SetSkyband(skybandOn)
+	off, err = NewIndexSharded(pts, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off.SetSkyband(skybandOn)
+	off.SetKernel(false)
+	if off.KernelEnabled() {
+		t.Fatal("SetKernel(false) did not stick")
+	}
+	return on, off
+}
+
+func TestKernelDifferential(t *testing.T) {
+	const casesPerShape = 10
+	for si, shape := range shardDiffShapes {
+		t.Run(shape.name, func(t *testing.T) {
+			for i := 0; i < casesPerShape; i++ {
+				seed := int64(120000*si + i)
+				rng := rand.New(rand.NewSource(seed))
+				n := 1 + rng.Intn(300)
+				d := 2 + rng.Intn(3)
+				k := 1 + rng.Intn(15)
+				ds := shape.gen(n, d, seed+500000)
+				pts := make([][]float64, len(ds.Points))
+				for j, p := range ds.Points {
+					pts[j] = p
+				}
+				q := make([]float64, d)
+				for j := range q {
+					q[j] = rng.Float64() * rng.Float64()
+				}
+				W := make([][]float64, 1+rng.Intn(20))
+				for j := range W {
+					W[j] = sample.RandSimplex(rng, d)
+				}
+				for _, skybandOn := range []bool{true, false} {
+					for _, s := range shardDiffCounts {
+						on, off := kernelPair(t, pts, s, skybandOn)
+						gotRTK, err := on.ReverseTopK(W, q, k)
+						if err != nil {
+							t.Fatal(err)
+						}
+						wantRTK, err := off.ReverseTopK(W, q, k)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !reflect.DeepEqual(gotRTK, wantRTK) {
+							t.Fatalf("case %d s=%d sky=%v: ReverseTopK %v, ablation %v",
+								i, s, skybandOn, gotRTK, wantRTK)
+						}
+						gotRank, _ := on.Rank(W[0], q)
+						wantRank, _ := off.Rank(W[0], q)
+						if gotRank != wantRank {
+							t.Fatalf("case %d s=%d sky=%v: Rank %d, ablation %d",
+								i, s, skybandOn, gotRank, wantRank)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// sameWhyNot requires two why-not answers to match bit for bit on every
+// comparable field (explanation ID order inside score ties excepted).
+func sameWhyNot(t *testing.T, label string, got, want *WhyNotAnswer) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Result, want.Result) || !reflect.DeepEqual(got.Missing, want.Missing) {
+		t.Fatalf("%s: result/missing diverge: %v/%v vs %v/%v",
+			label, got.Result, got.Missing, want.Result, want.Missing)
+	}
+	for ei := range want.Explanations {
+		sameRankedModuloTies(t, label+" explanation", got.Explanations[ei], want.Explanations[ei])
+	}
+	if !reflect.DeepEqual(got.ModifiedQuery.Q, want.ModifiedQuery.Q) ||
+		got.ModifiedQuery.Penalty != want.ModifiedQuery.Penalty {
+		t.Fatalf("%s: MQP diverged: %+v vs %+v", label, got.ModifiedQuery, want.ModifiedQuery)
+	}
+	if got.ModifiedPreferences.Penalty != want.ModifiedPreferences.Penalty ||
+		got.ModifiedPreferences.K != want.ModifiedPreferences.K ||
+		got.ModifiedPreferences.KMax != want.ModifiedPreferences.KMax ||
+		!reflect.DeepEqual(got.ModifiedPreferences.Wm, want.ModifiedPreferences.Wm) {
+		t.Fatalf("%s: MWK diverged: %+v vs %+v", label, got.ModifiedPreferences, want.ModifiedPreferences)
+	}
+	if got.ModifiedAll.Penalty != want.ModifiedAll.Penalty ||
+		got.ModifiedAll.K != want.ModifiedAll.K ||
+		!reflect.DeepEqual(got.ModifiedAll.Q, want.ModifiedAll.Q) ||
+		!reflect.DeepEqual(got.ModifiedAll.Wm, want.ModifiedAll.Wm) {
+		t.Fatalf("%s: MQWK diverged: %+v vs %+v", label, got.ModifiedAll, want.ModifiedAll)
+	}
+}
+
+// TestKernelWhyNotPenalties runs the full pipeline with identical seeds on
+// kernel-on and kernel-off indexes and requires bit-identical answers,
+// penalties included, across both MWK strategies, the parallel MQWK path,
+// shard counts, and skyband on/off.
+func TestKernelWhyNotPenalties(t *testing.T) {
+	const cases = 8
+	for i := 0; i < cases; i++ {
+		seed := int64(7100 + i)
+		rng := rand.New(rand.NewSource(seed))
+		n := 30 + rng.Intn(200)
+		d := 2 + rng.Intn(2)
+		k := 1 + rng.Intn(6)
+		opts := Options{SampleSize: 16, Seed: seed}
+		if i%3 == 1 {
+			opts.PerVector = true
+		}
+		if i%4 == 2 {
+			opts.Workers = 3
+		}
+		ds := dataset.Independent(n, d, seed+600000)
+		pts := make([][]float64, len(ds.Points))
+		for j, p := range ds.Points {
+			pts[j] = p
+		}
+		q := make([]float64, d)
+		for j := range q {
+			q[j] = pts[rng.Intn(n)][j]*0.5 + 0.3
+		}
+		W := make([][]float64, 4+rng.Intn(8))
+		for j := range W {
+			W[j] = sample.RandSimplex(rng, d)
+		}
+		for _, skybandOn := range []bool{true, false} {
+			for _, s := range shardDiffCounts {
+				on, off := kernelPair(t, pts, s, skybandOn)
+				got, err := on.WhyNot(q, k, W, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := off.WhyNot(q, k, W, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameWhyNot(t, "kernel WhyNot", got, want)
+			}
+		}
+	}
+}
+
+// TestWhyNotMatchesStandaloneRefinements pins the fused refinement
+// pipeline (core.WhyNotRefineSrcCtx): the three refinements inside a
+// WhyNot answer must be bit-identical to the standalone ModifyQuery /
+// ModifyPreferences / ModifyAll endpoints called with the same missing
+// vectors — the shared candidate traversal and the reused MQP optimum are
+// equal by construction to what each stage recomputes on its own.
+func TestWhyNotMatchesStandaloneRefinements(t *testing.T) {
+	for i := 0; i < 6; i++ {
+		seed := int64(8200 + i)
+		rng := rand.New(rand.NewSource(seed))
+		n := 50 + rng.Intn(250)
+		d := 2 + rng.Intn(2)
+		k := 1 + rng.Intn(6)
+		opts := Options{SampleSize: 24, Seed: seed}
+		if i%2 == 1 {
+			opts.PerVector = true
+		}
+		if i%3 == 2 {
+			opts.Workers = 2
+		}
+		ds := dataset.Independent(n, d, seed+700000)
+		pts := make([][]float64, len(ds.Points))
+		for j, p := range ds.Points {
+			pts[j] = p
+		}
+		q := make([]float64, d)
+		for j := range q {
+			q[j] = pts[rng.Intn(n)][j]*0.5 + 0.3
+		}
+		W := make([][]float64, 4+rng.Intn(8))
+		for j := range W {
+			W[j] = sample.RandSimplex(rng, d)
+		}
+		for _, kernelOn := range []bool{true, false} {
+			ix, err := NewIndex(pts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ix.SetKernel(kernelOn)
+			ans, err := ix.WhyNot(q, k, W, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ans.Missing) == 0 {
+				continue
+			}
+			missing := make([][]float64, len(ans.Missing))
+			for j, mi := range ans.Missing {
+				missing[j] = W[mi]
+			}
+			mq, err := ix.ModifyQuery(q, k, missing, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(mq, ans.ModifiedQuery) {
+				t.Fatalf("case %d kernel=%v: fused MQP %+v, standalone %+v", i, kernelOn, ans.ModifiedQuery, mq)
+			}
+			mp, err := ix.ModifyPreferences(q, k, missing, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(mp, ans.ModifiedPreferences) {
+				t.Fatalf("case %d kernel=%v: fused MWK %+v, standalone %+v", i, kernelOn, ans.ModifiedPreferences, mp)
+			}
+			ma, err := ix.ModifyAll(q, k, missing, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(ma, ans.ModifiedAll) {
+				t.Fatalf("case %d kernel=%v: fused MQWK %+v, standalone %+v", i, kernelOn, ans.ModifiedAll, ma)
+			}
+		}
+	}
+}
+
+// TestKernelMutationInvalidation drives the same mutation stream into a
+// kernel-on and a kernel-off index, querying between mutations: every
+// answer must stay identical, which fails if a stale flattened band image
+// survives an insert or delete.
+func TestKernelMutationInvalidation(t *testing.T) {
+	const d = 3
+	for _, s := range []int{1, 3} {
+		ds := dataset.Independent(150, d, 43)
+		pts := make([][]float64, len(ds.Points))
+		for j, p := range ds.Points {
+			pts[j] = p
+		}
+		on, off := kernelPair(t, pts, s, true)
+		rng := rand.New(rand.NewSource(90031))
+		W := make([][]float64, 8)
+		for j := range W {
+			W[j] = sample.RandSimplex(rng, d)
+		}
+		for i := 0; i < 80; i++ {
+			q := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+			// Warm the caches so the mutation has something to invalidate.
+			if _, err := on.ReverseTopK(W, q, 5); err != nil {
+				t.Fatal(err)
+			}
+			p := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+			idA, errA := on.Insert(p)
+			idB, errB := off.Insert(p)
+			if errA != nil || errB != nil || idA != idB {
+				t.Fatalf("insert diverged: (%d, %v) vs (%d, %v)", idA, errA, idB, errB)
+			}
+			if i%3 == 0 {
+				victim := rng.Intn(idA + 1)
+				okA, _ := on.Delete(victim)
+				okB, _ := off.Delete(victim)
+				if okA != okB {
+					t.Fatalf("delete %d diverged", victim)
+				}
+			}
+			gotRTK, err := on.ReverseTopK(W, q, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantRTK, _ := off.ReverseTopK(W, q, 5)
+			if !reflect.DeepEqual(gotRTK, wantRTK) {
+				t.Fatalf("s=%d step %d: post-mutation ReverseTopK diverged", s, i)
+			}
+			wn, err := on.WhyNot(q, 5, W, Options{SampleSize: 8, Seed: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantWn, err := off.WhyNot(q, 5, W, Options{SampleSize: 8, Seed: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameWhyNot(t, "post-mutation WhyNot", wn, wantWn)
+		}
+		if err := on.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestKernelEngineStats exercises the engine integration: the kernel
+// counters must surface in EngineStats and survive snapshot swaps, the
+// DisableKernel ablation must answer identically, and Clone must keep the
+// clone family's cumulative counters.
+func TestKernelEngineStats(t *testing.T) {
+	eOn, _ := testEngine(t, 500, 3, EngineConfig{CacheSize: -1})
+	eOff, _ := testEngine(t, 500, 3, EngineConfig{CacheSize: -1, DisableKernel: true})
+	if !eOn.Snapshot().KernelEnabled() || eOff.Snapshot().KernelEnabled() {
+		t.Fatal("engine kernel configuration not applied")
+	}
+	rng := rand.New(rand.NewSource(321))
+	q := []float64{rng.Float64() * 0.3, rng.Float64() * 0.3, rng.Float64() * 0.3}
+	W := make([][]float64, 12)
+	for j := range W {
+		W[j] = sample.RandSimplex(rng, 3)
+	}
+	respOn, err := eOn.ReverseTopKCtx(t.Context(), ReverseTopKRequest{Q: q, K: 4, W: W})
+	if err != nil {
+		t.Fatal(err)
+	}
+	respOff, err := eOff.ReverseTopKCtx(t.Context(), ReverseTopKRequest{Q: q, K: 4, W: W})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(respOn.Result, respOff.Result) {
+		t.Fatalf("engine results diverge: %v vs %v", respOn.Result, respOff.Result)
+	}
+	wnOn, err := eOn.WhyNotCtx(t.Context(), WhyNotRequest{Q: q, K: 4, W: W, Opts: Options{SampleSize: 8, Seed: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wnOn.Answer.RTA.Evaluated+wnOn.Answer.RTA.Pruned != len(W) {
+		t.Fatalf("WhyNot RTA stats inconsistent: %+v over %d vectors", wnOn.Answer.RTA, len(W))
+	}
+	st := eOn.Stats()
+	if !st.Kernel.Enabled || st.Kernel.Blocks < 1 || st.Kernel.Weights < int64(len(W)) || st.Kernel.Points < 1 {
+		t.Fatalf("kernel stats not populated: %+v", st.Kernel)
+	}
+	stOff := eOff.Stats()
+	if stOff.Kernel.Enabled || stOff.Kernel.Blocks != 0 {
+		t.Fatalf("ablated engine recorded kernel work: %+v", stOff.Kernel)
+	}
+
+	// A mutation publishes a fresh snapshot: the cumulative counters carry
+	// over and keep growing.
+	blocks := st.Kernel.Blocks
+	if _, _, err := eOn.Insert([]float64{0.9, 0.9, 0.9}); err != nil {
+		t.Fatal(err)
+	}
+	if got := eOn.Stats().Kernel; got.Blocks != blocks {
+		t.Fatalf("cumulative kernel blocks changed on snapshot swap: %d vs %d", got.Blocks, blocks)
+	}
+	if _, err := eOn.ReverseTopKCtx(t.Context(), ReverseTopKRequest{Q: q, K: 4, W: W}); err != nil {
+		t.Fatal(err)
+	}
+	if got := eOn.Stats().Kernel; got.Blocks <= blocks {
+		t.Fatalf("new snapshot did not add kernel work: %+v", got)
+	}
+}

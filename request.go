@@ -393,21 +393,32 @@ func (ix *Index) WhyNotCtx(ctx context.Context, req WhyNotRequest) (WhyNotRespon
 		return resp, err
 	}
 	ans.Explanations = ex.Explanations
-	mq, err := ix.ModifyQueryCtx(ctx, ModifyQueryRequest{Q: req.Q, K: req.K, Wm: missing, Opts: req.Opts})
+	// The three refinements run fused (core.WhyNotRefineSrcCtx): one
+	// candidate traversal serves both sampling solutions and MQWK reuses
+	// the MQP optimum, with every answer bit-identical to the standalone
+	// ModifyQueryCtx / ModifyPreferencesCtx / ModifyAllCtx calls.
+	pm, s, qs, seed, err := req.Opts.resolve()
 	if err != nil {
 		return resp, err
 	}
-	ans.ModifiedQuery = mq.Refinement
-	mp, err := ix.ModifyPreferencesCtx(ctx, ModifyPreferencesRequest{Q: req.Q, K: req.K, Wm: missing, Opts: req.Opts})
+	ref, err := core.WhyNotRefineSrcCtx(ctx, ix.tree, ix.refineSource(req.Q, req.K),
+		req.Q, req.K, toWeights(missing), s, qs, seed, req.Opts.Workers, req.Opts.PerVector, pm)
 	if err != nil {
 		return resp, err
 	}
-	ans.ModifiedPreferences = mp.Refinement
-	ma, err := ix.ModifyAllCtx(ctx, ModifyAllRequest{Q: req.Q, K: req.K, Wm: missing, Opts: req.Opts})
-	if err != nil {
-		return resp, err
+	ans.ModifiedQuery = QueryRefinement{Q: ref.MQP.RefinedQ, Penalty: ref.MQP.Penalty}
+	ans.ModifiedPreferences = PreferenceRefinement{
+		Wm:      weightsToFloats(ref.MWK.RefinedWm),
+		K:       ref.MWK.RefinedK,
+		Penalty: ref.MWK.Penalty,
+		KMax:    ref.MWK.KMax,
 	}
-	ans.ModifiedAll = ma.Refinement
+	ans.ModifiedAll = FullRefinement{
+		Q:       ref.MQWK.RefinedQ,
+		Wm:      weightsToFloats(ref.MQWK.RefinedWm),
+		K:       ref.MQWK.RefinedK,
+		Penalty: ref.MQWK.Penalty,
+	}
 	resp.Answer = ans
 	resp.Elapsed = time.Since(start)
 	return resp, nil

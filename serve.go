@@ -58,6 +58,13 @@ type EngineConfig struct {
 	// identical either way; the sub-index only shrinks the candidate set
 	// each evaluation traverses (see skyband.go and DESIGN.md §8).
 	DisableSkyband bool
+	// DisableKernel turns off the blocked SoA scoring kernel (the
+	// -kernel=off ablation): the refinement sampling loops and eligible
+	// reverse top-k evaluations then score one weighting vector at a time
+	// instead of sweeping whole blocks over the flattened candidate set.
+	// Results are bit-identical either way (see kernel.go and DESIGN.md
+	// §9).
+	DisableKernel bool
 }
 
 func (c EngineConfig) withDefaults() EngineConfig {
@@ -150,6 +157,9 @@ func NewEngine(ix *Index, cfg EngineConfig) (*Engine, error) {
 	}
 	if ix.SkybandEnabled() == cfg.DisableSkyband {
 		ix.SetSkyband(!cfg.DisableSkyband)
+	}
+	if ix.KernelEnabled() == cfg.DisableKernel {
+		ix.SetKernel(!cfg.DisableKernel)
 	}
 	e := &Engine{cfg: cfg, metrics: engine.NewMetrics()}
 	e.current.Store(ix)
@@ -531,6 +541,10 @@ type EngineStats struct {
 	// Skyband describes the k-skyband sub-index: the bands cached on the
 	// current snapshot and the cumulative build/hit/fallback counters.
 	Skyband SkybandStats `json:"skyband"`
+	// Kernel describes the blocked scoring kernel: whether it is enabled
+	// and the cumulative blocked-sweep counters (blocks, weights ranked,
+	// candidate points swept).
+	Kernel KernelStats `json:"kernel"`
 	// RTA aggregates reverse top-k pruning work per endpoint ("rtopk",
 	// "whynot"), so the skyband candidate-set win is observable in
 	// production, not just in benchmarks.
@@ -547,6 +561,7 @@ func (e *Engine) Stats() EngineStats {
 		Shards:    snap.Shards(),
 		Endpoints: e.metrics.Snapshot(),
 		Skyband:   snap.SkybandStats(),
+		Kernel:    snap.KernelStats(),
 		RTA: map[string]RTATotals{
 			"rtopk":  e.rtaRtopk.snapshot(),
 			"whynot": e.rtaWhynot.snapshot(),

@@ -58,6 +58,9 @@ func (ix *Index) Reshard(s int) error {
 	if !ix.skyOff {
 		set.EnableSkyband(ix.skyCounters())
 	}
+	if !ix.kernelOff {
+		set.EnableKernel(ix.kct)
+	}
 	ix.shards = set
 	return nil
 }
@@ -112,11 +115,21 @@ func (ix *Index) rankResult(ctx context.Context, w vec.Weight, fq float64) (int,
 // evaluation runs against the (per-shard) k-skyband tree: the k smallest
 // scores of each shard are achieved inside its local band, so buffers,
 // threshold decisions and results match the full-tree execution exactly.
+// With the blocked kernel additionally enabled and the band small enough
+// (kernelRTACutoff), the evaluation skips the RTA loop entirely: the
+// whole weight set is counted against the flattened band in blocked
+// sweeps, which decides membership identically (see
+// rtopk.BichromaticCoordsCtx's count-preservation argument).
 func (ix *Index) bichromatic(ctx context.Context, W []vec.Weight, q vec.Point, k int) ([]int, rtopk.Stats, error) {
 	if ix.shards != nil {
 		return ix.shards.BichromaticCtx(ctx, W, q, k)
 	}
 	if b := ix.band(k); b != nil {
+		if !ix.kernelOff && ix.Dim() <= 4 && b.Size() <= kernelRTACutoff {
+			res, stats, err := rtopk.BichromaticCoordsCtx(ctx, b.Coords(), W, q, k, ix.kct)
+			stats.CandidateSetSize = b.Size()
+			return res, stats, err
+		}
 		res, stats, err := rtopk.BichromaticCtx(ctx, b.Tree(), W, q, k)
 		stats.CandidateSetSize = b.Size()
 		return res, stats, err

@@ -76,6 +76,7 @@ func (ix *Index) coreSource(q vec.Point, k int) *core.Source {
 		return nil
 	}
 	return &core.Source{
+		Kernel: ix.kernelCounters(),
 		CountBeaters: func(ctx context.Context, w vec.Weight, fq float64) (int, error) {
 			return dominance.CountBeatersCtx(ctx, ix.tree, q, w, fq)
 		},

@@ -49,6 +49,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"wqrtq/internal/kernel"
 	"wqrtq/internal/rtopk"
 	"wqrtq/internal/rtree"
 	"wqrtq/internal/shard"
@@ -94,6 +95,11 @@ type Index struct {
 	// unreachable. skyOff is the -skyband=off ablation switch.
 	sky    *skyband.Cache
 	skyOff bool
+	// kct carries the blocked scoring kernel's cumulative counters, shared
+	// across the clone family like the skyband counters; kernelOff is the
+	// -kernel=off ablation switch (kernel.go).
+	kct       *kernel.Counters
+	kernelOff bool
 }
 
 // NewIndex validates and bulk-loads a dataset. Every point must be
@@ -115,7 +121,7 @@ func NewIndex(points [][]float64) (*Index, error) {
 		ps[i] = p
 	}
 	tree := rtree.Bulk(ps, nil)
-	return &Index{tree: tree, points: ps, sky: skyband.NewCache(tree, nil)}, nil
+	return &Index{tree: tree, points: ps, sky: skyband.NewCache(tree, nil), kct: kernel.NewCounters()}, nil
 }
 
 // Len returns the number of indexed points.
