@@ -101,6 +101,7 @@ type benchRecord struct {
 	N          int     `json:"n"`
 	Skyband    string  `json:"skyband"`
 	Kernel     string  `json:"kernel,omitempty"`
+	CellIndex  string  `json:"cellindex,omitempty"`
 	Endpoint   string  `json:"endpoint"`
 	Iterations int     `json:"iterations"`
 	NsPerOp    float64 `json:"ns_per_op"`

@@ -1,0 +1,156 @@
+package wqrtq
+
+// The materialized reverse-top-k cell index (internal/cellindex) bound to
+// the Index: eligible bichromatic reverse top-k evaluations — ReverseTopK
+// itself and the RTA stage of the fused why-not pipeline — answer each
+// weighting vector from a point-located grid cell's precomputed candidate
+// superset instead of sweeping the whole k-skyband, and monochromatic
+// reverse top-k gets an exact algorithm beyond 2-D (ReverseTopKMonoND).
+// Results are bit-identical to the -cellindex=off ablation (the
+// differential suite in cellindex_test.go proves it end to end; see
+// DESIGN.md §10 for the construction and the count-preservation
+// argument). The index rides on the skyband bands — grids are built over
+// them, so their lazy builds and cache hits tick the skyband counters —
+// and reports its scan work through the kernel counters; with either of
+// those sub-indexes disabled, queries run the legacy paths regardless of
+// this switch.
+
+import (
+	"wqrtq/internal/cellindex"
+	"wqrtq/internal/rtopk"
+)
+
+// SetCellIndex toggles the materialized cell index (enabled by default).
+// Results are identical either way; disabling it — the -cellindex=off
+// ablation — reverts reverse top-k to the blocked-kernel/RTA paths. It
+// must be serialized with mutations and Clone, like SetSkyband.
+func (ix *Index) SetCellIndex(enabled bool) {
+	ix.cellOff = !enabled
+	if ix.shards != nil {
+		if enabled && !ix.shards.CellIndexEnabled() {
+			ix.shards.EnableCellIndex(ix.cct)
+		} else if !enabled {
+			ix.shards.DisableCellIndex()
+		}
+	}
+}
+
+// CellIndexEnabled reports whether the materialized cell index is active.
+func (ix *Index) CellIndexEnabled() bool { return !ix.cellOff }
+
+// cellGrid returns the cell grid for parameter k, or nil when any of the
+// stacked sub-indexes is disabled or the configuration is ineligible
+// (dimensionality, basis size, cache pressure) — callers then use the
+// kernel/RTA paths, which answer identically.
+func (ix *Index) cellGrid(k int) *cellindex.Grid {
+	if ix.cellOff || ix.skyOff || ix.kernelOff || ix.cells == nil {
+		return nil
+	}
+	return ix.cells.Grid(k)
+}
+
+// resetCellIndex swaps in a fresh grid cache after an in-place mutation.
+// It must run after resetSkyband so the new grids build over the new
+// snapshot's bands.
+func (ix *Index) resetCellIndex() {
+	ix.cells = cellindex.NewCache(ix.sky, ix.Dim(), ix.cct)
+}
+
+// MonoCell is one cell of a d >= 3 monochromatic reverse top-k answer:
+// Lo and Hi bound the weighting vectors it covers per coordinate, Full
+// marks cells proven to lie entirely inside the result, and MidIn reports
+// the verified decision at the cell midpoint (always true for full
+// cells).
+type MonoCell struct {
+	Lo, Hi []float64
+	Full   bool
+	MidIn  bool
+}
+
+// ReverseTopKMonoND answers the monochromatic reverse top-k query exactly
+// through the materialized cell index. For 2-D data it returns the same
+// maximal λ-intervals as ReverseTopKMono2D (cells is nil); for 3-D and
+// 4-D it returns the result region as grid cells (intervals is nil):
+// every weighting vector whose top-k contains q lies in a returned cell,
+// full cells are entirely inside the result, and partial cells carry a
+// verified midpoint decision. It requires the cell index and the skyband
+// sub-index (its basis) to be enabled; 2-D queries fall back to the exact
+// arrangement sweep when the index declines, higher dimensions have no
+// exact fallback and report the configuration error.
+func (ix *Index) ReverseTopKMonoND(q []float64, k int) ([]Interval, []MonoCell, error) {
+	if err := ix.checkPoint(q); err != nil {
+		return nil, nil, err
+	}
+	if k <= 0 {
+		return nil, nil, errPositiveK
+	}
+	var g *cellindex.Grid
+	if !ix.cellOff && !ix.skyOff && ix.cells != nil {
+		g = ix.cells.Grid(k)
+	}
+	if g == nil {
+		if ix.Dim() == 2 {
+			ivs, err := ix.ReverseTopKMono2D(q, k)
+			return ivs, nil, err
+		}
+		return nil, nil, invalidArgf("exact monochromatic reverse top-k beyond 2-D requires the cell index (%d-D data, cell index eligible: %t)", ix.Dim(), !ix.cellOff && !ix.skyOff)
+	}
+	ivs, cells := rtopk.MonochromaticND(g, q, k)
+	outIvs := make([]Interval, len(ivs))
+	for i, iv := range ivs {
+		outIvs[i] = Interval{Lo: iv.Lo, Hi: iv.Hi}
+	}
+	var outCells []MonoCell
+	if cells != nil {
+		outCells = make([]MonoCell, len(cells))
+		for i, c := range cells {
+			outCells[i] = MonoCell{Lo: c.Lo, Hi: c.Hi, Full: c.Full, MidIn: c.MidIn}
+		}
+	}
+	if ix.Dim() == 2 {
+		return outIvs, nil, nil
+	}
+	return nil, outCells, nil
+}
+
+// CellIndexStats is a point-in-time view of the materialized cell index.
+type CellIndexStats struct {
+	// Enabled reports whether eligible queries route through the index.
+	Enabled bool `json:"enabled"`
+	// Grids, Cells and Candidates describe the grids materialized for the
+	// current snapshot (across all shards when sharded): how many
+	// (snapshot, k) grids exist, their total built cells, and the total
+	// candidate rows those cells store.
+	Grids      int `json:"grids"`
+	Cells      int `json:"cells"`
+	Candidates int `json:"candidates"`
+	// Builds and Hits count grid constructions and grid-cache hits over
+	// the index's whole lifetime (cumulative across snapshots). Lookups
+	// counts weighting vectors answered by cell lookups; Fallbacks counts
+	// queries that reached the cell path but fell back to a legacy
+	// algorithm (ineligible configuration or a failed point location).
+	Builds    int64 `json:"builds"`
+	Hits      int64 `json:"hits"`
+	Fallbacks int64 `json:"fallbacks"`
+	Lookups   int64 `json:"lookups"`
+}
+
+// CellIndexStats reports the sub-index's cache contents and cumulative
+// counters.
+func (ix *Index) CellIndexStats() CellIndexStats {
+	s := CellIndexStats{Enabled: ix.CellIndexEnabled()}
+	if ix.cells == nil {
+		return s
+	}
+	cs := ix.cells.Stats()
+	s.Grids, s.Cells, s.Candidates = cs.Grids, cs.Cells, cs.Candidates
+	if ix.shards != nil && ix.shards.CellIndexEnabled() {
+		ss := ix.shards.CellIndexStats()
+		s.Grids += ss.Grids
+		s.Cells += ss.Cells
+		s.Candidates += ss.Candidates
+	}
+	ct := ix.cct.Snapshot()
+	s.Builds, s.Hits, s.Fallbacks, s.Lookups = ct.Builds, ct.Hits, ct.Fallbacks, ct.Lookups
+	return s
+}

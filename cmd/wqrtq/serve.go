@@ -54,6 +54,7 @@ func cmdServe(args []string) error {
 	shards := fs.Int("shards", 1, "spatial shards for scatter-gather query execution (<= 1 keeps the monolithic index)")
 	skyband := fs.String("skyband", "on", "k-skyband candidate sub-index: on (default) or off (full-tree ablation; results identical)")
 	kernelFlag := fs.String("kernel", "on", "blocked SoA scoring kernel: on (default) or off (scalar ablation; results bit-identical)")
+	cellFlag := fs.String("cellindex", "on", "materialized reverse-top-k cell index: on (default) or off (skyband/kernel ablation; results bit-identical)")
 	fs.Parse(args)
 	if *skyband != "on" && *skyband != "off" {
 		return fmt.Errorf("wqrtq serve: -skyband must be on or off, got %q", *skyband)
@@ -61,18 +62,22 @@ func cmdServe(args []string) error {
 	if *kernelFlag != "on" && *kernelFlag != "off" {
 		return fmt.Errorf("wqrtq serve: -kernel must be on or off, got %q", *kernelFlag)
 	}
+	if *cellFlag != "on" && *cellFlag != "off" {
+		return fmt.Errorf("wqrtq serve: -cellindex must be on or off, got %q", *cellFlag)
+	}
 	ix, _, err := loadIndex(*data)
 	if err != nil {
 		return err
 	}
 	eng, err := wqrtq.NewEngine(ix, wqrtq.EngineConfig{
-		Workers:        *workers,
-		MaxBatch:       *maxBatch,
-		BatchLinger:    *linger,
-		CacheSize:      *cacheSize,
-		Shards:         *shards,
-		DisableSkyband: *skyband == "off",
-		DisableKernel:  *kernelFlag == "off",
+		Workers:          *workers,
+		MaxBatch:         *maxBatch,
+		BatchLinger:      *linger,
+		CacheSize:        *cacheSize,
+		Shards:           *shards,
+		DisableSkyband:   *skyband == "off",
+		DisableKernel:    *kernelFlag == "off",
+		DisableCellIndex: *cellFlag == "off",
 	})
 	if err != nil {
 		return err

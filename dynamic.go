@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"wqrtq/internal/cellindex"
 	"wqrtq/internal/dominance"
 	"wqrtq/internal/rtopk"
 	"wqrtq/internal/skyband"
@@ -33,6 +34,7 @@ func (ix *Index) Insert(p []float64) (int, error) {
 		}
 	}
 	ix.resetSkyband()
+	ix.resetCellIndex()
 	return id, nil
 }
 
@@ -58,6 +60,7 @@ func (ix *Index) Delete(id int) (bool, error) {
 	ix.ownPoints()
 	ix.points[id] = nil
 	ix.resetSkyband()
+	ix.resetCellIndex()
 	return true, nil
 }
 
@@ -78,8 +81,11 @@ func (ix *Index) Clone() *Index {
 		skyOff:    ix.skyOff,
 		kct:       ix.kct,
 		kernelOff: ix.kernelOff,
+		cct:       ix.cct,
+		cellOff:   ix.cellOff,
 	}
 	c.sky = skyband.NewCache(c.tree, ix.skyCounters())
+	c.cells = cellindex.NewCache(c.sky, c.Dim(), c.cct)
 	if ix.shards != nil {
 		c.shards = ix.shards.Clone()
 	}

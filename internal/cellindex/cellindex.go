@@ -1,0 +1,529 @@
+// Package cellindex implements the epoch-cached materialized reverse-top-k
+// cell index (after Chester et al., "Indexing Reverse Top-k Queries"): a
+// per-(snapshot, k) grid over the weighting simplex whose cells carry
+// precomputed candidate top-k supersets, so a bichromatic reverse top-k
+// evaluates each weighting vector against a tiny cell-local candidate list
+// instead of sweeping the whole k-skyband.
+//
+// # Cells
+//
+// The simplex {w : w_j >= 0, Σw_j = 1} is gridded at power-of-two
+// resolution R over its first d-1 coordinates: cell (c_0, …, c_{d-2})
+// covers w_j ∈ [c_j/R, (c_j+1)/R] for j < d-1, and the last coordinate's
+// bounds derive from the simplex constraint (lo_last = 1 - Σhi_j - slack,
+// hi_last = 1 - Σlo_j + slack, where the slack absorbs the weight-sum
+// validation tolerance and the float rounding of w_last itself). Every
+// lookup re-checks the queried weight against the stored per-coordinate
+// bounds — point location never trusts the floor arithmetic alone, so a
+// weight that rounds across a cell edge falls back to the legacy path
+// instead of being answered from the wrong cell.
+//
+// # Candidate supersets — the float-airtight exclusion rule
+//
+// For a cell with per-coordinate bounds [lo, hi] and any w inside them,
+// every point p (coordinates non-negative by NewIndex validation)
+// satisfies, in pure float64 arithmetic,
+//
+//	fl(f(lo, p)) <= fl(f(w, p)) <= fl(f(hi, p))
+//
+// because each product w_j·p_j is bracketed termwise (float multiplication
+// by a non-negative p_j is monotone in w_j) and vec.Score's left-to-right
+// float addition is monotone in each addend. No real-arithmetic or
+// convex-hull reasoning is needed — the bracketing holds for the floats
+// the kernel actually computes.
+//
+// A basis point p is therefore excluded from a cell's candidate list iff
+// at least k basis points p' satisfy fl(f(hi, p')) < fl(f(lo, p)): each
+// such p' strictly beats p at every float w in the cell
+// (fl(f(w, p')) <= fl(f(hi, p')) < fl(f(lo, p)) <= fl(f(w, p))), so p can
+// never be in any top-k there, let alone decide q's membership. Duplicate
+// points never exclude each other — their equal scores fail the strict
+// test.
+//
+// # Count preservation
+//
+// The membership test "fewer than k candidates score strictly below
+// f(w, q)" decides exactly as the basis would, for every w inside the
+// cell's bounds: if the basis count is below k, every basis beater of q
+// has fewer than k beaters of its own (strict < on fl scores is
+// transitive), so none is excluded and the candidate count equals the
+// basis count; if the basis count is at least k, the k smallest-scoring
+// basis beaters of q are themselves unexcluded (a point with fewer than k
+// everywhere-beaters survives) and keep the candidate count at >= k. The
+// basis is the k-skyband band of the snapshot (itself count-preserving
+// against the full dataset — see internal/skyband), so the composed test
+// is bit-identical to RTA over the full tree. Candidates are stored
+// sorted by their hi-corner score, so the capped counting scan meets the
+// cell's everywhere-beaters first and exits after ~k points for
+// non-member weights.
+//
+// # Lifecycle
+//
+// A Cache owns the grids of one snapshot, mirroring skyband.Cache: grids
+// build lazily, once per (snapshot, k), shared by all readers via
+// sync.Once; invalidation is the copy-on-write epoch bump (clones and
+// in-place mutations swap in a fresh Cache over the fresh skyband cache).
+// Cumulative counters survive across epochs through the shared Counters.
+package cellindex
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"wqrtq/internal/kernel"
+	"wqrtq/internal/skyband"
+	"wqrtq/internal/vec"
+)
+
+// MaxBasis is the largest basis (k-skyband band) size a grid is built
+// over: beyond it the per-cell supersets stop being "tiny" relative to
+// the blocked kernel sweep and the build cost stops amortizing, so Grid
+// declines and the caller stays on the kernel/RTA paths.
+const MaxBasis = 4096
+
+// maxGrids caps how many distinct k values one snapshot caches grids for;
+// requests beyond the cap fall back rather than grow the cache without
+// bound (mirrors skyband's maxBands).
+const maxGrids = 8
+
+// maxCandidates bounds the total candidate storage of one grid. A build
+// that would exceed it (large k relative to the basis makes every cell
+// hold nearly the whole basis) aborts and the cache serves nil — the
+// fallback paths answer identically, just without the cell win.
+const maxCandidates = 1 << 20
+
+// boundSlack widens the derived last-coordinate bounds of every cell. It
+// absorbs the |Σw - 1| <= 1e-9 tolerance of vec.ValidateWeight plus the
+// float rounding of the bound arithmetic itself; correctness never
+// depends on its size (lookups re-check the stored bounds), only the
+// fallback rate does.
+const boundSlack = 1e-6
+
+// resolutionFor picks the grid resolution per dimensionality: fine enough
+// that per-cell supersets shrink to O(k) on benchmark-sized bands, coarse
+// enough that the cell count (res^(d-1), simplex-clipped) stays small.
+func resolutionFor(d int) int {
+	switch d {
+	case 2:
+		return 128
+	case 3:
+		return 64
+	default:
+		return 16
+	}
+}
+
+// Grid is the materialized cell index of one (snapshot, k). Grids are
+// immutable after construction and safe for concurrent use.
+type Grid struct {
+	k, dim, res int
+	basisSize   int
+	basis       *kernel.Coords // the flattened band, shared with the blocked kernel
+	nBase       int            // res^(dim-1) base cells over the first dim-1 coordinates
+	// bounds holds per base cell 2*dim floats: lo_0..lo_{dim-1} then
+	// hi_0..hi_{dim-1}. Unbuilt (simplex-unreachable) cells keep zero
+	// bounds, which no valid weight can satisfy.
+	bounds []float64
+	// cellOff[c] .. cellOff[c+1] delimit cell c's candidate rows in cols.
+	// Built cells are never empty (at least min(basisSize, k) candidates
+	// survive exclusion), so an empty range marks an unreachable cell.
+	cellOff []int32
+	// cols are the dim coordinate columns of the concatenated per-cell
+	// candidate segments, each segment sorted by hi-corner score ascending.
+	cols  [][]float64
+	cells int // built (non-empty) cells
+	cands int // total stored candidate rows
+}
+
+// K returns the query parameter the grid was built for.
+func (g *Grid) K() int { return g.k }
+
+// Dim returns the dimensionality.
+func (g *Grid) Dim() int { return g.dim }
+
+// Res returns the grid resolution per gridded coordinate.
+func (g *Grid) Res() int { return g.res }
+
+// BasisSize returns the size of the basis candidate set (the k-skyband
+// band the grid was built over).
+func (g *Grid) BasisSize() int { return g.basisSize }
+
+// Basis returns the flattened basis coordinates (band visit order, shared
+// with the blocked kernel paths).
+func (g *Grid) Basis() *kernel.Coords { return g.basis }
+
+// NumCells returns the number of built cells.
+func (g *Grid) NumCells() int { return g.cells }
+
+// NumCandidates returns the total candidate rows across all cells.
+func (g *Grid) NumCandidates() int { return g.cands }
+
+// Cells iterates the built cells in flat index order: lo and hi are the
+// cell's per-coordinate bounds (len dim) and cand its candidate
+// coordinate columns (dim slices of equal length, hi-corner-score order).
+// All slices alias grid storage and are valid only during the callback.
+func (g *Grid) Cells(fn func(lo, hi []float64, cand [][]float64)) {
+	cand := make([][]float64, g.dim)
+	for c := 0; c < g.nBase; c++ {
+		s, e := g.cellOff[c], g.cellOff[c+1]
+		if s == e {
+			continue
+		}
+		for j := 0; j < g.dim; j++ {
+			cand[j] = g.cols[j][s:e]
+		}
+		b := g.bounds[c*2*g.dim : (c+1)*2*g.dim]
+		fn(b[:g.dim], b[g.dim:], cand)
+	}
+}
+
+// locate returns the flat cell index containing w, or -1 when w falls
+// outside its floor-located cell's stored bounds (float rounding across a
+// cell edge, an invalid weight, an unreachable cell) — the caller must
+// fall back to a legacy path, which answers identically.
+func (g *Grid) locate(w []float64) int {
+	rf := float64(g.res)
+	idx, stride := 0, 1
+	for j := 0; j < g.dim-1; j++ {
+		c := int(w[j] * rf)
+		if c < 0 {
+			c = 0
+		} else if c >= g.res {
+			c = g.res - 1
+		}
+		idx += c * stride
+		stride *= g.res
+	}
+	if g.cellOff[idx+1] == g.cellOff[idx] {
+		return -1
+	}
+	b := g.bounds[idx*2*g.dim:]
+	for j := 0; j < g.dim; j++ {
+		if w[j] < b[j] || w[j] > b[g.dim+j] {
+			return -1
+		}
+	}
+	return idx
+}
+
+// CountBelowCapped counts the candidates of w's cell scoring strictly
+// below fq, giving up once the count exceeds cap (the count is exact when
+// <= cap and cap+1 otherwise, exactly like kernel.CountBelowCapped).
+// scanned reports the candidate rows examined; ok is false when w could
+// not be located, in which case the caller must use a fallback path. The
+// scan allocates nothing and uses vec.Score's arithmetic order, so an
+// uncapped count is bit-identical to a scalar scan of the cell.
+func (g *Grid) CountBelowCapped(w []float64, fq float64, cap int) (count, scanned int, ok bool) {
+	ci := g.locate(w)
+	if ci < 0 {
+		return 0, 0, false
+	}
+	s, e := g.cellOff[ci], g.cellOff[ci+1]
+	switch g.dim {
+	case 2:
+		x, y := g.cols[0][s:e], g.cols[1][s:e]
+		w0, w1 := w[0], w[1]
+		for i, xi := range x {
+			sc := w0 * xi
+			sc += w1 * y[i]
+			if sc < fq {
+				count++
+				if count > cap {
+					return count, i + 1, true
+				}
+			}
+		}
+	case 3:
+		x, y, z := g.cols[0][s:e], g.cols[1][s:e], g.cols[2][s:e]
+		w0, w1, w2 := w[0], w[1], w[2]
+		for i, xi := range x {
+			sc := w0 * xi
+			sc += w1 * y[i]
+			sc += w2 * z[i]
+			if sc < fq {
+				count++
+				if count > cap {
+					return count, i + 1, true
+				}
+			}
+		}
+	default:
+		x, y, z, u := g.cols[0][s:e], g.cols[1][s:e], g.cols[2][s:e], g.cols[3][s:e]
+		w0, w1, w2, w3 := w[0], w[1], w[2], w[3]
+		for i, xi := range x {
+			sc := w0 * xi
+			sc += w1 * y[i]
+			sc += w2 * z[i]
+			sc += w3 * u[i]
+			if sc < fq {
+				count++
+				if count > cap {
+					return count, i + 1, true
+				}
+			}
+		}
+	}
+	return count, int(e - s), true
+}
+
+// ReverseTopK answers the bichromatic reverse top-k over the grid: result
+// holds the ascending indices of the weights whose capped cell count
+// stays below k, scanned totals the candidate rows examined (for the
+// kernel work counters), and ok is false when any weight failed point
+// location — the caller must then re-run the whole query on a legacy
+// path, keeping the answer deterministic. ctx is polled periodically.
+func (g *Grid) ReverseTopK(ctx context.Context, W []vec.Weight, q vec.Point, k int) (result []int, scanned int, ok bool, err error) {
+	for wi, w := range W {
+		if wi&63 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, scanned, false, err
+			}
+		}
+		fq := vec.Score(w, q)
+		cnt, sc, located := g.CountBelowCapped(w, fq, k-1)
+		if !located {
+			return nil, scanned, false, nil
+		}
+		scanned += sc
+		if cnt < k {
+			result = append(result, wi)
+		}
+	}
+	return result, scanned, true, nil
+}
+
+// build constructs the grid over basis band b, or returns nil when the
+// configuration is ineligible (dimensionality outside 2..4, basis too
+// large, or candidate storage would blow past maxCandidates).
+func build(b *skyband.Band, k, dim int) *Grid {
+	if dim < 2 || dim > 4 || b.Size() == 0 || b.Size() > MaxBasis {
+		return nil
+	}
+	basis := b.Coords()
+	m := basis.Len()
+	res := resolutionFor(dim)
+	nBase := 1
+	for j := 0; j < dim-1; j++ {
+		nBase *= res
+	}
+	g := &Grid{
+		k: k, dim: dim, res: res,
+		basisSize: m,
+		basis:     basis,
+		nBase:     nBase,
+		bounds:    make([]float64, nBase*2*dim),
+		cellOff:   make([]int32, nBase+1),
+		cols:      make([][]float64, dim),
+	}
+	scores := make([]float64, 2*m) // lo-corner scores then hi-corner scores
+	sortedHi := make([]float64, m)
+	order := make([]int, 0, m)
+	wb := make([]float64, 2*dim)
+	lo, hi := wb[:dim], wb[dim:]
+	for c := 0; c < nBase; c++ {
+		g.cellOff[c+1] = g.cellOff[c]
+		// Decode the cell digits and derive the per-coordinate bounds.
+		digitSum, rem := 0, c
+		sumLo, sumHi := 0.0, 0.0
+		for j := 0; j < dim-1; j++ {
+			cj := rem % res
+			rem /= res
+			digitSum += cj
+			lo[j] = float64(cj) / float64(res)
+			hi[j] = float64(cj+1) / float64(res)
+			sumLo += lo[j]
+			sumHi += hi[j]
+		}
+		if digitSum > res {
+			continue // cell lies entirely outside the simplex
+		}
+		lo[dim-1] = 1 - sumHi - boundSlack
+		if lo[dim-1] < 0 {
+			lo[dim-1] = 0
+		}
+		hi[dim-1] = 1 - sumLo + boundSlack
+		if hi[dim-1] < 0 {
+			continue
+		}
+		// Score the basis at both corners in one blocked sweep, then apply
+		// the exclusion rule: p is out iff >= k points' hi-corner scores
+		// sit strictly below p's lo-corner score.
+		kernel.ScoreBlock(basis, wb, 2, scores)
+		lows, highs := scores[:m], scores[m:]
+		copy(sortedHi, highs)
+		sort.Float64s(sortedHi)
+		order = order[:0]
+		for i := 0; i < m; i++ {
+			if sort.SearchFloat64s(sortedHi, lows[i]) < k {
+				order = append(order, i)
+			}
+		}
+		sort.Slice(order, func(a, b int) bool { return highs[order[a]] < highs[order[b]] })
+		if g.cands+len(order) > maxCandidates {
+			return nil
+		}
+		for j := 0; j < dim; j++ {
+			col := basis.Col(j)
+			for _, i := range order {
+				g.cols[j] = append(g.cols[j], col[i])
+			}
+		}
+		g.cands += len(order)
+		g.cellOff[c+1] = g.cellOff[c] + int32(len(order))
+		copy(g.bounds[c*2*dim:(c+1)*2*dim], wb)
+		g.cells++
+	}
+	return g
+}
+
+// Counters accumulates cell-index activity across snapshots. One Counters
+// is shared by every Cache in a clone family (and by every shard's cache),
+// mirroring the skyband counters.
+type Counters struct {
+	builds    atomic.Int64
+	hits      atomic.Int64
+	fallbacks atomic.Int64
+	lookups   atomic.Int64
+}
+
+// NewCounters creates a zeroed counter set.
+func NewCounters() *Counters { return &Counters{} }
+
+// CountFallback records one query that could not be answered from a grid
+// (ineligible configuration, failed point location) and ran a legacy path.
+func (c *Counters) CountFallback() {
+	if c != nil {
+		c.fallbacks.Add(1)
+	}
+}
+
+// CountLookups records n weighting vectors answered by cell lookups.
+func (c *Counters) CountLookups(n int) {
+	if c != nil {
+		c.lookups.Add(int64(n))
+	}
+}
+
+// CountersSnapshot is a point-in-time copy of the cumulative counters.
+type CountersSnapshot struct {
+	Builds    int64 `json:"builds"`
+	Hits      int64 `json:"hits"`
+	Fallbacks int64 `json:"fallbacks"`
+	Lookups   int64 `json:"lookups"`
+}
+
+// Snapshot copies the counters.
+func (c *Counters) Snapshot() CountersSnapshot {
+	if c == nil {
+		return CountersSnapshot{}
+	}
+	return CountersSnapshot{
+		Builds:    c.builds.Load(),
+		Hits:      c.hits.Load(),
+		Fallbacks: c.fallbacks.Load(),
+		Lookups:   c.lookups.Load(),
+	}
+}
+
+// Cache lazily computes and retains the grids of one snapshot. It is safe
+// for concurrent use; concurrent requests for the same k share one build.
+// Like skyband.Cache, construction takes no context: a grid is shared
+// cache state for every reader of the snapshot, so one request's
+// cancellation must not poison the build its co-readers wait on.
+type Cache struct {
+	sky  *skyband.Cache
+	dim  int
+	ct   *Counters
+	mu   sync.Mutex
+	ents map[int]*gridEntry
+}
+
+type gridEntry struct {
+	once sync.Once
+	// grid is stored atomically so Stats can peek at entries another
+	// goroutine is still building without racing the once.Do write. It
+	// stays nil when the build declined (ineligible configuration).
+	grid atomic.Pointer[Grid]
+}
+
+// NewCache creates an empty cache whose grids build over sky's bands (so
+// the skyband cache's build/hit accounting ticks for every grid basis).
+// ct carries the cumulative counters shared across the clone family; nil
+// allocates a private set.
+func NewCache(sky *skyband.Cache, dim int, ct *Counters) *Cache {
+	if ct == nil {
+		ct = NewCounters()
+	}
+	return &Cache{sky: sky, dim: dim, ct: ct, ents: make(map[int]*gridEntry)}
+}
+
+// Counters returns the cumulative counter set, for propagation into the
+// cache of the next snapshot.
+func (c *Cache) Counters() *Counters { return c.ct }
+
+// Grid returns the cell index for parameter k, building it on first use,
+// or nil when the configuration is ineligible (dimensionality outside
+// 2..4, basis beyond MaxBasis, k-diversity beyond maxGrids, oversized
+// candidate storage) — callers then use the kernel/RTA paths, which
+// answer identically.
+func (c *Cache) Grid(k int) *Grid {
+	if c == nil || c.sky == nil || c.dim < 2 || c.dim > 4 {
+		return nil
+	}
+	if k < 1 {
+		k = 1
+	}
+	c.mu.Lock()
+	e, ok := c.ents[k]
+	if !ok {
+		if len(c.ents) >= maxGrids {
+			c.mu.Unlock()
+			c.ct.fallbacks.Add(1)
+			return nil
+		}
+		e = &gridEntry{}
+		c.ents[k] = e
+	}
+	c.mu.Unlock()
+	if ok {
+		c.ct.hits.Add(1)
+	}
+	e.once.Do(func() {
+		if g := build(c.sky.Band(k), k, c.dim); g != nil {
+			e.grid.Store(g)
+			c.ct.builds.Add(1)
+		}
+	})
+	g := e.grid.Load()
+	if g == nil {
+		c.ct.fallbacks.Add(1)
+	}
+	return g
+}
+
+// Stats is a point-in-time view of one cache's contents.
+type Stats struct {
+	// Grids is the number of grids materialized for this snapshot.
+	Grids int `json:"grids"`
+	// Cells and Candidates total the built cells and stored candidate
+	// rows across those grids.
+	Cells      int `json:"cells"`
+	Candidates int `json:"candidates"`
+}
+
+// Stats reports the cache's current contents.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var s Stats
+	for _, e := range c.ents {
+		if g := e.grid.Load(); g != nil {
+			s.Grids++
+			s.Cells += g.cells
+			s.Candidates += g.cands
+		}
+	}
+	return s
+}

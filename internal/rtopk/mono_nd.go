@@ -2,7 +2,10 @@ package rtopk
 
 import (
 	"math/rand"
+	"sort"
 
+	"wqrtq/internal/cellindex"
+	"wqrtq/internal/kernel"
 	"wqrtq/internal/rtree"
 	"wqrtq/internal/sample"
 	"wqrtq/internal/topk"
@@ -16,7 +19,8 @@ import (
 // the result region is an intersection-of-halfspaces arrangement cell
 // complex, and the paper itself notes that such geometric computations "do
 // not scale well with the dimensionality" (§4.2). Sampling gives an
-// unbiased estimate of the result's measure plus a witness set.
+// unbiased estimate of the result's measure plus a witness set. For exact
+// answers through the materialized cell index see MonochromaticND.
 //
 // It returns the sampled weighting vectors whose top-k contains q, and the
 // fraction of samples that qualified (an unbiased estimator of the
@@ -34,4 +38,174 @@ func MonochromaticSample(t *rtree.Tree, q vec.Point, k, samples int, rng *rand.R
 		}
 	}
 	return in, float64(len(in)) / float64(samples)
+}
+
+// MonoCell is one cell of a d >= 3 monochromatic reverse top-k answer: the
+// per-coordinate weight bounds of a simplex-grid cell intersecting the
+// result region.
+type MonoCell struct {
+	// Lo and Hi are the cell's closed per-coordinate weight bounds.
+	Lo, Hi []float64
+	// Full reports that every weighting vector inside the bounds is in the
+	// result (fewer than k candidates can beat q anywhere in the cell);
+	// otherwise the cell is partial — the result boundary crosses it.
+	Full bool
+	// MidIn reports whether the cell midpoint's top-k contains q (always
+	// true for full cells; for partial cells it is the kernel-verified
+	// sample decision at the center).
+	MidIn bool
+}
+
+// MonochromaticND answers the monochromatic reverse top-k query exactly
+// from a materialized cell index over the snapshot.
+//
+// For 2-D grids it returns the same maximal λ-intervals as
+// Monochromatic2D over the full dataset: segment boundaries are the
+// cell-local candidate breakpoints plus the grid's cell edges (membership
+// can only change where some cell's candidate ties with q — the cell
+// index's count preservation makes every other point's tie irrelevant —
+// or across a cell edge, and the edges are in the boundary list), and
+// each segment's membership is decided by the same blocked-kernel
+// midpoint evaluation, counted over the grid basis.
+//
+// For d >= 3 it returns the result as grid cells (intervals is nil):
+// cells where even the most q-favorable corner comparison leaves fewer
+// than k possible beaters (#{fl(f(lo,p)) < fl(f(hi,q))} < k) are Full —
+// provably members everywhere; cells where the least favorable one
+// already yields k beaters (#{fl(f(hi,p)) < fl(f(lo,q))} >= k) are
+// provably empty and omitted; the rest are reported as partial with a
+// kernel-verified midpoint decision. Every weighting vector whose top-k
+// contains q lies in a reported cell.
+func MonochromaticND(g *cellindex.Grid, q vec.Point, k int) ([]Interval, []MonoCell) {
+	if g.Dim() == 2 {
+		return monoGrid2D(g, q, k), nil
+	}
+	return nil, monoGridND(g, q, k)
+}
+
+// monoGrid2D is Monochromatic2D evaluated through the cell index: same
+// breakpoint arithmetic, same midpoint kernel counts, same merge — only
+// the breakpoints come from the per-cell candidate lists (plus the cell
+// edges) and the counts run over the grid basis instead of the raw
+// dataset. Count preservation of the basis band and of the per-cell
+// supersets makes every decision pointwise identical.
+func monoGrid2D(g *cellindex.Grid, q vec.Point, k int) []Interval {
+	res := g.Res()
+	lams := make([]float64, 0, g.NumCandidates()+res)
+	g.Cells(func(lo, hi []float64, cand [][]float64) {
+		x, y := cand[0], cand[1]
+		for i := range x {
+			a := x[i] - q[0]
+			b := y[i] - q[1]
+			if a == b {
+				continue
+			}
+			if lam := b / (b - a); lam > 0 && lam < 1 {
+				lams = append(lams, lam)
+			}
+		}
+	})
+	for c := 1; c < res; c++ {
+		lams = append(lams, float64(c)/float64(res))
+	}
+	sort.Float64s(lams)
+	bounds := make([]float64, 0, len(lams)+2)
+	bounds = append(bounds, 0)
+	for _, lam := range lams {
+		if lam != bounds[len(bounds)-1] {
+			bounds = append(bounds, lam)
+		}
+	}
+	if bounds[len(bounds)-1] != 1 {
+		bounds = append(bounds, 1)
+	}
+
+	sc := kernel.GetScratch()
+	defer kernel.PutScratch(sc)
+	nSeg := len(bounds) - 1
+	mids := make([]float64, nSeg)
+	fqs := make([]float64, nSeg)
+	counts := make([]int, nSeg)
+	for i := 0; i < nSeg; i++ {
+		mid := (bounds[i] + bounds[i+1]) / 2
+		mids[i] = mid
+		fq := mid * q[0]
+		fq += (1 - mid) * q[1]
+		fqs[i] = fq
+	}
+	var wpair [2]float64
+	kernel.CountBelowWeights(g.Basis(), nSeg, func(i int) []float64 {
+		wpair[0] = mids[i]
+		wpair[1] = 1 - mids[i]
+		return wpair[:]
+	}, fqs, counts, sc, nil)
+
+	var out []Interval
+	for i := 0; i < nSeg; i++ {
+		if counts[i] >= k {
+			continue
+		}
+		if n := len(out); n > 0 && out[n-1].Hi == bounds[i] {
+			out[n-1].Hi = bounds[i+1]
+		} else {
+			out = append(out, Interval{Lo: bounds[i], Hi: bounds[i+1]})
+		}
+	}
+	return out
+}
+
+// monoGridND classifies every cell of a d >= 3 grid by its corner-score
+// bounds. For any w inside a cell and any candidate p, fl(f(w,p)) is
+// bracketed by the corner scores fl(f(lo,p)) and fl(f(hi,p)), and
+// fl(f(w,q)) by fl(f(lo,q)) and fl(f(hi,q)), so
+//
+//	#{p : fl(f(hi,p)) < fl(f(lo,q))} <= count(w) <= #{p : fl(f(lo,p)) < fl(f(hi,q))}
+//
+// everywhere in the cell. Cells whose upper bound stays below k are Full,
+// cells whose lower bound reaches k are dropped, and the rest are partial
+// with a kernel-verified midpoint decision over the basis.
+func monoGridND(g *cellindex.Grid, q vec.Point, k int) []MonoCell {
+	d := g.Dim()
+	var out []MonoCell
+	mid := make([]float64, d)
+	g.Cells(func(lo, hi []float64, cand [][]float64) {
+		fqLo := vec.Score(vec.Weight(lo), q)
+		fqHi := vec.Score(vec.Weight(hi), q)
+		upper, lower := 0, 0
+		n := len(cand[0])
+		for i := 0; i < n; i++ {
+			sLo := lo[0] * cand[0][i]
+			sHi := hi[0] * cand[0][i]
+			for j := 1; j < d; j++ {
+				sLo += lo[j] * cand[j][i]
+				sHi += hi[j] * cand[j][i]
+			}
+			if sLo < fqHi {
+				upper++
+			}
+			if sHi < fqLo {
+				lower++
+			}
+		}
+		if lower >= k {
+			return // provably empty: >= k candidates beat q everywhere here
+		}
+		cell := MonoCell{
+			Lo:   append([]float64(nil), lo...),
+			Hi:   append([]float64(nil), hi...),
+			Full: upper < k,
+		}
+		if cell.Full {
+			cell.MidIn = true
+		} else {
+			for j := 0; j < d; j++ {
+				mid[j] = (lo[j] + hi[j]) / 2
+			}
+			fqMid := vec.Score(vec.Weight(mid), q)
+			cnt, _ := kernel.CountBelowCapped(g.Basis(), mid, fqMid, k-1)
+			cell.MidIn = cnt < k
+		}
+		out = append(out, cell)
+	})
+	return out
 }

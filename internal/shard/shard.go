@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"sync"
 
+	"wqrtq/internal/cellindex"
 	"wqrtq/internal/kernel"
 	"wqrtq/internal/rtopk"
 	"wqrtq/internal/rtree"
@@ -67,6 +68,13 @@ type Set struct {
 	// running the per-vector RTA top-k lockstep. The counters are shared
 	// across the clone family, like the skyband counters.
 	kct *kernel.Counters
+	// cellCt enables the materialized cell index for reverse top-k (nil =
+	// the -cellindex=off ablation); cells are the per-shard grid caches,
+	// derived from the skyband caches whenever both sub-indexes are on
+	// (each shard's grids build over its local bands, so the shard-wise
+	// count-preservation argument of bichromaticBlocked carries over).
+	cellCt *cellindex.Counters
+	cells  []*cellindex.Cache
 }
 
 // MaxShards bounds the shard count: every query fans out one goroutine per
@@ -152,6 +160,7 @@ func (s *Set) Clone() *Set {
 	for i, t := range s.trees {
 		c.trees[i] = t.Clone()
 	}
+	c.cellCt = s.cellCt // before EnableSkyband, which derives the grid caches
 	if s.skies != nil {
 		c.EnableSkyband(s.skies[0].Counters())
 	}
@@ -173,11 +182,16 @@ func (s *Set) EnableSkyband(ct *skyband.Counters) {
 		skies[i] = skyband.NewCache(t, ct)
 	}
 	s.skies = skies
+	s.syncCells()
 }
 
 // DisableSkyband detaches the per-shard skyband caches; queries revert to
-// the full shard trees.
-func (s *Set) DisableSkyband() { s.skies = nil }
+// the full shard trees. The cell-index caches go with them (their grids
+// build over the local bands).
+func (s *Set) DisableSkyband() {
+	s.skies = nil
+	s.cells = nil
+}
 
 // EnableKernel routes eligible reverse top-k evaluations through the
 // blocked scoring kernel, recording work in ct (nil allocates a private
@@ -194,6 +208,53 @@ func (s *Set) DisableKernel() { s.kct = nil }
 
 // KernelEnabled reports whether the blocked kernel is active.
 func (s *Set) KernelEnabled() bool { return s.kct != nil }
+
+// EnableCellIndex routes eligible reverse top-k evaluations through
+// per-shard materialized cell grids, recording activity in ct (nil
+// allocates a private counter set). The grids build over the per-shard
+// skyband bands, so they activate only while the skyband sub-index is on.
+func (s *Set) EnableCellIndex(ct *cellindex.Counters) {
+	if ct == nil {
+		ct = cellindex.NewCounters()
+	}
+	s.cellCt = ct
+	s.syncCells()
+}
+
+// DisableCellIndex reverts reverse top-k to the kernel/RTA paths.
+func (s *Set) DisableCellIndex() {
+	s.cellCt = nil
+	s.cells = nil
+}
+
+// CellIndexEnabled reports whether the cell-index caches are active.
+func (s *Set) CellIndexEnabled() bool { return s.cells != nil }
+
+// CellIndexStats sums the per-shard grid-cache contents.
+func (s *Set) CellIndexStats() cellindex.Stats {
+	var st cellindex.Stats
+	for _, c := range s.cells {
+		cs := c.Stats()
+		st.Grids += cs.Grids
+		st.Cells += cs.Cells
+		st.Candidates += cs.Candidates
+	}
+	return st
+}
+
+// syncCells rebuilds the per-shard grid caches over the current skyband
+// caches, or detaches them when either sub-index is off.
+func (s *Set) syncCells() {
+	if s.cellCt == nil || s.skies == nil {
+		s.cells = nil
+		return
+	}
+	cells := make([]*cellindex.Cache, len(s.skies))
+	for i, sky := range s.skies {
+		cells[i] = cellindex.NewCache(sky, s.dim, s.cellCt)
+	}
+	s.cells = cells
+}
 
 // SkybandEnabled reports whether the per-shard skyband caches are active.
 func (s *Set) SkybandEnabled() bool { return s.skies != nil }
@@ -214,6 +275,9 @@ func (s *Set) SkybandStats() skyband.Stats {
 func (s *Set) resetSky(i int) {
 	if s.skies != nil {
 		s.skies[i] = skyband.NewCache(s.trees[i], s.skies[i].Counters())
+		if s.cells != nil {
+			s.cells[i] = cellindex.NewCache(s.skies[i], s.dim, s.cellCt)
+		}
 	}
 }
 
@@ -388,6 +452,20 @@ func (s *Set) BichromaticCtx(ctx context.Context, W []vec.Weight, q vec.Point, k
 		return nil, rtopk.Stats{}, err
 	}
 	if len(s.trees) == 1 {
+		if s.cells != nil && s.kct != nil && s.dim <= 4 {
+			if g := s.cells[0].Grid(k); g != nil {
+				res, scanned, ok, err := g.ReverseTopK(ctx, W, q, k)
+				if err != nil {
+					return nil, rtopk.Stats{}, err
+				}
+				if ok {
+					s.kct.Add(len(W), scanned)
+					s.cellCt.CountLookups(len(W))
+					return res, rtopk.Stats{Evaluated: len(W), CandidateSetSize: g.BasisSize()}, nil
+				}
+				s.cellCt.CountFallback()
+			}
+		}
 		if b := s.band(0, k); b != nil && s.kct != nil && s.dim <= 4 && b.Size() <= rtopk.CoordsCutoff {
 			res, stats, err := rtopk.BichromaticCoordsCtx(ctx, b.Coords(), W, q, k, s.kct)
 			stats.CandidateSetSize = b.Size()
@@ -397,6 +475,31 @@ func (s *Set) BichromaticCtx(ctx context.Context, W []vec.Weight, q vec.Point, k
 		res, stats, err := rtopk.BichromaticCtx(ctx, bt, W, q, k)
 		stats.CandidateSetSize = size
 		return res, stats, err
+	}
+	if s.cells != nil && s.kct != nil && s.dim <= 4 {
+		// Resolve every shard's grid concurrently (first use after a
+		// snapshot swap builds the local bands and grids in parallel); any
+		// ineligible shard aborts the whole cell path so the query runs one
+		// deterministic algorithm end to end.
+		grids := make([]*cellindex.Grid, len(s.cells))
+		s.scatter(func(i int, _ *rtree.Tree) { grids[i] = s.cells[i].Grid(k) })
+		eligible := true
+		for _, g := range grids {
+			if g == nil {
+				eligible = false
+				break
+			}
+		}
+		if eligible {
+			res, stats, ok, err := s.bichromaticCells(ctx, W, q, k, grids)
+			if err != nil {
+				return nil, stats, err
+			}
+			if ok {
+				return res, stats, nil
+			}
+			s.cellCt.CountFallback()
+		}
 	}
 	// Resolve every shard's candidate tree up front, concurrently: first
 	// use after a snapshot swap builds the local k-skybands in parallel.
@@ -502,6 +605,72 @@ func (s *Set) bichromaticBlocked(ctx context.Context, W []vec.Weight, q vec.Poin
 		}
 	}
 	return result, stats, nil
+}
+
+// bichromaticCells answers the bichromatic query from the per-shard cell
+// grids: each shard point-locates every weight in its own grid and counts
+// cell-local strict beaters capped at k-1, and the gather sums the counts.
+// A shard's capped count is exact while below k and saturates at >= k
+// otherwise (cellindex count preservation over the local band, which is
+// itself count-preserving for the shard tree), so sum < k decides global
+// membership exactly as the merged RTA evaluation — the same shard-wise
+// argument as bichromaticBlocked. ok is false when any shard failed a
+// point location; the caller reruns the query on a legacy path.
+func (s *Set) bichromaticCells(ctx context.Context, W []vec.Weight, q vec.Point, k int, grids []*cellindex.Grid) ([]int, rtopk.Stats, bool, error) {
+	candTotal := 0
+	for _, g := range grids {
+		candTotal += g.BasisSize()
+	}
+	stats := rtopk.Stats{Evaluated: len(W), CandidateSetSize: candTotal}
+	per := make([][]int, len(grids))
+	scanned := make([]int, len(grids))
+	missed := make([]bool, len(grids))
+	errs := make([]error, len(grids))
+	s.scatter(func(i int, _ *rtree.Tree) {
+		counts := make([]int, len(W))
+		for wi, w := range W {
+			if wi&63 == 0 {
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+			fq := vec.Score(w, q)
+			cnt, sc, ok := grids[i].CountBelowCapped(w, fq, k-1)
+			if !ok {
+				missed[i] = true
+				return
+			}
+			scanned[i] += sc
+			counts[wi] = cnt
+		}
+		per[i] = counts
+	})
+	if err := firstError(errs); err != nil {
+		return nil, stats, false, err
+	}
+	for _, m := range missed {
+		if m {
+			return nil, stats, false, nil
+		}
+	}
+	totalScanned := 0
+	for _, sc := range scanned {
+		totalScanned += sc
+	}
+	s.kct.Add(len(W), totalScanned)
+	s.cellCt.CountLookups(len(W))
+	var result []int
+	for wi := range W {
+		total := 0
+		for i := range per {
+			total += per[i][wi]
+		}
+		if total < k {
+			result = append(result, wi)
+		}
+	}
+	return result, stats, true, nil
 }
 
 // scatter runs fn once per shard on its own goroutine and waits for all of

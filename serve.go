@@ -65,6 +65,14 @@ type EngineConfig struct {
 	// Results are bit-identical either way (see kernel.go and DESIGN.md
 	// §9).
 	DisableKernel bool
+	// DisableCellIndex turns off the materialized reverse-top-k cell index
+	// (the -cellindex=off ablation): eligible ReverseTopK evaluations (and
+	// the RTA stage of WhyNot) then count against the whole flattened
+	// k-skyband instead of a grid cell's precomputed candidate superset.
+	// Results are bit-identical either way (see cellindex.go and DESIGN.md
+	// §10). The index rides on the skyband and kernel sub-indexes, so
+	// disabling either of those sidelines it too.
+	DisableCellIndex bool
 }
 
 func (c EngineConfig) withDefaults() EngineConfig {
@@ -160,6 +168,9 @@ func NewEngine(ix *Index, cfg EngineConfig) (*Engine, error) {
 	}
 	if ix.KernelEnabled() == cfg.DisableKernel {
 		ix.SetKernel(!cfg.DisableKernel)
+	}
+	if ix.CellIndexEnabled() == cfg.DisableCellIndex {
+		ix.SetCellIndex(!cfg.DisableCellIndex)
 	}
 	e := &Engine{cfg: cfg, metrics: engine.NewMetrics()}
 	e.current.Store(ix)
@@ -545,6 +556,10 @@ type EngineStats struct {
 	// and the cumulative blocked-sweep counters (blocks, weights ranked,
 	// candidate points swept).
 	Kernel KernelStats `json:"kernel"`
+	// CellIndex describes the materialized reverse-top-k cell index: the
+	// grids cached on the current snapshot and the cumulative
+	// build/hit/lookup/fallback counters.
+	CellIndex CellIndexStats `json:"cellindex"`
 	// RTA aggregates reverse top-k pruning work per endpoint ("rtopk",
 	// "whynot"), so the skyband candidate-set win is observable in
 	// production, not just in benchmarks.
@@ -562,6 +577,7 @@ func (e *Engine) Stats() EngineStats {
 		Endpoints: e.metrics.Snapshot(),
 		Skyband:   snap.SkybandStats(),
 		Kernel:    snap.KernelStats(),
+		CellIndex: snap.CellIndexStats(),
 		RTA: map[string]RTATotals{
 			"rtopk":  e.rtaRtopk.snapshot(),
 			"whynot": e.rtaWhynot.snapshot(),

@@ -61,6 +61,9 @@ func (ix *Index) Reshard(s int) error {
 	if !ix.kernelOff {
 		set.EnableKernel(ix.kct)
 	}
+	if !ix.cellOff {
+		set.EnableCellIndex(ix.cct)
+	}
 	ix.shards = set
 	return nil
 }
@@ -119,10 +122,26 @@ func (ix *Index) rankResult(ctx context.Context, w vec.Weight, fq float64) (int,
 // (kernelRTACutoff), the evaluation skips the RTA loop entirely: the
 // whole weight set is counted against the flattened band in blocked
 // sweeps, which decides membership identically (see
-// rtopk.BichromaticCoordsCtx's count-preservation argument).
+// rtopk.BichromaticCoordsCtx's count-preservation argument). With the
+// cell index on top, each vector is counted against its grid cell's
+// candidate superset instead of the whole band — still bit-identical
+// (see internal/cellindex's count-preservation argument) — with a
+// whole-query fallback to the paths below when the index declines.
 func (ix *Index) bichromatic(ctx context.Context, W []vec.Weight, q vec.Point, k int) ([]int, rtopk.Stats, error) {
 	if ix.shards != nil {
 		return ix.shards.BichromaticCtx(ctx, W, q, k)
+	}
+	if g := ix.cellGrid(k); g != nil {
+		res, scanned, ok, err := g.ReverseTopK(ctx, W, q, k)
+		if err != nil {
+			return nil, rtopk.Stats{}, err
+		}
+		if ok {
+			ix.kct.Add(len(W), scanned)
+			ix.cct.CountLookups(len(W))
+			return res, rtopk.Stats{Evaluated: len(W), CandidateSetSize: g.BasisSize()}, nil
+		}
+		ix.cct.CountFallback()
 	}
 	if b := ix.band(k); b != nil {
 		if !ix.kernelOff && ix.Dim() <= 4 && b.Size() <= kernelRTACutoff {

@@ -49,6 +49,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"wqrtq/internal/cellindex"
 	"wqrtq/internal/kernel"
 	"wqrtq/internal/rtopk"
 	"wqrtq/internal/rtree"
@@ -100,6 +101,14 @@ type Index struct {
 	// -kernel=off ablation switch (kernel.go).
 	kct       *kernel.Counters
 	kernelOff bool
+	// cells is the snapshot's materialized reverse-top-k cell-index cache
+	// (cellindex.go): grids build lazily per (snapshot, k) over the skyband
+	// bands; clones and mutations swap in a fresh cache. cct carries the
+	// clone family's cumulative counters; cellOff is the -cellindex=off
+	// ablation switch.
+	cells   *cellindex.Cache
+	cct     *cellindex.Counters
+	cellOff bool
 }
 
 // NewIndex validates and bulk-loads a dataset. Every point must be
@@ -121,7 +130,9 @@ func NewIndex(points [][]float64) (*Index, error) {
 		ps[i] = p
 	}
 	tree := rtree.Bulk(ps, nil)
-	return &Index{tree: tree, points: ps, sky: skyband.NewCache(tree, nil), kct: kernel.NewCounters()}, nil
+	ix := &Index{tree: tree, points: ps, sky: skyband.NewCache(tree, nil), kct: kernel.NewCounters(), cct: cellindex.NewCounters()}
+	ix.cells = cellindex.NewCache(ix.sky, d, ix.cct)
+	return ix, nil
 }
 
 // Len returns the number of indexed points.
