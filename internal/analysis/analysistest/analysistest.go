@@ -1,0 +1,134 @@
+// Package analysistest runs an analyzer over GOPATH-style fixture trees
+// and checks its diagnostics against `// want` comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture file marks each expected diagnostic with a trailing comment on
+// the offending line:
+//
+//	xs = append(xs, x) // want `append may grow`
+//
+// The quoted strings are regular expressions (backquoted or double-quoted);
+// several may follow one `want` when a line yields several diagnostics.
+// Lines without a want comment must produce no diagnostics — unexpected
+// findings and unmatched expectations both fail the test.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"wqrtq/internal/analysis"
+	"wqrtq/internal/analysis/load"
+)
+
+// expectation is one `// want` pattern awaiting a matching diagnostic.
+type expectation struct {
+	file string // base name
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Run loads each package path from dir (a testdata/src-style root) and
+// applies the analyzer, comparing diagnostics against want comments.
+func Run(t *testing.T, srcdir string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	pkgs, err := load.Dir(srcdir, paths...)
+	if err != nil {
+		t.Fatalf("loading fixtures from %s: %v", srcdir, err)
+	}
+	for _, pkg := range pkgs {
+		runPkg(t, a, pkg)
+	}
+}
+
+func runPkg(t *testing.T, a *analysis.Analyzer, pkg *load.Package) {
+	t.Helper()
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: analyzer error on %s: %v", a.Name, pkg.Path, err)
+	}
+
+	want, err := expectations(pkg)
+	if err != nil {
+		t.Fatalf("%s: %v", pkg.Path, err)
+	}
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		matched := false
+		for _, w := range want {
+			if w.hit || w.file != filepath.Base(pos.Filename) || w.line != pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic at %s:%d: %s", a.Name, filepath.Base(pos.Filename), pos.Line, d.Message)
+		}
+	}
+	for _, w := range want {
+		if !w.hit {
+			t.Errorf("%s: expected diagnostic matching %q at %s:%d, got none", a.Name, w.re, w.file, w.line)
+		}
+	}
+}
+
+// wantRE pulls the quoted patterns out of a want comment: backquoted or
+// double-quoted strings after the word "want".
+var wantArgRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// expectations scans every fixture file's comments for want annotations.
+func expectations(pkg *load.Package) ([]*expectation, error) {
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") && text != "want" {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				args := wantArgRE.FindAllString(strings.TrimPrefix(text, "want"), -1)
+				if len(args) == 0 {
+					return nil, fmt.Errorf("%s:%d: want comment with no patterns", pos.Filename, pos.Line)
+				}
+				for _, q := range args {
+					pat, err := unquote(q)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					out = append(out, &expectation{file: filepath.Base(pos.Filename), line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+func unquote(q string) (string, error) {
+	if strings.HasPrefix(q, "`") {
+		return strings.Trim(q, "`"), nil
+	}
+	return strconv.Unquote(q)
+}

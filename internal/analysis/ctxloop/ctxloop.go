@@ -1,0 +1,281 @@
+// Package ctxloop enforces cooperative cancellation in the query-path
+// packages: any loop that does per-iteration work inside a function that
+// was handed a cancellation handle (a context.Context parameter, a
+// *ctxcheck.Ticker parameter, or a receiver carrying a ctxcheck.Ticker
+// field) must check cancellation somewhere in its body — directly via
+// ctx.Err()/Ticker.Tick()/Ticker.Err()/<-ctx.Done(), or by delegating,
+// i.e. passing the context or ticker into a callee.
+//
+// It is the static twin of the context_test.go prompt-return suite: those
+// tests prove specific endpoints unwind within one check interval; this
+// analyzer proves no new loop on the query path can forget the discipline.
+//
+// Loops with small input-independent trip counts (dimension sweeps) are
+// allowlisted with //wqrtq:bounded on the loop line or the line above.
+// Loops whose bodies contain no calls and no nested loops are ignored:
+// straight-line arithmetic over an in-memory slice is bounded by the
+// caller's own check interval.
+package ctxloop
+
+import (
+	"go/ast"
+	"go/types"
+
+	"wqrtq/internal/analysis"
+)
+
+// QueryPackages are the packages whose loops must poll for cancellation —
+// everything a TopK/Rank/ReverseTopK/Explain/WhyNot evaluation can spend
+// unbounded time in.
+var QueryPackages = map[string]bool{
+	"wqrtq/internal/topk":      true,
+	"wqrtq/internal/rtopk":     true,
+	"wqrtq/internal/core":      true,
+	"wqrtq/internal/cellindex": true,
+}
+
+const ctxcheckPath = "wqrtq/internal/ctxcheck"
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxloop",
+	Doc: "report loops in query-path packages that neither check cancellation (ctx.Err, " +
+		"ctxcheck.Ticker) nor delegate it to a callee; allowlist bounded loops with //wqrtq:bounded",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !QueryPackages[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if !hasCancelHandle(pass, fn) {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+// hasCancelHandle reports whether fn can observe cancellation at all: a
+// context.Context or *ctxcheck.Ticker parameter, or a receiver whose
+// struct type carries a ctxcheck.Ticker (the Iterator pattern).
+func hasCancelHandle(pass *analysis.Pass, fn *ast.FuncDecl) bool {
+	sig, ok := pass.TypeOf(fn.Name).(*types.Signature)
+	if !ok {
+		return false
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isCancelType(params.At(i).Type()) {
+			return true
+		}
+	}
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if st, ok := t.Underlying().(*types.Struct); ok {
+			for i := 0; i < st.NumFields(); i++ {
+				if isCancelType(st.Field(i).Type()) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// isCancelType matches context.Context, ctxcheck.Ticker, and
+// *ctxcheck.Ticker.
+func isCancelType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	path, name := n.Obj().Pkg().Path(), n.Obj().Name()
+	return path == "context" && name == "Context" ||
+		path == ctxcheckPath && name == "Ticker"
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	dirs := pass.Directives()
+	checking := checkingClosures(pass, fn)
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch l := n.(type) {
+		case *ast.ForStmt:
+			body = l.Body
+		case *ast.RangeStmt:
+			body = l.Body
+		case *ast.FuncLit:
+			return false // separate cancellation story (worker goroutines)
+		default:
+			return true
+		}
+		if dirs.At(n, analysis.DirBounded) {
+			return true // still check nested loops individually
+		}
+		if !doesWork(pass, body) {
+			return true
+		}
+		if !checksCancellation(pass, body, checking) {
+			pass.Reportf(n.Pos(), "loop in query-path function %s does per-iteration work but never checks cancellation (use ctxcheck.Ticker/ctx.Err, pass ctx to a callee, or annotate //wqrtq:bounded)", fn.Name.Name)
+		}
+		return true
+	}
+	ast.Inspect(fn.Body, visit)
+}
+
+// doesWork reports whether the loop body contains a function call or a
+// nested loop — the signal that one iteration is more than straight-line
+// arithmetic.
+func doesWork(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			found = true
+		case *ast.CallExpr:
+			// Builtin calls (len, cap, min, max, ...) and conversions are
+			// not work.
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if _, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+					return true
+				}
+			}
+			if tv, ok := pass.TypesInfo.Types[ast.Unparen(n.Fun)]; ok && tv.IsType() {
+				return true // conversion
+			}
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// checksCancellation reports whether the subtree contains a cancellation
+// check or delegates one: a call to (*ctxcheck.Ticker).Tick/Err or
+// ctx.Err(), a receive from ctx.Done(), any call taking a context/ticker
+// argument, a method call on a receiver that carries a cancel handle in a
+// struct field (the Iterator pattern — it.Next() polls its own ticker), or
+// a call to a local closure known to check cancellation itself.
+func checksCancellation(pass *analysis.Pass, body *ast.BlockStmt, checking map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if f := analysis.FuncFor(pass.TypesInfo, call.Fun); f != nil {
+			switch analysis.PkgPathOf(f) {
+			case ctxcheckPath:
+				if f.Name() == "Tick" || f.Name() == "Err" {
+					found = true
+					return false
+				}
+			case "context":
+				// ctx.Err(), ctx.Done(): both observe cancellation.
+				if f.Name() == "Err" || f.Name() == "Done" {
+					found = true
+					return false
+				}
+			}
+		}
+		for _, arg := range call.Args {
+			if t := pass.TypeOf(arg); t != nil && isCancelType(t) {
+				found = true
+				return false
+			}
+		}
+		// Method call on a cancel-carrying receiver.
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if t := pass.TypeOf(sel.X); t != nil && carriesCancelField(t) {
+				found = true
+				return false
+			}
+		}
+		// Call of a local closure that checks cancellation in its body.
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil && checking[obj] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// carriesCancelField reports whether t (dereferenced) is a struct with a
+// context/ticker field.
+func carriesCancelField(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isCancelType(st.Field(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkingClosures maps local variables bound to closure literals whose
+// bodies observe cancellation (directly or by receiving a ctx/ticker from
+// the enclosing scope): `evaluate := func(...) error { ... tick.Tick() }`.
+// Calls to such closures count as delegated checks.
+func checkingClosures(pass *analysis.Pass, fn *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			lit, ok := ast.Unparen(rhs).(*ast.FuncLit)
+			if !ok {
+				continue
+			}
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = pass.TypesInfo.Uses[id]
+			}
+			if obj == nil {
+				continue
+			}
+			if checksCancellation(pass, lit.Body, nil) {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,12 @@
+package ctxloop_test
+
+import (
+	"testing"
+
+	"wqrtq/internal/analysis/analysistest"
+	"wqrtq/internal/analysis/ctxloop"
+)
+
+func TestCtxLoop(t *testing.T) {
+	analysistest.Run(t, "testdata/src", ctxloop.Analyzer, "wqrtq/internal/topk", "other")
+}

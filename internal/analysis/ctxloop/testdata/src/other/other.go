@@ -1,0 +1,15 @@
+// Package other is outside the query-path gate: the same shape that is
+// flagged in wqrtq/internal/topk must produce nothing here.
+package other
+
+import "context"
+
+func work(x int) int { return x + 1 }
+
+func Unchecked(ctx context.Context, xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += work(x)
+	}
+	return s
+}

@@ -1,0 +1,17 @@
+// Package ctxcheck is a fixture stub standing in for the real
+// wqrtq/internal/ctxcheck: the ctxloop analyzer matches it by import path
+// and method name only.
+package ctxcheck
+
+import "context"
+
+type Ticker struct {
+	ctx context.Context
+	n   uint64
+}
+
+func Every(ctx context.Context, every uint64) Ticker { return Ticker{ctx: ctx, n: every} }
+
+func (t *Ticker) Tick() error { return t.ctx.Err() }
+
+func (t *Ticker) Err() error { return t.ctx.Err() }

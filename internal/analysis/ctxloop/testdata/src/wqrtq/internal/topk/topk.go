@@ -1,0 +1,124 @@
+// Package topk exercises the ctxloop analyzer inside a gated query-path
+// import path.
+package topk
+
+import (
+	"context"
+
+	"wqrtq/internal/ctxcheck"
+)
+
+func work(x int) int { return x + 1 }
+
+func workCtx(ctx context.Context, x int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return x + 1
+}
+
+// Bad does per-iteration work with a context in hand and never checks it.
+func Bad(ctx context.Context, xs []int) int {
+	s := 0
+	for _, x := range xs { // want `loop in query-path function Bad does per-iteration work but never checks cancellation`
+		s += work(x)
+	}
+	return s
+}
+
+// Ticker polls a ctxcheck.Ticker: clean.
+func Ticker(ctx context.Context, xs []int) (int, error) {
+	tick := ctxcheck.Every(ctx, 1024)
+	s := 0
+	for _, x := range xs {
+		if err := tick.Tick(); err != nil {
+			return 0, err
+		}
+		s += work(x)
+	}
+	return s, nil
+}
+
+// Delegates hands the context to its callee: clean.
+func Delegates(ctx context.Context, xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += workCtx(ctx, x)
+	}
+	return s
+}
+
+// NoHandle has no way to observe cancellation; the discipline binds its
+// callers instead: clean.
+func NoHandle(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += work(x)
+	}
+	return s
+}
+
+// Bounded is allowlisted: clean.
+func Bounded(ctx context.Context, q []int) int {
+	s := 0
+	//wqrtq:bounded dimension sweep, at most a handful of iterations
+	for j := range q {
+		s += work(q[j])
+	}
+	return s
+}
+
+// NoWork is straight-line arithmetic per iteration: clean.
+func NoWork(ctx context.Context, xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Iter carries its cancellation handle in a field (the Iterator pattern).
+type Iter struct {
+	tick *ctxcheck.Ticker
+	i    int
+}
+
+func (it *Iter) Next() (int, bool) {
+	if it.tick.Err() != nil {
+		return 0, false
+	}
+	it.i++
+	return it.i, it.i < 10
+}
+
+// Drain delegates to a method on a cancel-carrying receiver: clean.
+func (it *Iter) Drain() int {
+	s := 0
+	for {
+		v, ok := it.Next()
+		if !ok {
+			return s
+		}
+		s += v
+	}
+}
+
+// Closure calls a local closure that polls the ticker itself: clean.
+func Closure(ctx context.Context, xs []int) (int, error) {
+	tick := ctxcheck.Every(ctx, 1024)
+	step := func(x int) (int, error) {
+		if err := tick.Tick(); err != nil {
+			return 0, err
+		}
+		return work(x), nil
+	}
+	s := 0
+	for _, x := range xs {
+		v, err := step(x)
+		if err != nil {
+			return 0, err
+		}
+		s += v
+	}
+	return s, nil
+}

@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The annotation grammar (DESIGN.md §11). Directives are ordinary Go
+// directive comments — `//wqrtq:<name>` with no space after the slashes —
+// so gofmt keeps them attached and go/ast excludes them from doc text.
+const (
+	// DirHotPath marks a function whose body must be allocation-free
+	// (checked by hotpathalloc). Goes on the function's doc comment.
+	DirHotPath = "hotpath"
+
+	// DirUnordered allowlists one map-range statement whose iteration
+	// order provably cannot reach a response or a score (checked by
+	// maprange). Goes on the `for ... range` line or the line above.
+	DirUnordered = "unordered"
+
+	// DirBounded allowlists one loop in a query-path package whose trip
+	// count is small and input-independent — dimension sweeps, fixed
+	// retries — so it needs no cancellation check (checked by ctxloop).
+	// Goes on the loop line or the line above.
+	DirBounded = "bounded"
+
+	// DirFloatCmp marks an approved float comparator helper inside which
+	// direct ==/!= on floats is the point (checked by floateq). Goes on
+	// the function's doc comment.
+	DirFloatCmp = "floatcmp"
+)
+
+const directivePrefix = "//wqrtq:"
+
+// Directives indexes every //wqrtq: directive comment in a package by file
+// and line so analyzers can answer "is this node annotated?" without
+// re-walking comment lists. Statement-level directives may sit at the end
+// of the statement's first line or alone on the line immediately above it —
+// the same two placements gofmt preserves.
+type Directives struct {
+	fset *token.FileSet
+	// byLine maps file name -> line -> directive names on that line.
+	byLine map[string]map[int][]string
+}
+
+// NewDirectives scans the files' comments for //wqrtq: directives.
+func NewDirectives(fset *token.FileSet, files []*ast.File) *Directives {
+	d := &Directives{fset: fset, byLine: make(map[string]map[int][]string)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, ok := parseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := d.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					d.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], name)
+			}
+		}
+	}
+	return d
+}
+
+func parseDirective(text string) (name string, ok bool) {
+	if !strings.HasPrefix(text, directivePrefix) {
+		return "", false
+	}
+	rest := strings.TrimPrefix(text, directivePrefix)
+	// Allow trailing free-text rationale: "//wqrtq:unordered summing ints".
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		rest = rest[:i]
+	}
+	return rest, rest != ""
+}
+
+// At reports whether directive name is present on the line where node
+// starts, or on the line immediately above it.
+func (d *Directives) At(node ast.Node, name string) bool {
+	pos := d.fset.Position(node.Pos())
+	lines := d.byLine[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, l := range []int{pos.Line, pos.Line - 1} {
+		for _, n := range lines[l] {
+			if n == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// HasFuncDirective reports whether fn's doc comment carries the named
+// directive. Directive comments are part of the doc comment group but are
+// excluded from Doc.Text(), so we scan the raw list.
+func HasFuncDirective(fn *ast.FuncDecl, name string) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if n, ok := parseDirective(c.Text); ok && n == name {
+			return true
+		}
+	}
+	return false
+}

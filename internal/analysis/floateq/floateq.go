@@ -1,0 +1,80 @@
+// Package floateq forbids direct ==/!= (and switch-case equality) on
+// floating-point operands outside approved comparator helpers. The
+// bit-identical discipline makes exact float equality meaningful — but
+// only when every exact comparison flows through one audited helper per
+// intent (feq-style identity checks, NaN tests via math.IsNaN), so a
+// future tolerance change or a NaN subtlety has exactly one home.
+//
+// A comparator helper opts in with //wqrtq:floatcmp on its doc comment.
+// Comparisons where both operands are compile-time constants are ignored.
+package floateq
+
+import (
+	"go/ast"
+	"go/token"
+
+	"wqrtq/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "floateq",
+	Doc: "report direct ==/!= on floating-point operands outside //wqrtq:floatcmp comparator " +
+		"helpers (use vec.Feq / math.IsNaN-style helpers so exact comparisons have one audited home)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if analysis.HasFuncDirective(fn, analysis.DirFloatCmp) {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Closures inherit the enclosing function's annotation state;
+			// keep walking.
+			return true
+		case *ast.BinaryExpr:
+			if n.Op != token.EQL && n.Op != token.NEQ {
+				return true
+			}
+			if !floatOperand(pass, n.X) && !floatOperand(pass, n.Y) {
+				return true
+			}
+			if isConst(pass, n.X) && isConst(pass, n.Y) {
+				return true
+			}
+			pass.Reportf(n.Pos(), "direct %s on floating-point operands in %s; route exact comparisons through a //wqrtq:floatcmp helper", n.Op, fn.Name.Name)
+		case *ast.SwitchStmt:
+			if n.Tag == nil || !floatOperand(pass, n.Tag) {
+				return true
+			}
+			pass.Reportf(n.Pos(), "switch on floating-point value in %s compares floats directly; route exact comparisons through a //wqrtq:floatcmp helper", fn.Name.Name)
+		}
+		return true
+	})
+}
+
+func floatOperand(pass *analysis.Pass, e ast.Expr) bool {
+	return analysis.IsFloat(pass.TypeOf(e))
+}
+
+func isConst(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}

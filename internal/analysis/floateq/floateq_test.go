@@ -1,0 +1,12 @@
+package floateq_test
+
+import (
+	"testing"
+
+	"wqrtq/internal/analysis/analysistest"
+	"wqrtq/internal/analysis/floateq"
+)
+
+func TestFloatEq(t *testing.T) {
+	analysistest.Run(t, "testdata/src", floateq.Analyzer, "floats")
+}

@@ -1,0 +1,32 @@
+// Package floats exercises the floateq analyzer.
+package floats
+
+func Bad(a, b float64) bool {
+	return a == b // want `direct == on floating-point operands in Bad`
+}
+
+func BadNe(a, b float32) bool {
+	return a != b // want `direct != on floating-point operands in BadNe`
+}
+
+func BadSwitch(x float64) int {
+	switch x { // want `switch on floating-point value in BadSwitch`
+	case 0:
+		return 0
+	}
+	return 1
+}
+
+// Eq is an approved comparator: clean.
+//
+//wqrtq:floatcmp
+func Eq(a, b float64) bool { return a == b }
+
+// IntEq compares integers: clean.
+func IntEq(a, b int) bool { return a == b }
+
+// Consts folds at compile time: clean.
+func Consts() bool { return 1.0 == 2.0 }
+
+// Ordering comparisons are not equality: clean.
+func Less(a, b float64) bool { return a < b }

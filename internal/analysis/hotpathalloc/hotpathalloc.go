@@ -1,0 +1,228 @@
+// Package hotpathalloc flags allocation-inducing constructs inside
+// functions annotated //wqrtq:hotpath — the static twin of the
+// Test*AllocsPerOp runtime guards. An annotated function promises zero
+// allocations per call on its steady-state path: the blocked kernel
+// sweeps, the cell-index lookup chain, the top-k heap loop, the skyband
+// flatten scan, and the sampling scratch draws all carry the annotation
+// and a matching allocs-per-op test.
+//
+// The check is intraprocedural: calls out of an annotated function are not
+// followed, so every helper on a hot path must be annotated itself (the
+// suite's convention, enforced by review rather than by the analyzer).
+package hotpathalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"wqrtq/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpathalloc",
+	Doc: "report allocation-inducing constructs (growing append, make/new, map/slice/closure " +
+		"literals, string concatenation, boxing into interfaces) inside //wqrtq:hotpath functions",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !analysis.HasFuncDirective(fn, analysis.DirHotPath) {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure literal allocates in hotpath function %s", fn.Name.Name)
+			return false // the closure body runs outside this frame's budget
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "goroutine launch allocates in hotpath function %s", fn.Name.Name)
+		case *ast.CompositeLit:
+			t := pass.TypeOf(n)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(n.Pos(), "map literal allocates in hotpath function %s", fn.Name.Name)
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "slice literal allocates in hotpath function %s", fn.Name.Name)
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "address of composite literal allocates in hotpath function %s", fn.Name.Name)
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isNonConstString(pass, n) {
+				pass.Reportf(n.Pos(), "string concatenation allocates in hotpath function %s", fn.Name.Name)
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringType(pass.TypeOf(n.Lhs[0])) {
+				pass.Reportf(n.Pos(), "string concatenation allocates in hotpath function %s", fn.Name.Name)
+			}
+			checkAssignBoxing(pass, fn, n)
+		case *ast.ReturnStmt:
+			checkReturnBoxing(pass, fn, n)
+		case *ast.CallExpr:
+			checkCall(pass, fn, n)
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, fn *ast.FuncDecl, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	funType := info.Types[ast.Unparen(call.Fun)]
+
+	// Builtins that allocate.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "append":
+				pass.Reportf(call.Pos(), "append may grow its backing array in hotpath function %s", fn.Name.Name)
+			case "make":
+				pass.Reportf(call.Pos(), "make allocates in hotpath function %s", fn.Name.Name)
+			case "new":
+				pass.Reportf(call.Pos(), "new allocates in hotpath function %s", fn.Name.Name)
+			}
+			return
+		}
+	}
+
+	// Conversions: T(x). Converting string<->[]byte/[]rune copies; converting
+	// a concrete value to an interface type boxes it.
+	if funType.IsType() {
+		to := funType.Type
+		if len(call.Args) == 1 {
+			from := pass.TypeOf(call.Args[0])
+			if isStringType(to) && isByteOrRuneSlice(from) || isByteOrRuneSlice(to) && isStringType(from) {
+				pass.Reportf(call.Pos(), "string/slice conversion allocates in hotpath function %s", fn.Name.Name)
+			}
+			if analysis.IsInterface(to) && boxes(pass, call.Args[0]) {
+				pass.Reportf(call.Pos(), "conversion to interface boxes %s in hotpath function %s", types.TypeString(from, nil), fn.Name.Name)
+			}
+		}
+		return
+	}
+
+	// Ordinary calls: check arguments against interface-typed parameters.
+	if funType.Type == nil {
+		return
+	}
+	sig, ok := funType.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	if params == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // f(xs...) passes the slice through, no boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if analysis.IsInterface(pt) && boxes(pass, arg) {
+			pass.Reportf(arg.Pos(), "argument boxes %s into interface parameter in hotpath function %s",
+				types.TypeString(pass.TypeOf(arg), nil), fn.Name.Name)
+		}
+	}
+}
+
+func checkAssignBoxing(pass *analysis.Pass, fn *ast.FuncDecl, n *ast.AssignStmt) {
+	if len(n.Lhs) != len(n.Rhs) {
+		return
+	}
+	for i, lhs := range n.Lhs {
+		lt := pass.TypeOf(lhs)
+		if n.Tok == token.DEFINE {
+			// Type of a defined variable is the RHS type; no conversion.
+			continue
+		}
+		if analysis.IsInterface(lt) && boxes(pass, n.Rhs[i]) {
+			pass.Reportf(n.Rhs[i].Pos(), "assignment boxes %s into interface in hotpath function %s",
+				types.TypeString(pass.TypeOf(n.Rhs[i]), nil), fn.Name.Name)
+		}
+	}
+}
+
+func checkReturnBoxing(pass *analysis.Pass, fn *ast.FuncDecl, n *ast.ReturnStmt) {
+	ftype, ok := pass.TypeOf(fn.Name).(*types.Signature)
+	if !ok || ftype.Results() == nil || len(n.Results) != ftype.Results().Len() {
+		return
+	}
+	for i, res := range n.Results {
+		rt := ftype.Results().At(i).Type()
+		if analysis.IsInterface(rt) && boxes(pass, res) {
+			pass.Reportf(res.Pos(), "return boxes %s into interface result in hotpath function %s",
+				types.TypeString(pass.TypeOf(res), nil), fn.Name.Name)
+		}
+	}
+}
+
+// boxes reports whether passing e to an interface-typed slot requires an
+// allocation: the expression has a concrete (non-interface) type and is not
+// the untyped nil.
+func boxes(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.IsNil() {
+		return false
+	}
+	t := tv.Type
+	if t == nil || analysis.IsInterface(t) {
+		return false
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	return true
+}
+
+func isNonConstString(pass *analysis.Pass, e *ast.BinaryExpr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value != nil { // constant-folded at compile time
+		return false
+	}
+	return isStringType(tv.Type)
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32)
+}

@@ -1,0 +1,12 @@
+package hotpathalloc_test
+
+import (
+	"testing"
+
+	"wqrtq/internal/analysis/analysistest"
+	"wqrtq/internal/analysis/hotpathalloc"
+)
+
+func TestHotPathAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata/src", hotpathalloc.Analyzer, "hotpath")
+}

@@ -1,0 +1,49 @@
+// Package hotpath exercises the hotpathalloc analyzer: annotated functions
+// must stay free of allocation constructs; unannotated ones may allocate.
+package hotpath
+
+// Sum is annotated and allocation-free: no findings.
+//
+//wqrtq:hotpath
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+//wqrtq:hotpath
+func Grow(xs []float64, x float64) []float64 {
+	ys := make([]float64, len(xs)) // want `make allocates in hotpath function Grow`
+	copy(ys, xs)
+	xs = append(xs, x) // want `append may grow its backing array in hotpath function Grow`
+	return xs
+}
+
+//wqrtq:hotpath
+func Box(n int) any {
+	return n // want `return boxes int into interface result in hotpath function Box`
+}
+
+//wqrtq:hotpath
+func Closure() func() int {
+	return func() int { return 1 } // want `closure literal allocates in hotpath function Closure`
+}
+
+//wqrtq:hotpath
+func Concat(a, b string) string {
+	return a + b // want `string concatenation allocates in hotpath function Concat`
+}
+
+// ConstConcat folds at compile time: no finding.
+//
+//wqrtq:hotpath
+func ConstConcat() string {
+	return "a" + "b"
+}
+
+// Unannotated allocates freely: no findings.
+func Unannotated(n int) []int {
+	return make([]int, n)
+}

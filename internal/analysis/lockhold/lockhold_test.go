@@ -1,0 +1,12 @@
+package lockhold_test
+
+import (
+	"testing"
+
+	"wqrtq/internal/analysis/analysistest"
+	"wqrtq/internal/analysis/lockhold"
+)
+
+func TestLockHold(t *testing.T) {
+	analysistest.Run(t, "testdata/src", lockhold.Analyzer, "wqrtq/internal/engine", "other")
+}

@@ -1,0 +1,17 @@
+// Package other is outside the locked-package gate: its mutexes are not
+// the serving path's and blocking under them is not this analyzer's
+// business.
+package other
+
+import "sync"
+
+type T struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (t *T) Send(v int) {
+	t.mu.Lock()
+	t.ch <- v
+	t.mu.Unlock()
+}

@@ -1,0 +1,86 @@
+// Package engine exercises the lockhold analyzer inside a gated
+// locked-package import path.
+package engine
+
+import (
+	"sync"
+	"time"
+)
+
+type E struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (e *E) BadSend(v int) {
+	e.mu.Lock()
+	e.ch <- v // want `channel send while holding e.mu in BadSend`
+	e.mu.Unlock()
+}
+
+func (e *E) BadRecv() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return <-e.ch // want `channel receive while holding e.mu in BadRecv`
+}
+
+func (e *E) BadSelect(v int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	select { // want `select while holding e.mu in BadSelect`
+	case e.ch <- v:
+	default:
+	}
+}
+
+func (e *E) BadSleep() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `time.Sleep while holding e.mu in BadSleep`
+}
+
+func (e *E) BadWait(wg *sync.WaitGroup) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	wg.Wait() // want `WaitGroup.Wait while holding e.mu in BadWait`
+}
+
+// GoodSend releases the lock before the send: clean.
+func (e *E) GoodSend(v int) {
+	e.mu.Lock()
+	closed := false
+	e.mu.Unlock()
+	if !closed {
+		e.ch <- v
+	}
+}
+
+// GoodGo launches the send on another goroutine, which does not hold our
+// lock: clean.
+func (e *E) GoodGo(v int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	go func() { e.ch <- v }()
+}
+
+// R covers the RWMutex read-side pairing.
+type R struct {
+	mu sync.RWMutex
+	ch chan int
+}
+
+// GoodRead releases the read lock before the send: clean.
+func (r *R) GoodRead(v int) {
+	r.mu.RLock()
+	n := cap(r.ch)
+	r.mu.RUnlock()
+	if n > 0 {
+		r.ch <- v
+	}
+}
+
+func (r *R) BadRead(v int) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	r.ch <- v // want `channel send while holding r.mu in BadRead`
+}

@@ -1,0 +1,12 @@
+package maprange_test
+
+import (
+	"testing"
+
+	"wqrtq/internal/analysis/analysistest"
+	"wqrtq/internal/analysis/maprange"
+)
+
+func TestMapRange(t *testing.T) {
+	analysistest.Run(t, "testdata/src", maprange.Analyzer, "wqrtq", "other")
+}

@@ -1,0 +1,11 @@
+// Package other is outside the ordered-package gate: map ranges here are
+// not this analyzer's business.
+package other
+
+func Sum(m map[string]int) int {
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

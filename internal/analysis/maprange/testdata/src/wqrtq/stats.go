@@ -1,0 +1,30 @@
+// Package wqrtq exercises the maprange analyzer inside a gated
+// answer-assembly import path.
+package wqrtq
+
+func Sum(m map[string]int) int {
+	s := 0
+	for _, v := range m { // want `map iteration order is randomized`
+		s += v
+	}
+	return s
+}
+
+// SumAllowed carries the allowlist directive: clean.
+func SumAllowed(m map[string]int) int {
+	s := 0
+	//wqrtq:unordered summing int counters; result is order-free
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// SumSlice ranges over a slice: clean.
+func SumSlice(xs []int) int {
+	s := 0
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}

@@ -183,6 +183,8 @@ func (g *Grid) Cells(fn func(lo, hi []float64, cand [][]float64)) {
 // outside its floor-located cell's stored bounds (float rounding across a
 // cell edge, an invalid weight, an unreachable cell) — the caller must
 // fall back to a legacy path, which answers identically.
+//
+//wqrtq:hotpath
 func (g *Grid) locate(w []float64) int {
 	rf := float64(g.res)
 	idx, stride := 0, 1
@@ -215,6 +217,8 @@ func (g *Grid) locate(w []float64) int {
 // not be located, in which case the caller must use a fallback path. The
 // scan allocates nothing and uses vec.Score's arithmetic order, so an
 // uncapped count is bit-identical to a scalar scan of the cell.
+//
+//wqrtq:hotpath
 func (g *Grid) CountBelowCapped(w []float64, fq float64, cap int) (count, scanned int, ok bool) {
 	ci := g.locate(w)
 	if ci < 0 {
@@ -518,6 +522,7 @@ func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var s Stats
+	//wqrtq:unordered summing int counters; result is order-free
 	for _, e := range c.ents {
 		if g := e.grid.Load(); g != nil {
 			s.Grids++

@@ -75,6 +75,7 @@ func MQPSrcCtx(ctx context.Context, t *rtree.Tree, src *Source, q vec.Point, k i
 	// (every why-not vector ranks q within its top-k), no modification is
 	// needed and the interior-point iteration would only add noise.
 	satisfied := true
+	//wqrtq:bounded one Score per why-not vector, request-sized
 	for i, w := range wm {
 		if vec.Score(w, q) > kth[i].Score {
 			satisfied = false
@@ -105,12 +106,14 @@ func MQPSrcCtx(ctx context.Context, t *rtree.Tree, src *Source, q vec.Point, k i
 	}
 	h := mat.New(nf, nf)
 	c := make([]float64, nf)
+	//wqrtq:bounded one diagonal entry per free dimension
 	for i, fi := range free {
 		h.Set(i, i, 2)
 		c[i] = -2 * q[fi]
 	}
 	g := mat.New(len(wm)+2*nf, nf)
 	hv := make([]float64, len(wm)+2*nf)
+	//wqrtq:bounded one constraint row per why-not vector
 	for i, w := range wm {
 		row := g.Row(i)
 		for j, fj := range free {
@@ -118,6 +121,7 @@ func MQPSrcCtx(ctx context.Context, t *rtree.Tree, src *Source, q vec.Point, k i
 		}
 		hv[i] = kth[i].Score // fixed dims contribute 0 to f(w, x)
 	}
+	//wqrtq:bounded box-constraint rows, one per free dimension
 	for i, fi := range free {
 		g.Set(len(wm)+i, i, 1)
 		hv[len(wm)+i] = q[fi]

@@ -169,6 +169,7 @@ func mwkFromSets(ctx context.Context, src *Source, sc *rankScratch, sets *domina
 	cw := cloneWeights(wm)
 	dist := make([]float64, len(wm))
 	first := samples[0]
+	//wqrtq:bounded one distance per why-not vector, request-sized
 	for i := range wm {
 		if ranks[i] <= k {
 			dist[i] = 0 // inactive: never replaced
@@ -199,6 +200,7 @@ func mwkFromSets(ctx context.Context, src *Source, sc *rankScratch, sets *domina
 		}
 		used++
 		updated := false
+		//wqrtq:bounded one distance per why-not vector; the enclosing sample loop ticks
 		for i := range wm {
 			if ranks[i] <= k {
 				continue

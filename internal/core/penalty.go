@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"wqrtq/internal/feq"
 
 	"wqrtq/internal/vec"
 )
@@ -58,7 +59,7 @@ func (pm PenaltyModel) Validate() error {
 // the product q.
 func (pm PenaltyModel) QPenalty(q, qp vec.Point) float64 {
 	nq := vec.Norm(q)
-	if nq == 0 {
+	if feq.Zero(nq) {
 		return vec.Norm(qp)
 	}
 	return vec.Dist(q, qp) / nq

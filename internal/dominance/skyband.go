@@ -2,6 +2,7 @@ package dominance
 
 import (
 	"sort"
+	"wqrtq/internal/feq"
 
 	"wqrtq/internal/vec"
 )
@@ -50,7 +51,7 @@ func KSkyband(points []vec.Point, k int) []BandPoint {
 		sums[i] = s
 	}
 	sort.Slice(order, func(a, b int) bool {
-		if sums[order[a]] != sums[order[b]] {
+		if feq.Ne(sums[order[a]], sums[order[b]]) {
 			return sums[order[a]] < sums[order[b]]
 		}
 		return order[a] < order[b]

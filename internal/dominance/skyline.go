@@ -2,6 +2,7 @@ package dominance
 
 import (
 	"sort"
+	"wqrtq/internal/feq"
 
 	"wqrtq/internal/vec"
 )
@@ -28,7 +29,7 @@ func Skyline(points []vec.Point) []int {
 		sums[i] = s
 	}
 	sort.Slice(order, func(a, b int) bool {
-		if sums[order[a]] != sums[order[b]] {
+		if feq.Ne(sums[order[a]], sums[order[b]]) {
 			return sums[order[a]] < sums[order[b]]
 		}
 		return order[a] < order[b]

@@ -83,6 +83,7 @@ func (m *Metrics) Snapshot() map[string]CounterSnapshot {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	out := make(map[string]CounterSnapshot, len(m.counters))
+	//wqrtq:unordered map-to-map copy; destination is itself unordered
 	for name, c := range m.counters {
 		s := CounterSnapshot{
 			Count:    c.count.Load(),

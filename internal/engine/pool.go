@@ -21,9 +21,10 @@ type Pool[R any] struct {
 	maxBatch int
 	linger   time.Duration
 
-	mu     sync.RWMutex // guards closed vs Submit
-	closed bool
-	wg     sync.WaitGroup
+	mu      sync.RWMutex // guards closed vs sender registration
+	closed  bool
+	senders sync.WaitGroup // in-flight Submit sends; Close waits before close(ch)
+	wg      sync.WaitGroup
 }
 
 // NewPool starts workers goroutines serving batches of at most maxBatch
@@ -73,11 +74,22 @@ func (p *Pool[R]) Submit(r R) bool {
 // It returns (false, ctx.Err()) on cancellation and (false, nil) once the
 // pool is closed.
 func (p *Pool[R]) SubmitCtx(ctx context.Context, r R) (bool, error) {
+	// Register as a sender under the read lock, then send with no lock
+	// held: a queue-full send may block for a while, and blocking inside
+	// the critical section would pin Close (and violate the lockhold
+	// invariant — no channel ops under the engine mutexes). Close sets
+	// closed under the write lock, so every sender registered here is
+	// either observed by senders.Wait or saw closed and backed out; the
+	// channel is closed only after all registered sends complete.
 	p.mu.RLock()
-	defer p.mu.RUnlock()
 	if p.closed {
+		p.mu.RUnlock()
 		return false, nil
 	}
+	p.senders.Add(1)
+	p.mu.RUnlock()
+	defer p.senders.Done()
+
 	done := ctx.Done()
 	if done == nil {
 		p.ch <- r
@@ -95,11 +107,16 @@ func (p *Pool[R]) SubmitCtx(ctx context.Context, r R) (bool, error) {
 // in-flight batches to finish. It is idempotent.
 func (p *Pool[R]) Close() {
 	p.mu.Lock()
-	if !p.closed {
-		p.closed = true
+	already := p.closed
+	p.closed = true
+	p.mu.Unlock()
+	if !already {
+		// New submitters now see closed; wait out the registered sends,
+		// then close the drained-to channel. Workers are still consuming,
+		// so blocked senders finish rather than deadlock.
+		p.senders.Wait()
 		close(p.ch)
 	}
-	p.mu.Unlock()
 	p.wg.Wait()
 }
 

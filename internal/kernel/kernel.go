@@ -103,6 +103,8 @@ func (c *Coords) Fill(d, n int, at func(int) []float64) {
 // the generic sweep. Counts are exact and identical to a scalar scan: each
 // score is computed with vec.Score's arithmetic order, and the comparison
 // is the same strict <.
+//
+//wqrtq:hotpath
 func CountBelowBlock(c *Coords, wb []float64, fqs []float64, counts []int) {
 	if len(counts) < len(fqs) {
 		panic("kernel: counts shorter than fqs")
@@ -125,6 +127,7 @@ func CountBelowBlock(c *Coords, wb []float64, fqs []float64, counts []int) {
 	}
 }
 
+//wqrtq:hotpath
 func countBelow2(x, y, wb, fqs []float64, counts []int) {
 	y = y[:len(x)]
 	b := 0
@@ -176,6 +179,7 @@ func countBelow2(x, y, wb, fqs []float64, counts []int) {
 	}
 }
 
+//wqrtq:hotpath
 func countBelow3(x, y, z, wb, fqs []float64, counts []int) {
 	y = y[:len(x)]
 	z = z[:len(x)]
@@ -233,6 +237,7 @@ func countBelow3(x, y, z, wb, fqs []float64, counts []int) {
 	}
 }
 
+//wqrtq:hotpath
 func countBelow4(x, y, z, u, wb, fqs []float64, counts []int) {
 	y = y[:len(x)]
 	z = z[:len(x)]
@@ -280,6 +285,7 @@ func countBelow4(x, y, z, u, wb, fqs []float64, counts []int) {
 	}
 }
 
+//wqrtq:hotpath
 func countBelowGeneric(cols [][]float64, wb, fqs []float64, counts []int) {
 	d := len(cols)
 	n := len(cols[0])
@@ -309,6 +315,8 @@ func countBelowGeneric(cols [][]float64, wb, fqs []float64, counts []int) {
 // fraction of a full sweep. The scan order is the Coords order and the
 // arithmetic is vec.Score's, so an uncapped result is bit-identical to
 // CountBelowBlock's.
+//
+//wqrtq:hotpath
 func CountBelowCapped(c *Coords, w []float64, fq float64, cap int) (count, scanned int) {
 	if cap < 0 {
 		return cap + 1, 0
@@ -379,6 +387,8 @@ func CountBelowCapped(c *Coords, w []float64, fq float64, cap int) (count, scann
 // sweep over the candidate columns: out[b*n+i] is the score of point i
 // under weight b (n = c.Len(), len(out) >= B*n). It performs no allocation.
 // Scores are bit-identical to vec.Score.
+//
+//wqrtq:hotpath
 func ScoreBlock(c *Coords, wb []float64, nWeights int, out []float64) {
 	d := len(c.cols)
 	n := c.n

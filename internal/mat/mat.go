@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"wqrtq/internal/feq"
 )
 
 // Dense is a row-major dense matrix.
@@ -106,7 +107,7 @@ func (m *Dense) TMulVec(x []float64) []float64 {
 	y := make([]float64, m.Cols)
 	for i := 0; i < m.Rows; i++ {
 		xi := x[i]
-		if xi == 0 {
+		if feq.Zero(xi) {
 			continue
 		}
 		row := m.Row(i)
@@ -127,7 +128,7 @@ func (m *Dense) Mul(n *Dense) *Dense {
 		mrow := m.Row(i)
 		orow := out.Row(i)
 		for k, mv := range mrow {
-			if mv == 0 {
+			if feq.Zero(mv) {
 				continue
 			}
 			nrow := n.Row(k)
@@ -281,7 +282,7 @@ func spdJitter(a *Dense) float64 {
 			maxAbs = v
 		}
 	}
-	if maxAbs == 0 {
+	if feq.Zero(maxAbs) {
 		maxAbs = 1
 	}
 	return 1e-12 * maxAbs

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"wqrtq/internal/feq"
 
 	"wqrtq/internal/mat"
 )
@@ -267,7 +268,7 @@ func solveInequality(h *mat.Dense, c []float64, g *mat.Dense, hv []float64, opt 
 			}
 			row := g.Row(r)
 			for i := 0; i < n; i++ {
-				if row[i] == 0 {
+				if feq.Zero(row[i]) {
 					continue
 				}
 				di := d * row[i]

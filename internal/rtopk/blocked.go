@@ -45,6 +45,7 @@ func BichromaticCoordsCtx(ctx context.Context, c *kernel.Coords, W []vec.Weight,
 	defer kernel.PutScratch(sc)
 	fqs := make([]float64, len(W))
 	counts := make([]int, len(W))
+	//wqrtq:bounded one Score per weight; the blocked count sweep below carries ctx
 	for i, w := range W {
 		fqs[i] = vec.Score(w, q)
 	}

@@ -3,6 +3,7 @@ package rtopk
 import (
 	"math/rand"
 	"sort"
+	"wqrtq/internal/feq"
 
 	"wqrtq/internal/cellindex"
 	"wqrtq/internal/kernel"
@@ -97,7 +98,7 @@ func monoGrid2D(g *cellindex.Grid, q vec.Point, k int) []Interval {
 		for i := range x {
 			a := x[i] - q[0]
 			b := y[i] - q[1]
-			if a == b {
+			if feq.Eq(a, b) {
 				continue
 			}
 			if lam := b / (b - a); lam > 0 && lam < 1 {
@@ -112,11 +113,11 @@ func monoGrid2D(g *cellindex.Grid, q vec.Point, k int) []Interval {
 	bounds := make([]float64, 0, len(lams)+2)
 	bounds = append(bounds, 0)
 	for _, lam := range lams {
-		if lam != bounds[len(bounds)-1] {
+		if feq.Ne(lam, bounds[len(bounds)-1]) {
 			bounds = append(bounds, lam)
 		}
 	}
-	if bounds[len(bounds)-1] != 1 {
+	if feq.Ne(bounds[len(bounds)-1], 1) {
 		bounds = append(bounds, 1)
 	}
 
@@ -145,7 +146,7 @@ func monoGrid2D(g *cellindex.Grid, q vec.Point, k int) []Interval {
 		if counts[i] >= k {
 			continue
 		}
-		if n := len(out); n > 0 && out[n-1].Hi == bounds[i] {
+		if n := len(out); n > 0 && feq.Eq(out[n-1].Hi, bounds[i]) {
 			out[n-1].Hi = bounds[i+1]
 		} else {
 			out = append(out, Interval{Lo: bounds[i], Hi: bounds[i+1]})

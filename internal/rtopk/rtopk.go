@@ -17,6 +17,7 @@ package rtopk
 import (
 	"context"
 	"sort"
+	"wqrtq/internal/feq"
 
 	"wqrtq/internal/ctxcheck"
 	"wqrtq/internal/kernel"
@@ -102,6 +103,7 @@ func BichromaticFuncCtx(ctx context.Context, W []vec.Weight, q vec.Point, k int,
 			// Threshold test: if every buffered point beats q under w, then
 			// at least k points of P beat q, so w is not in the result.
 			beats := 0
+			//wqrtq:bounded threshold buffer holds at most k results
 			for _, b := range buffer {
 				if vec.Score(w, b.Point) < fq {
 					beats++
@@ -193,7 +195,7 @@ func Monochromatic2D(points []vec.Point, q vec.Point, k int) []Interval {
 	for _, p := range points {
 		a := p[0] - q[0]
 		b := p[1] - q[1]
-		if a == b {
+		if feq.Eq(a, b) {
 			continue
 		}
 		if lam := b / (b - a); lam > 0 && lam < 1 {
@@ -205,11 +207,11 @@ func Monochromatic2D(points []vec.Point, q vec.Point, k int) []Interval {
 	bounds := make([]float64, 0, len(lams)+2)
 	bounds = append(bounds, 0)
 	for _, lam := range lams {
-		if lam != bounds[len(bounds)-1] {
+		if feq.Ne(lam, bounds[len(bounds)-1]) {
 			bounds = append(bounds, lam)
 		}
 	}
-	if bounds[len(bounds)-1] != 1 {
+	if feq.Ne(bounds[len(bounds)-1], 1) {
 		bounds = append(bounds, 1)
 	}
 
@@ -245,7 +247,7 @@ func Monochromatic2D(points []vec.Point, q vec.Point, k int) []Interval {
 		if counts[i] >= k {
 			continue
 		}
-		if n := len(out); n > 0 && out[n-1].Hi == bounds[i] {
+		if n := len(out); n > 0 && feq.Eq(out[n-1].Hi, bounds[i]) {
 			out[n-1].Hi = bounds[i+1]
 		} else {
 			out = append(out, Interval{Lo: bounds[i], Hi: bounds[i+1]})

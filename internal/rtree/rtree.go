@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"wqrtq/internal/feq"
 
 	"wqrtq/internal/vec"
 )
@@ -231,8 +232,8 @@ func (t *Tree) chooseSubtree(n *Node, r Rect) int {
 			}
 		}
 		if overlap < bestOverlap ||
-			(overlap == bestOverlap && enl < bestEnl) ||
-			(overlap == bestOverlap && enl == bestEnl && area < bestArea) {
+			(feq.Eq(overlap, bestOverlap) && enl < bestEnl) ||
+			(feq.Eq(overlap, bestOverlap) && feq.Eq(enl, bestEnl) && area < bestArea) {
 			best, bestOverlap, bestEnl, bestArea = i, overlap, enl, area
 		}
 	}
@@ -312,7 +313,7 @@ func (t *Tree) split(n *Node) (*Node, *Node) {
 			rr := coverRect(entries[k:])
 			ov := lr.OverlapArea(rr)
 			as := lr.Area() + rr.Area()
-			if ov < best.overlap || (ov == best.overlap && as < best.areaSum) {
+			if ov < best.overlap || (feq.Eq(ov, best.overlap) && as < best.areaSum) {
 				best = dist{axis: bestAxis, k: k, byUpper: byUpper, overlap: ov, areaSum: as}
 			}
 		}

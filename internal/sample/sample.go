@@ -21,6 +21,7 @@ import (
 	"errors"
 	"math"
 	"math/rand"
+	"wqrtq/internal/feq"
 
 	"wqrtq/internal/vec"
 )
@@ -32,7 +33,7 @@ func HyperplaneVertices(c []float64) []vec.Weight {
 	d := len(c)
 	var out []vec.Weight
 	for i := 0; i < d; i++ {
-		if c[i] == 0 {
+		if feq.Zero(c[i]) {
 			v := make(vec.Weight, d)
 			v[i] = 1
 			out = append(out, v)
@@ -245,7 +246,7 @@ func hyperplaneVerticesInto(c []float64, sc *DrawScratch) []vec.Weight {
 		return v
 	}
 	for i := 0; i < d; i++ {
-		if c[i] == 0 {
+		if feq.Zero(c[i]) {
 			v := grab()
 			v[i] = 1
 			out = append(out, v)

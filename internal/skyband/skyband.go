@@ -318,6 +318,7 @@ func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var s Stats
+	//wqrtq:unordered summing int counters; result is order-free
 	for _, e := range c.ents {
 		if b := e.band.Load(); b != nil {
 			s.Bands++

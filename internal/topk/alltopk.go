@@ -2,6 +2,7 @@ package topk
 
 import (
 	"sort"
+	"wqrtq/internal/feq"
 
 	"wqrtq/internal/vec"
 )
@@ -48,7 +49,7 @@ func AllTopK2D(points []vec.Point, k int) []Segment {
 			// λ·a0 + (1-λ)·a1 = λ·b0 + (1-λ)·b1
 			// λ(a0-a1-b0+b1) = b1 - a1
 			den := points[i][0] - points[i][1] - points[j][0] + points[j][1]
-			if den == 0 {
+			if feq.Zero(den) {
 				continue // parallel score lines
 			}
 			lam := (points[j][1] - points[i][1]) / den
@@ -61,7 +62,7 @@ func AllTopK2D(points []vec.Point, k int) []Segment {
 	// Deduplicate.
 	uniq := lams[:0]
 	for i, l := range lams {
-		if i == 0 || l != uniq[len(uniq)-1] {
+		if i == 0 || feq.Ne(l, uniq[len(uniq)-1]) {
 			uniq = append(uniq, l)
 		}
 	}
@@ -84,7 +85,7 @@ func AllTopK2D(points []vec.Point, k int) []Segment {
 		}
 		mid := (lo + hi) / 2
 		ids := rankAt(mid)
-		if m := len(segs); m > 0 && segs[m-1].Hi == lo && equalIDs32(segs[m-1].IDs, ids) {
+		if m := len(segs); m > 0 && feq.Eq(segs[m-1].Hi, lo) && equalIDs32(segs[m-1].IDs, ids) {
 			segs[m-1].Hi = hi
 			return
 		}
@@ -141,7 +142,7 @@ func ReverseTopKFromAllTopK(points []vec.Point, segs []Segment, q vec.Point, k i
 // a·λ + b <= 0, ok=false if empty.
 func linearNonPositiveRange(a, b, lo, hi float64) (float64, float64, bool) {
 	switch {
-	case a == 0:
+	case feq.Zero(a):
 		if b <= 0 {
 			return lo, hi, true
 		}

@@ -15,6 +15,7 @@ import (
 	"container/heap"
 	"context"
 	"sync"
+	"wqrtq/internal/feq"
 
 	"wqrtq/internal/ctxcheck"
 	"wqrtq/internal/rtree"
@@ -70,6 +71,10 @@ func (h *minHeap) push(it heapItem) {
 	}
 }
 
+// pop is annotated hotpath; push is not, because its append is the heap's
+// (amortized, pool-recycled) growth mechanism.
+//
+//wqrtq:hotpath
 func (h *minHeap) pop() heapItem {
 	s := *h
 	n := len(s) - 1
@@ -180,10 +185,12 @@ func (it *Iterator) Next() (Result, bool) {
 		it.visited++
 		n := top.node
 		if n.IsLeaf() {
+			//wqrtq:bounded heap pushes bounded by node fanout
 			for i := 0; i < n.NumEntries(); i++ {
 				it.h.push(heapItem{score: vec.Score(it.w, n.Point(i)), node: n, idx: int32(i)})
 			}
 		} else {
+			//wqrtq:bounded heap pushes bounded by node fanout
 			for i := 0; i < n.NumEntries(); i++ {
 				it.h.push(heapItem{score: n.EntryRect(i).MinScore(it.w), node: n.Child(i), idx: -1})
 			}
@@ -273,6 +280,7 @@ func countBelow(n *rtree.Node, w vec.Weight, fq float64, tick *ctxcheck.Ticker) 
 	}
 	cnt := 0
 	if n.IsLeaf() {
+		//wqrtq:bounded leaf scan, at most one node fanout of entries
 		for i := 0; i < n.NumEntries(); i++ {
 			if vec.Score(w, n.Point(i)) < fq {
 				cnt++
@@ -333,6 +341,7 @@ func countBelowCapped(n *rtree.Node, w vec.Weight, fq float64, bound int, tick *
 	}
 	cnt := 0
 	if n.IsLeaf() {
+		//wqrtq:bounded leaf scan, at most one node fanout of entries
 		for i := 0; i < n.NumEntries(); i++ {
 			if vec.Score(w, n.Point(i)) < fq {
 				cnt++
@@ -433,7 +442,7 @@ type mergeHeap []mergeItem
 
 func (h mergeHeap) Len() int { return len(h) }
 func (h mergeHeap) Less(i, j int) bool {
-	if h[i].res.Score != h[j].res.Score {
+	if feq.Ne(h[i].res.Score, h[j].res.Score) {
 		return h[i].res.Score < h[j].res.Score
 	}
 	return h[i].res.ID < h[j].res.ID

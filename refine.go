@@ -2,6 +2,7 @@ package wqrtq
 
 import (
 	"context"
+	"wqrtq/internal/feq"
 
 	"wqrtq/internal/core"
 	"wqrtq/internal/vec"
@@ -51,10 +52,10 @@ func (o Options) resolve() (core.PenaltyModel, int, int, int64, error) {
 		Gamma: o.Penalty.Gamma, Lambda: o.Penalty.Lambda,
 		NormalizeWeights: o.Penalty.NormalizeWeights,
 	}
-	if pm.Alpha == 0 && pm.Beta == 0 {
+	if feq.Zero(pm.Alpha) && feq.Zero(pm.Beta) {
 		pm.Alpha, pm.Beta = 0.5, 0.5
 	}
-	if pm.Gamma == 0 && pm.Lambda == 0 {
+	if feq.Zero(pm.Gamma) && feq.Zero(pm.Lambda) {
 		pm.Gamma, pm.Lambda = 0.5, 0.5
 	}
 	if err := pm.Validate(); err != nil {

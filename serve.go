@@ -583,6 +583,7 @@ func (e *Engine) Stats() EngineStats {
 			"whynot": e.rtaWhynot.snapshot(),
 		},
 	}
+	//wqrtq:unordered summing int counters; result is order-free
 	for _, c := range s.Endpoints {
 		s.Canceled += c.Canceled
 	}
@@ -718,7 +719,11 @@ func (e *Engine) exec(batch []*engineReq) {
 
 	waiters := make(map[string][]*engineReq, len(batch))
 	var unique []*engineReq
+	// rtopkOrder fixes the group execution order to first arrival within the
+	// batch: ranging over rtopkGroups directly would run RTA merges (and
+	// populate the cache) in a different order every batch.
 	rtopkGroups := make(map[string][]*engineReq)
+	var rtopkOrder []string
 	for _, r := range batch {
 		if r.ctx != nil {
 			if err := r.ctx.Err(); err != nil {
@@ -739,7 +744,11 @@ func (e *Engine) exec(batch []*engineReq) {
 		}
 		waiters[full] = []*engineReq{r}
 		if r.kind == "rtopk" {
-			rtopkGroups[qkKey(r.q, r.k)] = append(rtopkGroups[qkKey(r.q, r.k)], r)
+			gk := qkKey(r.q, r.k)
+			if _, ok := rtopkGroups[gk]; !ok {
+				rtopkOrder = append(rtopkOrder, gk)
+			}
+			rtopkGroups[gk] = append(rtopkGroups[gk], r)
 		} else {
 			unique = append(unique, r)
 		}
@@ -763,7 +772,8 @@ func (e *Engine) exec(batch []*engineReq) {
 		}
 	}
 
-	for _, grp := range rtopkGroups {
+	for _, gk := range rtopkOrder {
+		grp := rtopkGroups[gk]
 		var ws []*engineReq
 		for _, r := range grp {
 			ws = append(ws, waiters[epochKey(epoch, r.key)]...)

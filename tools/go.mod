@@ -1,0 +1,24 @@
+// Module tools pins the versions of the lint/audit binaries CI installs
+// (the tool directives below), so bumping staticcheck or govulncheck is a
+// reviewed diff here instead of an ad-hoc @version string in a workflow
+// file. It is a separate module: the tools and their dependency trees stay
+// out of the main module's build graph, and the root ./... patterns never
+// descend into it.
+//
+// CI runs `go mod tidy && go install tool` in this directory; tidy fills in
+// the indirect requirements and checksums for the pinned versions below
+// (this repo vendors no go.sum for them — the direct pins fully determine
+// the resolution via MVS).
+module wqrtq/tools
+
+go 1.24
+
+tool (
+	golang.org/x/vuln/cmd/govulncheck
+	honnef.co/go/tools/cmd/staticcheck
+)
+
+require (
+	golang.org/x/vuln v1.1.4
+	honnef.co/go/tools v0.6.1 // staticcheck 2025.1.1
+)
