@@ -16,6 +16,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"testing"
 	"time"
 
@@ -118,6 +119,7 @@ type benchSnapshot struct {
 	Go         string        `json:"go"`
 	GOOS       string        `json:"goos"`
 	GOARCH     string        `json:"goarch"`
+	GOAMD64    string        `json:"goamd64"`
 	NumCPU     int           `json:"num_cpu"`
 	GOMAXPROCS int           `json:"gomaxprocs"`
 	Dataset    any           `json:"dataset"`
@@ -180,6 +182,7 @@ func newBenchSnapshot(benchmark, note string, n int) benchSnapshot {
 		Go:         runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
+		GOAMD64:    goamd64(),
 		NumCPU:     runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Dataset: map[string]any{
@@ -188,4 +191,23 @@ func newBenchSnapshot(benchmark, note string, n int) benchSnapshot {
 		},
 		Note: note,
 	}
+}
+
+// goamd64 resolves the microarchitecture level the recording binary was
+// compiled for: the build info of the test binary itself when stamped,
+// else the GOAMD64 environment variable, else "unknown". Kernel-level
+// numbers (FMA contraction, bounds-check-free sweeps) are not comparable
+// across levels, so the snapshot must say which one produced them.
+func goamd64() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "GOAMD64" {
+				return s.Value
+			}
+		}
+	}
+	if v := os.Getenv("GOAMD64"); v != "" {
+		return v
+	}
+	return "unknown"
 }

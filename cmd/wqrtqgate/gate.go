@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+
+	"wqrtq/internal/analysis/contract"
+)
+
+// gateResult is one gate run: the contracts found, the violations against
+// them, and the raw diagnostic stream (kept for the CI failure artifact).
+type gateResult struct {
+	Contracts  []contract.Contract
+	Violations []contract.Violation
+	Stream     []byte
+}
+
+// runGate executes the full gate pipeline over moduleDir: resolve the
+// compiled file set with `go list`, collect //wqrtq:contract annotations
+// from exactly those files (so a build-tagged-out file drops its contracts
+// instead of failing them), compile with gc diagnostics, parse the stream
+// and check. The diagnostic compile reuses the build cache — gc replays
+// its stderr on cache hits — so a warm gate run costs roughly a `go list`.
+func runGate(moduleDir string, patterns []string) (gateResult, error) {
+	var res gateResult
+	files, hasMain, err := compiledFiles(moduleDir, patterns)
+	if err != nil {
+		return res, err
+	}
+	res.Contracts, err = contract.Collect(moduleDir, files)
+	if err != nil {
+		return res, err
+	}
+
+	// -o <dir>/ keeps main-package binaries out of the working tree (go
+	// build rejects it when the patterns hold no main package); the temp
+	// dir is discarded, only the stderr stream matters.
+	tmp, err := os.MkdirTemp("", "wqrtqgate")
+	if err != nil {
+		return res, err
+	}
+	defer os.RemoveAll(tmp)
+	args := []string{"build"}
+	if hasMain {
+		args = append(args, "-o", tmp+string(filepath.Separator))
+	}
+	args = append(append(args, "-gcflags=-m=2 -d=ssa/check_bce"), patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = moduleDir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	err = cmd.Run()
+	res.Stream = stderr.Bytes()
+	if err != nil {
+		return res, fmt.Errorf("go %v: %v\n%s", args, err, stderr.String())
+	}
+
+	facts, err := contract.ParseDiagnostics(bytes.NewReader(res.Stream))
+	if err != nil {
+		return res, fmt.Errorf("parsing diagnostic stream: %v", err)
+	}
+	res.Violations = contract.Check(res.Contracts, facts)
+	sort.Slice(res.Violations, func(i, j int) bool {
+		a, b := res.Violations[i], res.Violations[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Kind < b.Kind
+	})
+	return res, nil
+}
+
+// compiledFiles returns the non-test Go files `go list` would compile for
+// the patterns, relative to moduleDir, and whether any matched package is
+// a main package.
+func compiledFiles(moduleDir string, patterns []string) (files []string, hasMain bool, err error) {
+	args := append([]string{"list", "-json=Name,Dir,GoFiles"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = moduleDir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, false, fmt.Errorf("go %v: %v\n%s", args, err, stderr.String())
+	}
+	absModule, err := filepath.Abs(moduleDir)
+	if err != nil {
+		return nil, false, err
+	}
+	dec := json.NewDecoder(&stdout)
+	for dec.More() {
+		var pkg struct {
+			Name    string
+			Dir     string
+			GoFiles []string
+		}
+		if err := dec.Decode(&pkg); err != nil {
+			return nil, false, fmt.Errorf("decoding go list output: %v", err)
+		}
+		if pkg.Name == "main" {
+			hasMain = true
+		}
+		for _, f := range pkg.GoFiles {
+			rel, err := filepath.Rel(absModule, filepath.Join(pkg.Dir, f))
+			if err != nil {
+				return nil, false, err
+			}
+			files = append(files, rel)
+		}
+	}
+	return files, hasMain, nil
+}

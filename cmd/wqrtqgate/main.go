@@ -1,0 +1,59 @@
+// Command wqrtqgate is the compiler-contract gate: it compiles the module
+// with gc diagnostics enabled (-gcflags='-m=2 -d=ssa/check_bce'), parses
+// the position-tagged diagnostic stream into per-function facts (escape
+// verdicts, inlining decisions, surviving bounds checks) and checks them
+// against every //wqrtq:contract annotation (internal/analysis/contract,
+// DESIGN.md §12).
+//
+//	wqrtqgate [-C dir] [-diag file] [patterns...]
+//
+// Patterns default to ./... relative to the module root. -diag writes the
+// raw diagnostic stream to a file (CI uploads it as an artifact when the
+// gate fails). Exit status mirrors wqrtqlint: 0 clean, 1 tool or build
+// failure, 2 contract violations.
+//
+// The gate makes the compiler's optimization decisions part of the checked
+// interface: a refactor that re-introduces a heap escape or a bounds check
+// into a contracted kernel loop fails CI with a file:line diff instead of
+// surfacing weeks later as benchmark drift. Contracts fail closed — an
+// annotation whose diagnostics cannot be found at all (function renamed,
+// file build-tagged out, parameter dropped) is an error, so a contract can
+// never rot into silent vacuity.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	var (
+		dir  = flag.String("C", ".", "module directory to gate")
+		diag = flag.String("diag", "", "write the raw gc diagnostic stream to this file")
+	)
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	res, err := runGate(*dir, patterns)
+	if *diag != "" && len(res.Stream) > 0 {
+		if werr := os.WriteFile(*diag, res.Stream, 0o666); werr != nil {
+			fmt.Fprintf(os.Stderr, "wqrtqgate: writing %s: %v\n", *diag, werr)
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wqrtqgate: %v\n", err)
+		os.Exit(1)
+	}
+	for _, v := range res.Violations {
+		fmt.Fprintf(os.Stderr, "%s\n", v)
+	}
+	if n := len(res.Violations); n > 0 {
+		fmt.Fprintf(os.Stderr, "wqrtqgate: %d contract violation(s) across %d contract(s)\n", n, len(res.Contracts))
+		os.Exit(2)
+	}
+	fmt.Printf("wqrtqgate: %d contract(s) hold\n", len(res.Contracts))
+}

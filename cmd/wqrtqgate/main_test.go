@@ -1,0 +1,129 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestGateModuleClean is the CI invariant: every //wqrtq:contract in the
+// module holds against the compiler's actual diagnostic stream.
+func TestGateModuleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the module with gc diagnostics")
+	}
+	res, err := runGate("../..", []string{"./..."})
+	if err != nil {
+		t.Fatalf("runGate: %v", err)
+	}
+	if len(res.Contracts) == 0 {
+		t.Fatal("no contracts collected — the hot-path annotations are gone")
+	}
+	for _, v := range res.Violations {
+		t.Errorf("%s", v)
+	}
+}
+
+// TestSeededContractViolationsCaught seeds one violation per contract kind
+// (escape, inline loss, BCE loss, heap allocation, stale contract) into a
+// throwaway module and checks the gate catches each, while a fully
+// contracted clean function produces none. This is the end-to-end proof
+// the gate detects regressions — not just that the parser reads canned
+// streams.
+func TestSeededContractViolationsCaught(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles a throwaway module with gc diagnostics")
+	}
+	dir := t.TempDir()
+	write := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module gatetest\n\ngo 1.24\n")
+	write("seed.go", `package gatetest
+
+var sink []int
+
+// Escape stores p in a global, so p leaks to the heap.
+//
+//wqrtq:contract noescape(p)
+func Escape(p []int) {
+	sink = p
+}
+
+// NoInline is recursive, which the inliner always refuses.
+//
+//wqrtq:contract inline
+func NoInline(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return n + NoInline(n-1)
+}
+
+// BCE indexes with an unprovable index, so a bounds check survives.
+//
+//wqrtq:contract nobce
+func BCE(xs []int, i int) int {
+	return xs[i]
+}
+
+// Alloc returns a fresh slice, so the make escapes to the heap.
+//
+//wqrtq:contract noalloc
+func Alloc(n int) []int {
+	return make([]int, n)
+}
+
+// Stale names a parameter that does not exist.
+//
+//wqrtq:contract noescape(q)
+func Stale(p []int) int {
+	return len(p)
+}
+
+// Clean holds every clause: inlinable, allocation-free, check-free, and p
+// only read.
+//
+//wqrtq:contract inline nobce noalloc noescape(p)
+func Clean(p []int) int {
+	if len(p) == 0 {
+		return 0
+	}
+	return p[0]
+}
+`)
+	res, err := runGate(dir, []string{"./..."})
+	if err != nil {
+		t.Fatalf("runGate: %v", err)
+	}
+	if got, want := len(res.Contracts), 6; got != want {
+		t.Fatalf("collected %d contracts, want %d", got, want)
+	}
+	byKind := make(map[string][]string)
+	for _, v := range res.Violations {
+		byKind[v.Kind] = append(byKind[v.Kind], v.Func)
+		if v.Func == "Clean" {
+			t.Errorf("false positive on Clean: %s", v)
+		}
+	}
+	for kind, fn := range map[string]string{
+		"noescape": "Escape",
+		"inline":   "NoInline",
+		"nobce":    "BCE",
+		"noalloc":  "Alloc",
+		"stale":    "Stale",
+	} {
+		found := false
+		for _, f := range byKind[kind] {
+			if f == fn {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("seeded %s violation in %s not caught; %s violations: %v", kind, fn, kind, byKind[kind])
+		}
+	}
+}

@@ -1,7 +1,8 @@
-// Command wqrtqlint is the wqrtq invariant suite: five analyzers enforcing
-// hot-path allocation discipline, cooperative cancellation, deterministic
-// iteration, centralized float comparison, and non-blocking critical
-// sections (see internal/analysis/... and DESIGN.md §11).
+// Command wqrtqlint is the wqrtq invariant suite: seven analyzers enforcing
+// hot-path allocation discipline, preallocated slice growth, snapshot
+// immutability outside the builder packages, cooperative cancellation,
+// deterministic iteration, centralized float comparison, and non-blocking
+// critical sections (see internal/analysis/... and DESIGN.md §11–12).
 //
 // It runs two ways:
 //

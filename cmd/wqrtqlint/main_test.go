@@ -59,11 +59,26 @@ func TestSeededViolationsCaught(t *testing.T) {
 		}
 	}
 
-	// ctxloop, maprange, floateq, hotpathalloc: all gate-on (or ignore
+	// ctxloop, maprange, floateq, hotpathalloc, growthcheck (the hotpath
+	// append doubles as its seed), snapshotmut: all gate-on (or ignore
 	// gating) at wqrtq/internal/topk.
+	write("wqrtq/internal/rtree/rtree.go", `package rtree
+
+type Node struct {
+	Scores []float64
+}
+`)
 	write("wqrtq/internal/topk/bad.go", `package topk
 
-import "context"
+import (
+	"context"
+
+	"wqrtq/internal/rtree"
+)
+
+func Clobber(n *rtree.Node) {
+	n.Scores[0] = 0
+}
 
 func work(x int) int { return x + 1 }
 

@@ -1,0 +1,140 @@
+package contract
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseClauses(t *testing.T) {
+	var c Contract
+	if err := parseClauses("noescape(c,wb) inline nobce noalloc", &c); err != nil {
+		t.Fatalf("parseClauses: %v", err)
+	}
+	if !c.Inline || !c.NoBCE || !c.NoAlloc {
+		t.Errorf("clauses = %+v, want all boolean clauses set", c)
+	}
+	if len(c.NoEscape) != 2 || c.NoEscape[0] != "c" || c.NoEscape[1] != "wb" {
+		t.Errorf("NoEscape = %v, want [c wb]", c.NoEscape)
+	}
+	for _, bad := range []string{"", "fast", "noescape()", "noescape(a,)", "nobce extra(x)"} {
+		var c Contract
+		if err := parseClauses(bad, &c); err == nil {
+			t.Errorf("parseClauses(%q) accepted an invalid contract", bad)
+		}
+	}
+}
+
+func TestCollect(t *testing.T) {
+	dir := t.TempDir()
+	src := `package p
+
+// Plain is contracted.
+//
+//wqrtq:contract inline noescape(a)
+func Plain(a []int, _ int) int { return len(a) }
+
+// Method is contracted through a pointer receiver.
+//
+//wqrtq:contract nobce noalloc
+func (m *M) Method(i int) int {
+	return m.xs[i]
+}
+
+type M struct{ xs []int }
+
+// Unannotated carries no contract.
+func Unannotated() {}
+`
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	cs, err := Collect(dir, []string{"p.go"})
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	if len(cs) != 2 {
+		t.Fatalf("collected %d contracts, want 2: %+v", len(cs), cs)
+	}
+	plain, meth := cs[0], cs[1]
+	if plain.Func != "Plain" || plain.File != "p.go" || !plain.Inline {
+		t.Errorf("Plain = %+v", plain)
+	}
+	if len(plain.Params) != 1 || plain.Params[0] != "a" {
+		t.Errorf("Plain params = %v, want [a] (blanks skipped)", plain.Params)
+	}
+	if meth.Func != "(*M).Method" || !meth.NoBCE || !meth.NoAlloc {
+		t.Errorf("Method = %+v, want (*M).Method with nobce+noalloc", meth)
+	}
+	if meth.StartLine >= meth.EndLine {
+		t.Errorf("Method range [%d,%d] must span the body", meth.StartLine, meth.EndLine)
+	}
+	if len(meth.Params) != 2 || meth.Params[0] != "m" || meth.Params[1] != "i" {
+		t.Errorf("Method params = %v, want receiver first", meth.Params)
+	}
+}
+
+func TestCollectRejectsGenerics(t *testing.T) {
+	dir := t.TempDir()
+	src := `package p
+
+//wqrtq:contract inline
+func G[T any](x T) T { return x }
+`
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Collect(dir, []string{"p.go"}); err == nil || !strings.Contains(err.Error(), "generic") {
+		t.Errorf("Collect on a generic contract: err = %v, want generic rejection", err)
+	}
+}
+
+func TestCheck(t *testing.T) {
+	facts := parse(t, strings.Join([]string{
+		"p.go:10:6: can inline Good with cost 10 as: func() int { return 0 }",
+		"p.go:10:12: a does not escape",
+		"p.go:20:6: cannot inline Slow: function too complex: cost 200 exceeds budget 80",
+		"p.go:22:9: Found IsInBounds",
+		"p.go:23:10: make([]int, n) escapes to heap:",
+		"p.go:30:6: cannot inline Leaky: recursive",
+		"p.go:30:15: leaking param: b",
+		"", // trailing newline
+	}, "\n"))
+	mk := func(fn string, start, end int, mut func(*Contract)) Contract {
+		c := Contract{Func: fn, File: "p.go", StartLine: start, EndLine: end, Params: []string{"a", "b"}}
+		mut(&c)
+		return c
+	}
+	cases := []struct {
+		name  string
+		c     Contract
+		kinds []string
+	}{
+		{"clean", mk("Good", 10, 12, func(c *Contract) { c.Inline, c.NoBCE, c.NoAlloc, c.NoEscape = true, true, true, []string{"a"} }), nil},
+		{"inline lost", mk("Slow", 20, 25, func(c *Contract) { c.Inline = true }), []string{"inline"}},
+		{"bce and alloc", mk("Slow", 20, 25, func(c *Contract) { c.NoBCE, c.NoAlloc = true, true }), []string{"nobce", "noalloc"}},
+		{"param leak", mk("Leaky", 30, 33, func(c *Contract) { c.NoEscape = []string{"b"} }), []string{"noescape"}},
+		{"stale function", mk("Gone", 40, 45, func(c *Contract) { c.NoBCE = true }), []string{"stale"}},
+		{"stale param", mk("Good", 10, 12, func(c *Contract) { c.NoEscape = []string{"zz"} }), []string{"stale"}},
+		{"no verdict param", mk("Good", 10, 12, func(c *Contract) { c.NoEscape = []string{"b"} }), []string{"stale"}},
+		{"out of range facts ignored", mk("Good", 10, 12, func(c *Contract) { c.NoBCE, c.NoAlloc = true, true }), nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			vs := Check([]Contract{tc.c}, facts)
+			var kinds []string
+			for _, v := range vs {
+				kinds = append(kinds, v.Kind)
+			}
+			if len(kinds) != len(tc.kinds) {
+				t.Fatalf("violations = %v, want kinds %v", vs, tc.kinds)
+			}
+			for i, k := range tc.kinds {
+				if kinds[i] != k {
+					t.Errorf("violation %d kind = %s, want %s (%v)", i, kinds[i], k, vs)
+				}
+			}
+		})
+	}
+}

@@ -29,6 +29,24 @@ const (
 	// direct ==/!= on floats is the point (checked by floateq). Goes on
 	// the function's doc comment.
 	DirFloatCmp = "floatcmp"
+
+	// DirContract declares compiler-level guarantees for a function:
+	// `//wqrtq:contract noescape(p,…) inline nobce noalloc`, checked by
+	// cmd/wqrtqgate against the gc diagnostic stream (DESIGN.md §12). Goes
+	// on the function's doc comment, usually next to //wqrtq:hotpath.
+	DirContract = "contract"
+
+	// DirMutates allowlists one statement (or function) that writes
+	// through a snapshot-reachable type outside its builder package
+	// (checked by snapshotmut). A rationale is mandatory:
+	// `//wqrtq:mutates <why this write cannot be observed by a reader>`.
+	DirMutates = "mutates"
+
+	// DirPrealloc marks a function that may grow slices, but only into
+	// preallocated scratch it writes back to the same destination
+	// (checked by growthcheck, which also covers the hotpath set). Goes
+	// on the function's doc comment.
+	DirPrealloc = "prealloc"
 )
 
 const directivePrefix = "//wqrtq:"
@@ -40,27 +58,34 @@ const directivePrefix = "//wqrtq:"
 // the same two placements gofmt preserves.
 type Directives struct {
 	fset *token.FileSet
-	// byLine maps file name -> line -> directive names on that line.
-	byLine map[string]map[int][]string
+	// byLine maps file name -> line -> directives on that line.
+	byLine map[string]map[int][]lineDirective
+}
+
+// lineDirective is one parsed //wqrtq: comment: its name and the trailing
+// free-text argument (a rationale, or the contract clause list).
+type lineDirective struct {
+	name string
+	arg  string
 }
 
 // NewDirectives scans the files' comments for //wqrtq: directives.
 func NewDirectives(fset *token.FileSet, files []*ast.File) *Directives {
-	d := &Directives{fset: fset, byLine: make(map[string]map[int][]string)}
+	d := &Directives{fset: fset, byLine: make(map[string]map[int][]lineDirective)}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				name, ok := parseDirective(c.Text)
+				name, arg, ok := ParseDirectiveArg(c.Text)
 				if !ok {
 					continue
 				}
 				pos := fset.Position(c.Pos())
 				lines := d.byLine[pos.Filename]
 				if lines == nil {
-					lines = make(map[int][]string)
+					lines = make(map[int][]lineDirective)
 					d.byLine[pos.Filename] = lines
 				}
-				lines[pos.Line] = append(lines[pos.Line], name)
+				lines[pos.Line] = append(lines[pos.Line], lineDirective{name: name, arg: arg})
 			}
 		}
 	}
@@ -68,46 +93,71 @@ func NewDirectives(fset *token.FileSet, files []*ast.File) *Directives {
 }
 
 func parseDirective(text string) (name string, ok bool) {
+	name, _, ok = ParseDirectiveArg(text)
+	return name, ok
+}
+
+// ParseDirectiveArg splits a //wqrtq: directive comment into its name and
+// the trailing argument text (trimmed; empty when the directive stands
+// alone). The argument carries free-text rationales
+// ("//wqrtq:unordered summing ints") and structured payloads
+// ("//wqrtq:contract noescape(c,wb) nobce").
+func ParseDirectiveArg(text string) (name, arg string, ok bool) {
 	if !strings.HasPrefix(text, directivePrefix) {
-		return "", false
+		return "", "", false
 	}
 	rest := strings.TrimPrefix(text, directivePrefix)
-	// Allow trailing free-text rationale: "//wqrtq:unordered summing ints".
 	if i := strings.IndexAny(rest, " \t"); i >= 0 {
-		rest = rest[:i]
+		name, arg = rest[:i], strings.TrimSpace(rest[i:])
+	} else {
+		name = rest
 	}
-	return rest, rest != ""
+	return name, arg, name != ""
 }
 
 // At reports whether directive name is present on the line where node
 // starts, or on the line immediately above it.
 func (d *Directives) At(node ast.Node, name string) bool {
+	_, ok := d.AtArg(node, name)
+	return ok
+}
+
+// AtArg is At returning the directive's trailing argument text as well
+// (empty when the directive stands alone).
+func (d *Directives) AtArg(node ast.Node, name string) (arg string, found bool) {
 	pos := d.fset.Position(node.Pos())
 	lines := d.byLine[pos.Filename]
 	if lines == nil {
-		return false
+		return "", false
 	}
 	for _, l := range []int{pos.Line, pos.Line - 1} {
-		for _, n := range lines[l] {
-			if n == name {
-				return true
+		for _, ld := range lines[l] {
+			if ld.name == name {
+				return ld.arg, true
 			}
 		}
 	}
-	return false
+	return "", false
 }
 
 // HasFuncDirective reports whether fn's doc comment carries the named
 // directive. Directive comments are part of the doc comment group but are
 // excluded from Doc.Text(), so we scan the raw list.
 func HasFuncDirective(fn *ast.FuncDecl, name string) bool {
+	_, ok := FuncDirectiveArg(fn, name)
+	return ok
+}
+
+// FuncDirectiveArg is HasFuncDirective returning the directive's trailing
+// argument text as well (empty when the directive stands alone).
+func FuncDirectiveArg(fn *ast.FuncDecl, name string) (arg string, found bool) {
 	if fn.Doc == nil {
-		return false
+		return "", false
 	}
 	for _, c := range fn.Doc.List {
-		if n, ok := parseDirective(c.Text); ok && n == name {
-			return true
+		if n, a, ok := ParseDirectiveArg(c.Text); ok && n == name {
+			return a, true
 		}
 	}
-	return false
+	return "", false
 }

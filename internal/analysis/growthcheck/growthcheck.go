@@ -1,0 +1,231 @@
+// Package growthcheck proves that slice growth inside annotated functions
+// lands in preallocated scratch — the static, AST+types twin of the
+// runtime allocs-per-op guards (Test*AllocsPerOp, TestSampleScratchAllocs).
+//
+// A function annotated //wqrtq:hotpath promises zero steady-state
+// allocations; one annotated //wqrtq:prealloc is allowed to grow slices,
+// but only into storage that was sized up front — struct-field scratch
+// reused across calls (Coords.cols, Grid.cols), receiver-backed buffers
+// (*minHeap), or locals created with a capacity (3-arg make) or resliced
+// from such storage. In both gates a growing append that targets a fresh
+// nil/zero-capacity local is a per-call allocation the runtime guards only
+// catch if a benchmark happens to drive that path; this analyzer catches
+// it at review time.
+//
+// Every append in a gated function must satisfy two rules:
+//
+//  1. Its result must be written straight back to its own first argument:
+//     the statement is `x = append(x, ...)` (sole assignment, structurally
+//     identical destination). Anything else — a discarded result, or
+//     `dst = append(src, ...)` — silently forks the backing array.
+//  2. The destination must be prealloc-rooted: reach through a struct
+//     field, a pointer dereference of a parameter or receiver, or a local
+//     whose declaration allocates capacity (3-arg make) or reslices an
+//     already-rooted expression.
+//
+// A finding is silenced by a statement-level //wqrtq:prealloc directive
+// carrying a rationale (same discipline as //wqrtq:mutates: a bare
+// directive is itself an error), for the rare append whose preallocation
+// the analyzer cannot see — e.g. a slice threaded through an interface.
+package growthcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"wqrtq/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "growthcheck",
+	Doc: "report appends in //wqrtq:hotpath or //wqrtq:prealloc functions whose destination " +
+		"is not preallocated scratch (struct field, receiver-derived storage, or 3-arg make)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	dirs := pass.Directives()
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if !analysis.HasFuncDirective(fn, analysis.DirHotPath) &&
+				!analysis.HasFuncDirective(fn, analysis.DirPrealloc) {
+				continue
+			}
+			c := &checker{pass: pass, dirs: dirs, fn: fn, rooted: map[*types.Var]bool{}}
+			c.collectParams()
+			c.collectLocals()
+			c.check()
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+	dirs *analysis.Directives
+	fn   *ast.FuncDecl
+	// rooted records, per variable, whether its storage is preallocated:
+	// parameters and the receiver (true), and locals judged by their
+	// declaration (3-arg make or a reslice of rooted storage).
+	rooted map[*types.Var]bool
+}
+
+func (c *checker) collectParams() {
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if v, ok := c.pass.TypesInfo.Defs[name].(*types.Var); ok {
+					c.rooted[v] = true
+				}
+			}
+		}
+	}
+	addFields(c.fn.Recv)
+	addFields(c.fn.Type.Params)
+	// Named results are NOT rooted: `out = append(out, r)` on a fresh
+	// result slice is exactly the per-call growth the gate exists to stop.
+}
+
+// collectLocals judges each local's declaration once, in source order, so
+// a reslice of an earlier-rooted local inherits its rootedness.
+func (c *checker) collectLocals() {
+	ast.Inspect(c.fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				v, ok := c.pass.TypesInfo.Defs[id].(*types.Var)
+				if !ok {
+					continue // plain assignment: rootedness fixed at declaration
+				}
+				if c.exprRooted(n.Rhs[i]) {
+					c.rooted[v] = true
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				v, ok := c.pass.TypesInfo.Defs[name].(*types.Var)
+				if !ok || i >= len(n.Values) {
+					continue
+				}
+				if c.exprRooted(n.Values[i]) {
+					c.rooted[v] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (c *checker) check() {
+	ast.Inspect(c.fn.Body, func(n ast.Node) bool {
+		stmt, ok := n.(ast.Stmt)
+		if !ok {
+			return true
+		}
+		asg, isAssign := stmt.(*ast.AssignStmt)
+		// Find appends directly inside this statement, but do not descend
+		// into nested statements (blocks, loop bodies): each statement is
+		// visited at its own level so directives attach correctly.
+		ast.Inspect(stmt, func(m ast.Node) bool {
+			if _, nested := m.(ast.Stmt); nested && m != stmt {
+				return false
+			}
+			call, ok := m.(*ast.CallExpr)
+			if !ok || !c.isAppend(call) {
+				return true
+			}
+			c.checkAppend(stmt, asg, isAssign, call)
+			return true
+		})
+		return true
+	})
+}
+
+func (c *checker) isAppend(call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := c.pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append" && len(call.Args) > 0
+}
+
+func (c *checker) checkAppend(stmt ast.Stmt, asg *ast.AssignStmt, isAssign bool, call *ast.CallExpr) {
+	dst := call.Args[0]
+	// Rule 1: the statement must be `x = append(x, ...)`.
+	selfAssigned := false
+	if isAssign && len(asg.Rhs) == 1 && ast.Unparen(asg.Rhs[0]) == call && len(asg.Lhs) == 1 {
+		selfAssigned = types.ExprString(asg.Lhs[0]) == types.ExprString(dst)
+	}
+	if !selfAssigned {
+		c.report(stmt, call, "append result must be assigned back to its first argument (%s)",
+			types.ExprString(dst))
+		return
+	}
+	// Rule 2: the destination must reach preallocated storage.
+	if !c.exprRooted(dst) {
+		c.report(stmt, call,
+			"append grows %s, which is not preallocated scratch (want a struct field, "+
+				"receiver-derived storage, or a capacity-carrying local)", types.ExprString(dst))
+	}
+}
+
+func (c *checker) report(stmt ast.Stmt, call *ast.CallExpr, format string, args ...any) {
+	if arg, ok := c.dirs.AtArg(stmt, analysis.DirPrealloc); ok {
+		if arg == "" {
+			c.pass.Reportf(stmt.Pos(), "statement-level //wqrtq:prealloc requires a rationale")
+		}
+		return
+	}
+	c.pass.Reportf(call.Pos(), format+" in gated function %s", append(args, c.fn.Name.Name)...)
+}
+
+// exprRooted reports whether e denotes preallocated storage: a struct
+// field (selector chain), a dereference or index of rooted storage, a
+// rooted variable, a reslice of rooted storage, or a 3-arg make.
+func (c *checker) exprRooted(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		v, ok := c.pass.TypesInfo.ObjectOf(e).(*types.Var)
+		return ok && c.rooted[v]
+	case *ast.SelectorExpr:
+		// A field selector means the slice header lives in a struct the
+		// builder sized; growth through it amortizes across calls. (A
+		// package-qualified identifier also lands here and is likewise
+		// long-lived storage.)
+		return true
+	case *ast.IndexExpr:
+		return c.exprRooted(e.X)
+	case *ast.StarExpr:
+		return c.exprRooted(e.X)
+	case *ast.SliceExpr:
+		return c.exprRooted(e.X)
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+			if b, ok := c.pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+				// make([]T, n, cap) reserves capacity up front; the 2-arg
+				// form leaves every later append to grow the array.
+				return b.Name() == "make" && len(e.Args) == 3
+			}
+		}
+		return false
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package growthcheck_test
+
+import (
+	"testing"
+
+	"wqrtq/internal/analysis/analysistest"
+	"wqrtq/internal/analysis/growthcheck"
+)
+
+func TestGrowthCheck(t *testing.T) {
+	analysistest.Run(t, "testdata/src", growthcheck.Analyzer, "growuser")
+}

@@ -1,0 +1,64 @@
+// Package growuser exercises growthcheck: appends inside gated functions
+// must land in preallocated scratch.
+package growuser
+
+type pool struct {
+	buf []int
+}
+
+// Gated covers the flagged shapes and their rooted counterparts.
+//
+//wqrtq:prealloc
+func (p *pool) Gated(in []int, h *[]int) {
+	s := make([]int, 0, 8)
+	s = append(s, 1) // rooted: 3-arg make
+	t := make([]int, 0)
+	t = append(t, 1) // want `append grows t, which is not preallocated scratch`
+	var u []int
+	u = append(u, 1)         // want `append grows u, which is not preallocated scratch`
+	w := append(s, 2)        // want `append result must be assigned back to its first argument`
+	p.buf = append(p.buf, 3) // rooted: struct field
+	*h = append(*h, 4)       // rooted: deref of a parameter
+	r := s[:0]
+	r = append(r, 5)   // rooted: reslice of rooted storage
+	in = append(in, 6) // rooted: parameter-backed
+	_, _, _, _ = t, u, w, r
+}
+
+// Hot is gated through //wqrtq:hotpath rather than prealloc.
+//
+//wqrtq:hotpath
+func Hot() []int {
+	var acc []int
+	acc = append(acc, 1) // want `append grows acc, which is not preallocated scratch`
+	return acc
+}
+
+// Results shows that a named result is not preallocated storage.
+//
+//wqrtq:prealloc
+func Results() (out []int) {
+	out = append(out, 1) // want `append grows out, which is not preallocated scratch`
+	return out
+}
+
+// Allowlisted silences a finding with a rationale-bearing statement
+// directive; a bare directive is itself an error.
+//
+//wqrtq:prealloc
+func Allowlisted(grab func() []int) {
+	fresh := grab()
+	//wqrtq:prealloc fixture: grab returns pool-recycled storage
+	fresh = append(fresh, 1)
+	other := grab()
+	//wqrtq:prealloc
+	other = append(other, 2) // want `statement-level //wqrtq:prealloc requires a rationale`
+	_, _ = fresh, other
+}
+
+// Ungated stays out of the gate entirely: fresh growth is fine.
+func Ungated() []int {
+	var acc []int
+	acc = append(acc, 1)
+	return acc
+}

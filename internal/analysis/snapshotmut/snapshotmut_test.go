@@ -1,0 +1,18 @@
+package snapshotmut_test
+
+import (
+	"testing"
+
+	"wqrtq/internal/analysis/analysistest"
+	"wqrtq/internal/analysis/snapshotmut"
+)
+
+func TestSnapshotMut(t *testing.T) {
+	analysistest.Run(t, "testdata/src", snapshotmut.Analyzer, "snapuser")
+}
+
+// TestBuilderPackageExempt loads the fixture builder package itself: its
+// own writes through Node/Tree must produce no findings.
+func TestBuilderPackageExempt(t *testing.T) {
+	analysistest.Run(t, "testdata/src", snapshotmut.Analyzer, "rtree")
+}

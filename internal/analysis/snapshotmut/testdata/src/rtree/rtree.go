@@ -1,0 +1,21 @@
+// Package rtree is a fixture standing in for the real builder package: it
+// defines a protected type and may write through it freely.
+package rtree
+
+type Node struct {
+	Scores   []float64
+	Children []*Node
+}
+
+type Tree struct {
+	root *Node
+}
+
+func New() *Tree { return &Tree{root: &Node{}} }
+
+func (t *Tree) Root() *Node { return t.root }
+
+// Grow writes through Node inside the builder package: allowed.
+func (t *Tree) Grow(s float64) {
+	t.root.Scores = append(t.root.Scores, s)
+}

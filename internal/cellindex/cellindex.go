@@ -122,8 +122,11 @@ type Grid struct {
 	basisSize   int
 	basis       *kernel.Coords // the flattened band, shared with the blocked kernel
 	nBase       int            // res^(dim-1) base cells over the first dim-1 coordinates
-	// bounds holds per base cell 2*dim floats: lo_0..lo_{dim-1} then
-	// hi_0..hi_{dim-1}. Unbuilt (simplex-unreachable) cells keep zero
+	// bounds holds per base cell 2*dim floats, interleaved per coordinate:
+	// lo_0, hi_0, lo_1, hi_1, …, lo_{dim-1}, hi_{dim-1}. The interleaving
+	// lets locate's bounds re-check walk one slice in constant-stride
+	// lockstep (b[0], b[1], b = b[2:]), which the prove pass verifies
+	// bounds-check-free. Unbuilt (simplex-unreachable) cells keep zero
 	// bounds, which no valid weight can satisfy.
 	bounds []float64
 	// cellOff[c] .. cellOff[c+1] delimit cell c's candidate rows in cols.
@@ -161,11 +164,14 @@ func (g *Grid) NumCells() int { return g.cells }
 func (g *Grid) NumCandidates() int { return g.cands }
 
 // Cells iterates the built cells in flat index order: lo and hi are the
-// cell's per-coordinate bounds (len dim) and cand its candidate
-// coordinate columns (dim slices of equal length, hi-corner-score order).
-// All slices alias grid storage and are valid only during the callback.
+// cell's per-coordinate bounds (len dim, de-interleaved from grid storage
+// into scratch reused across calls) and cand its candidate coordinate
+// columns (dim slices of equal length, hi-corner-score order). All slices
+// are valid only during the callback.
 func (g *Grid) Cells(fn func(lo, hi []float64, cand [][]float64)) {
 	cand := make([][]float64, g.dim)
+	lo := make([]float64, g.dim)
+	hi := make([]float64, g.dim)
 	for c := 0; c < g.nBase; c++ {
 		s, e := g.cellOff[c], g.cellOff[c+1]
 		if s == e {
@@ -175,7 +181,10 @@ func (g *Grid) Cells(fn func(lo, hi []float64, cand [][]float64)) {
 			cand[j] = g.cols[j][s:e]
 		}
 		b := g.bounds[c*2*g.dim : (c+1)*2*g.dim]
-		fn(b[:g.dim], b[g.dim:], cand)
+		for j := 0; j < g.dim; j++ {
+			lo[j], hi[j] = b[2*j], b[2*j+1]
+		}
+		fn(lo, hi, cand)
 	}
 }
 
@@ -185,27 +194,52 @@ func (g *Grid) Cells(fn func(lo, hi []float64, cand [][]float64)) {
 // fall back to a legacy path, which answers identically.
 //
 //wqrtq:hotpath
+//wqrtq:contract noescape(g,w) nobce noalloc
 func (g *Grid) locate(w []float64) int {
-	rf := float64(g.res)
-	idx, stride := 0, 1
-	for j := 0; j < g.dim-1; j++ {
-		c := int(w[j] * rf)
-		if c < 0 {
-			c = 0
-		} else if c >= g.res {
-			c = g.res - 1
-		}
-		idx += c * stride
-		stride *= g.res
-	}
-	if g.cellOff[idx+1] == g.cellOff[idx] {
+	d := g.dim
+	if d < 1 || len(w) < d {
 		return -1
 	}
-	b := g.bounds[idx*2*g.dim:]
-	for j := 0; j < g.dim; j++ {
-		if w[j] < b[j] || w[j] > b[g.dim+j] {
+	w = w[:d]
+	res := g.res
+	rf := float64(res)
+	idx, stride := 0, 1
+	for _, wj := range w[:d-1] {
+		c := int(wj * rf)
+		if c < 0 {
+			c = 0
+		} else if c >= res {
+			c = res - 1
+		}
+		idx += c * stride
+		stride *= res
+	}
+	// Two-step slice: re-anchor the offset pair at idx and length-check the
+	// remainder, the one shape the prove pass verifies for an idx/idx+1
+	// pair load. idx >= 0 was established digit by digit but the proof does
+	// not survive the accumulation, so the guard re-checks it.
+	off := g.cellOff
+	if idx < 0 || idx >= len(off) {
+		return -1
+	}
+	o := off[idx:]
+	if len(o) < 2 {
+		return -1
+	}
+	if o[1] == o[0] {
+		return -1
+	}
+	bo := idx * 2 * d
+	bs := g.bounds
+	if bo < 0 || bo > len(bs) {
+		return -1
+	}
+	b := bs[bo:]
+	for _, wj := range w {
+		if len(b) < 2 || wj < b[0] || wj > b[1] {
 			return -1
 		}
+		b = b[2:]
 	}
 	return idx
 }
@@ -219,15 +253,33 @@ func (g *Grid) locate(w []float64) int {
 // uncapped count is bit-identical to a scalar scan of the cell.
 //
 //wqrtq:hotpath
+//wqrtq:contract noescape(g,w) nobce noalloc
 func (g *Grid) CountBelowCapped(w []float64, fq float64, cap int) (count, scanned int, ok bool) {
 	ci := g.locate(w)
-	if ci < 0 {
+	off := g.cellOff
+	// locate guarantees the offset pair exists on success, but the proof
+	// does not survive the call boundary, so the window fetch re-guards
+	// with the same two-step slice shape locate uses.
+	if ci < 0 || ci >= len(off) {
 		return 0, 0, false
 	}
-	s, e := g.cellOff[ci], g.cellOff[ci+1]
-	switch g.dim {
+	o := off[ci:]
+	if len(o) < 2 {
+		return 0, 0, false
+	}
+	s, e := int(o[0]), int(o[1])
+	// Each specialization slices every column to the [s,e) window under one
+	// guard; after that the windows share x's range-proved index. Dispatch
+	// is on len(cols) (== dim by construction) so the column fetches are
+	// bounds-check-free too.
+	cols := g.cols
+	switch len(cols) {
 	case 2:
-		x, y := g.cols[0][s:e], g.cols[1][s:e]
+		x, y := cols[0], cols[1]
+		if s < 0 || e < s || e > len(x) || e > len(y) || len(w) < 2 {
+			return 0, 0, false
+		}
+		x, y = x[s:e], y[s:e]
 		w0, w1 := w[0], w[1]
 		for i, xi := range x {
 			sc := w0 * xi
@@ -240,7 +292,11 @@ func (g *Grid) CountBelowCapped(w []float64, fq float64, cap int) (count, scanne
 			}
 		}
 	case 3:
-		x, y, z := g.cols[0][s:e], g.cols[1][s:e], g.cols[2][s:e]
+		x, y, z := cols[0], cols[1], cols[2]
+		if s < 0 || e < s || e > len(x) || e > len(y) || e > len(z) || len(w) < 3 {
+			return 0, 0, false
+		}
+		x, y, z = x[s:e], y[s:e], z[s:e]
 		w0, w1, w2 := w[0], w[1], w[2]
 		for i, xi := range x {
 			sc := w0 * xi
@@ -253,8 +309,12 @@ func (g *Grid) CountBelowCapped(w []float64, fq float64, cap int) (count, scanne
 				}
 			}
 		}
-	default:
-		x, y, z, u := g.cols[0][s:e], g.cols[1][s:e], g.cols[2][s:e], g.cols[3][s:e]
+	case 4:
+		x, y, z, u := cols[0], cols[1], cols[2], cols[3]
+		if s < 0 || e < s || e > len(x) || e > len(y) || e > len(z) || e > len(u) || len(w) < 4 {
+			return 0, 0, false
+		}
+		x, y, z, u = x[s:e], y[s:e], z[s:e], u[s:e]
 		w0, w1, w2, w3 := w[0], w[1], w[2], w[3]
 		for i, xi := range x {
 			sc := w0 * xi
@@ -268,8 +328,12 @@ func (g *Grid) CountBelowCapped(w []float64, fq float64, cap int) (count, scanne
 				}
 			}
 		}
+	default:
+		// build admits only dim 2..4; an impossible shape falls back
+		// rather than panicking on the query path.
+		return 0, 0, false
 	}
-	return count, int(e - s), true
+	return count, e - s, true
 }
 
 // ReverseTopK answers the bichromatic reverse top-k over the grid: result
@@ -301,6 +365,8 @@ func (g *Grid) ReverseTopK(ctx context.Context, W []vec.Weight, q vec.Point, k i
 // build constructs the grid over basis band b, or returns nil when the
 // configuration is ineligible (dimensionality outside 2..4, basis too
 // large, or candidate storage would blow past maxCandidates).
+//
+//wqrtq:prealloc
 func build(b *skyband.Band, k, dim int) *Grid {
 	if dim < 2 || dim > 4 || b.Size() == 0 || b.Size() > MaxBasis {
 		return nil
@@ -376,7 +442,13 @@ func build(b *skyband.Band, k, dim int) *Grid {
 		}
 		g.cands += len(order)
 		g.cellOff[c+1] = g.cellOff[c] + int32(len(order))
-		copy(g.bounds[c*2*dim:(c+1)*2*dim], wb)
+		// wb keeps lo and hi contiguous for the two-weight ScoreBlock
+		// sweep; grid storage interleaves them per coordinate (see the
+		// bounds field) for locate's lockstep re-check.
+		dst := g.bounds[c*2*dim : (c+1)*2*dim]
+		for j := 0; j < dim; j++ {
+			dst[2*j], dst[2*j+1] = lo[j], hi[j]
+		}
 		g.cells++
 	}
 	return g

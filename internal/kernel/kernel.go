@@ -71,7 +71,10 @@ func (c *Coords) Reset(d int) {
 	c.n = 0
 }
 
-// Append adds one point (len d) to the set.
+// Append adds one point (len d) to the set. Growth amortizes into the
+// column scratch Reset retains across refills.
+//
+//wqrtq:prealloc
 func (c *Coords) Append(p []float64) {
 	for j := range c.cols {
 		c.cols[j] = append(c.cols[j], p[j])
@@ -105,6 +108,7 @@ func (c *Coords) Fill(d, n int, at func(int) []float64) {
 // is the same strict <.
 //
 //wqrtq:hotpath
+//wqrtq:contract noescape(c,wb,fqs,counts) nobce noalloc
 func CountBelowBlock(c *Coords, wb []float64, fqs []float64, counts []int) {
 	if len(counts) < len(fqs) {
 		panic("kernel: counts shorter than fqs")
@@ -127,17 +131,33 @@ func CountBelowBlock(c *Coords, wb []float64, fqs []float64, counts []int) {
 	}
 }
 
+// The dimension-specialized sweeps below walk the packed block in lockstep
+// slice form — every group of weights consumes a constant-length prefix of
+// wb/fqs/counts and the loop re-slices all three past it — because that is
+// the shape the prove pass eliminates every bounds check for: the loop
+// condition (`len(wb) >= 8 && ...`) dominates each constant index and each
+// advancing re-slice. The classical `wb[b*2 : b*2+8]` form keeps its slice
+// check, since prove cannot reason through the multiplication. The entry
+// guards make the lockstep walk cover exactly len(fqs) weights, preserving
+// the fail-loud behavior the indexed form had on short buffers.
+
 //wqrtq:hotpath
+//wqrtq:contract noescape(x,y,wb,fqs,counts) nobce noalloc
 func countBelow2(x, y, wb, fqs []float64, counts []int) {
+	if len(y) < len(x) {
+		panic("kernel: ragged coordinate columns")
+	}
+	if len(wb) < 2*len(fqs) || len(counts) < len(fqs) {
+		panic("kernel: packed block shorter than its weight count")
+	}
 	y = y[:len(x)]
-	b := 0
-	for ; b+4 <= len(fqs); b += 4 {
-		w := wb[b*2 : b*2+8]
+	for len(fqs) >= 4 && len(wb) >= 8 && len(counts) >= 4 {
+		w := wb[:8]
 		w00, w01 := w[0], w[1]
 		w10, w11 := w[2], w[3]
 		w20, w21 := w[4], w[5]
 		w30, w31 := w[6], w[7]
-		f0, f1, f2, f3 := fqs[b], fqs[b+1], fqs[b+2], fqs[b+3]
+		f0, f1, f2, f3 := fqs[0], fqs[1], fqs[2], fqs[3]
 		var c0, c1, c2, c3 int
 		for i, xi := range x {
 			yi := y[i]
@@ -162,11 +182,12 @@ func countBelow2(x, y, wb, fqs []float64, counts []int) {
 				c3++
 			}
 		}
-		counts[b], counts[b+1], counts[b+2], counts[b+3] = c0, c1, c2, c3
+		counts[0], counts[1], counts[2], counts[3] = c0, c1, c2, c3
+		wb, fqs, counts = wb[8:], fqs[4:], counts[4:]
 	}
-	for ; b < len(fqs); b++ {
-		w0, w1 := wb[b*2], wb[b*2+1]
-		fq := fqs[b]
+	for len(fqs) >= 1 && len(wb) >= 2 && len(counts) >= 1 {
+		w0, w1 := wb[0], wb[1]
+		fq := fqs[0]
 		cnt := 0
 		for i, xi := range x {
 			s := w0 * xi
@@ -175,22 +196,29 @@ func countBelow2(x, y, wb, fqs []float64, counts []int) {
 				cnt++
 			}
 		}
-		counts[b] = cnt
+		counts[0] = cnt
+		wb, fqs, counts = wb[2:], fqs[1:], counts[1:]
 	}
 }
 
 //wqrtq:hotpath
+//wqrtq:contract noescape(x,y,z,wb,fqs,counts) nobce noalloc
 func countBelow3(x, y, z, wb, fqs []float64, counts []int) {
+	if len(y) < len(x) || len(z) < len(x) {
+		panic("kernel: ragged coordinate columns")
+	}
+	if len(wb) < 3*len(fqs) || len(counts) < len(fqs) {
+		panic("kernel: packed block shorter than its weight count")
+	}
 	y = y[:len(x)]
 	z = z[:len(x)]
-	b := 0
-	for ; b+4 <= len(fqs); b += 4 {
-		w := wb[b*3 : b*3+12]
+	for len(fqs) >= 4 && len(wb) >= 12 && len(counts) >= 4 {
+		w := wb[:12]
 		w00, w01, w02 := w[0], w[1], w[2]
 		w10, w11, w12 := w[3], w[4], w[5]
 		w20, w21, w22 := w[6], w[7], w[8]
 		w30, w31, w32 := w[9], w[10], w[11]
-		f0, f1, f2, f3 := fqs[b], fqs[b+1], fqs[b+2], fqs[b+3]
+		f0, f1, f2, f3 := fqs[0], fqs[1], fqs[2], fqs[3]
 		var c0, c1, c2, c3 int
 		for i, xi := range x {
 			yi, zi := y[i], z[i]
@@ -219,11 +247,12 @@ func countBelow3(x, y, z, wb, fqs []float64, counts []int) {
 				c3++
 			}
 		}
-		counts[b], counts[b+1], counts[b+2], counts[b+3] = c0, c1, c2, c3
+		counts[0], counts[1], counts[2], counts[3] = c0, c1, c2, c3
+		wb, fqs, counts = wb[12:], fqs[4:], counts[4:]
 	}
-	for ; b < len(fqs); b++ {
-		w0, w1, w2 := wb[b*3], wb[b*3+1], wb[b*3+2]
-		fq := fqs[b]
+	for len(fqs) >= 1 && len(wb) >= 3 && len(counts) >= 1 {
+		w0, w1, w2 := wb[0], wb[1], wb[2]
+		fq := fqs[0]
 		cnt := 0
 		for i, xi := range x {
 			s := w0 * xi
@@ -233,21 +262,28 @@ func countBelow3(x, y, z, wb, fqs []float64, counts []int) {
 				cnt++
 			}
 		}
-		counts[b] = cnt
+		counts[0] = cnt
+		wb, fqs, counts = wb[3:], fqs[1:], counts[1:]
 	}
 }
 
 //wqrtq:hotpath
+//wqrtq:contract noescape(x,y,z,u,wb,fqs,counts) nobce noalloc
 func countBelow4(x, y, z, u, wb, fqs []float64, counts []int) {
+	if len(y) < len(x) || len(z) < len(x) || len(u) < len(x) {
+		panic("kernel: ragged coordinate columns")
+	}
+	if len(wb) < 4*len(fqs) || len(counts) < len(fqs) {
+		panic("kernel: packed block shorter than its weight count")
+	}
 	y = y[:len(x)]
 	z = z[:len(x)]
 	u = u[:len(x)]
-	b := 0
-	for ; b+2 <= len(fqs); b += 2 {
-		w := wb[b*4 : b*4+8]
+	for len(fqs) >= 2 && len(wb) >= 8 && len(counts) >= 2 {
+		w := wb[:8]
 		w00, w01, w02, w03 := w[0], w[1], w[2], w[3]
 		w10, w11, w12, w13 := w[4], w[5], w[6], w[7]
-		f0, f1 := fqs[b], fqs[b+1]
+		f0, f1 := fqs[0], fqs[1]
 		var c0, c1 int
 		for i, xi := range x {
 			yi, zi, ui := y[i], z[i], u[i]
@@ -266,11 +302,12 @@ func countBelow4(x, y, z, u, wb, fqs []float64, counts []int) {
 				c1++
 			}
 		}
-		counts[b], counts[b+1] = c0, c1
+		counts[0], counts[1] = c0, c1
+		wb, fqs, counts = wb[8:], fqs[2:], counts[2:]
 	}
-	for ; b < len(fqs); b++ {
-		w0, w1, w2, w3 := wb[b*4], wb[b*4+1], wb[b*4+2], wb[b*4+3]
-		fq := fqs[b]
+	for len(fqs) >= 1 && len(wb) >= 4 && len(counts) >= 1 {
+		w0, w1, w2, w3 := wb[0], wb[1], wb[2], wb[3]
+		fq := fqs[0]
 		cnt := 0
 		for i, xi := range x {
 			s := w0 * xi
@@ -281,11 +318,18 @@ func countBelow4(x, y, z, u, wb, fqs []float64, counts []int) {
 				cnt++
 			}
 		}
-		counts[b] = cnt
+		counts[0] = cnt
+		wb, fqs, counts = wb[4:], fqs[1:], counts[1:]
 	}
 }
 
+// countBelowGeneric carries no nobce clause deliberately: the inner
+// cols[j][i] walk indexes a slice of slices whose lengths the prove pass
+// cannot relate, so its checks are structural. Dimensions 2–4 — every
+// dimension the paper's workloads use — never reach it.
+//
 //wqrtq:hotpath
+//wqrtq:contract noescape(cols,wb,fqs,counts) noalloc
 func countBelowGeneric(cols [][]float64, wb, fqs []float64, counts []int) {
 	d := len(cols)
 	n := len(cols[0])
@@ -317,14 +361,26 @@ func countBelowGeneric(cols [][]float64, wb, fqs []float64, counts []int) {
 // CountBelowBlock's.
 //
 //wqrtq:hotpath
+//wqrtq:contract noescape(c,w) nobce noalloc
 func CountBelowCapped(c *Coords, w []float64, fq float64, cap int) (count, scanned int) {
 	if cap < 0 {
 		return cap + 1, 0
 	}
 	n := c.n
+	if n <= 0 {
+		return 0, n
+	}
+	// Each specialization pins the column lengths with one guard and
+	// re-slices to exactly n, after which every y[i]-style load shares x's
+	// range-proved index. The guards only fire on a corrupted Coords (the
+	// builder keeps all columns at length n).
 	switch len(c.cols) {
 	case 2:
-		x, y := c.cols[0][:n], c.cols[1][:n]
+		x, y := c.cols[0], c.cols[1]
+		if len(x) < n || len(y) < n || len(w) < 2 {
+			panic("kernel: short columns or weight")
+		}
+		x, y = x[:n], y[:n]
 		w0, w1 := w[0], w[1]
 		for i, xi := range x {
 			s := w0 * xi
@@ -337,7 +393,11 @@ func CountBelowCapped(c *Coords, w []float64, fq float64, cap int) (count, scann
 			}
 		}
 	case 3:
-		x, y, z := c.cols[0][:n], c.cols[1][:n], c.cols[2][:n]
+		x, y, z := c.cols[0], c.cols[1], c.cols[2]
+		if len(x) < n || len(y) < n || len(z) < n || len(w) < 3 {
+			panic("kernel: short columns or weight")
+		}
+		x, y, z = x[:n], y[:n], z[:n]
 		w0, w1, w2 := w[0], w[1], w[2]
 		for i, xi := range x {
 			s := w0 * xi
@@ -351,7 +411,11 @@ func CountBelowCapped(c *Coords, w []float64, fq float64, cap int) (count, scann
 			}
 		}
 	case 4:
-		x, y, z, u := c.cols[0][:n], c.cols[1][:n], c.cols[2][:n], c.cols[3][:n]
+		x, y, z, u := c.cols[0], c.cols[1], c.cols[2], c.cols[3]
+		if len(x) < n || len(y) < n || len(z) < n || len(u) < n || len(w) < 4 {
+			panic("kernel: short columns or weight")
+		}
+		x, y, z, u = x[:n], y[:n], z[:n], u[:n]
 		w0, w1, w2, w3 := w[0], w[1], w[2], w[3]
 		for i, xi := range x {
 			s := w0 * xi
@@ -366,17 +430,26 @@ func CountBelowCapped(c *Coords, w []float64, fq float64, cap int) (count, scann
 			}
 		}
 	default:
-		d := len(c.cols)
-		for i := 0; i < n; i++ {
-			s := w[0] * c.cols[0][i]
-			for j := 1; j < d; j++ {
-				s += w[j] * c.cols[j][i]
-			}
-			if s < fq {
-				count++
-				if count > cap {
-					return count, i + 1
-				}
+		return countBelowCappedGeneric(c, w, fq, cap)
+	}
+	return count, n
+}
+
+// countBelowCappedGeneric is the arbitrary-dimension tail of
+// CountBelowCapped, split out so the specialized cases can carry a nobce
+// contract: like countBelowGeneric, its slice-of-slices walk keeps
+// structural bounds checks no analysis can remove.
+func countBelowCappedGeneric(c *Coords, w []float64, fq float64, cap int) (count, scanned int) {
+	n, d := c.n, len(c.cols)
+	for i := 0; i < n; i++ {
+		s := w[0] * c.cols[0][i]
+		for j := 1; j < d; j++ {
+			s += w[j] * c.cols[j][i]
+		}
+		if s < fq {
+			count++
+			if count > cap {
+				return count, i + 1
 			}
 		}
 	}
@@ -389,44 +462,67 @@ func CountBelowCapped(c *Coords, w []float64, fq float64, cap int) (count, scann
 // Scores are bit-identical to vec.Score.
 //
 //wqrtq:hotpath
+//wqrtq:contract noescape(c,wb,out) nobce noalloc
 func ScoreBlock(c *Coords, wb []float64, nWeights int, out []float64) {
 	d := len(c.cols)
 	n := c.n
 	if len(out) < nWeights*n {
 		panic("kernel: score output shorter than B*n")
 	}
-	if n == 0 {
+	if n <= 0 || nWeights <= 0 {
 		return
 	}
+	if len(wb) < nWeights*d {
+		panic("kernel: packed block shorter than its weight count")
+	}
+	// Like the count sweeps, the weight loop walks wb and out in lockstep
+	// slice form so every index inside it is covered by the loop condition.
 	switch d {
 	case 2:
-		x, y := c.cols[0], c.cols[1][:c.n]
-		for b := 0; b < nWeights; b++ {
-			w0, w1 := wb[b*2], wb[b*2+1]
-			col := out[b*n : (b+1)*n]
+		x, y := c.cols[0], c.cols[1]
+		if len(x) < n || len(y) < n {
+			panic("kernel: short columns")
+		}
+		x, y = x[:n], y[:n]
+		wrem, orem := wb, out
+		for nw := nWeights; nw > 0 && len(wrem) >= 2 && len(orem) >= n; nw-- {
+			w0, w1 := wrem[0], wrem[1]
+			col := orem[:n]
 			for i, xi := range x {
 				s := w0 * xi
 				s += w1 * y[i]
 				col[i] = s
 			}
+			wrem, orem = wrem[2:], orem[n:]
 		}
 	case 3:
-		x, y, z := c.cols[0], c.cols[1][:c.n], c.cols[2][:c.n]
-		for b := 0; b < nWeights; b++ {
-			w0, w1, w2 := wb[b*3], wb[b*3+1], wb[b*3+2]
-			col := out[b*n : (b+1)*n]
+		x, y, z := c.cols[0], c.cols[1], c.cols[2]
+		if len(x) < n || len(y) < n || len(z) < n {
+			panic("kernel: short columns")
+		}
+		x, y, z = x[:n], y[:n], z[:n]
+		wrem, orem := wb, out
+		for nw := nWeights; nw > 0 && len(wrem) >= 3 && len(orem) >= n; nw-- {
+			w0, w1, w2 := wrem[0], wrem[1], wrem[2]
+			col := orem[:n]
 			for i, xi := range x {
 				s := w0 * xi
 				s += w1 * y[i]
 				s += w2 * z[i]
 				col[i] = s
 			}
+			wrem, orem = wrem[3:], orem[n:]
 		}
 	case 4:
-		x, y, z, u := c.cols[0], c.cols[1][:c.n], c.cols[2][:c.n], c.cols[3][:c.n]
-		for b := 0; b < nWeights; b++ {
-			w0, w1, w2, w3 := wb[b*4], wb[b*4+1], wb[b*4+2], wb[b*4+3]
-			col := out[b*n : (b+1)*n]
+		x, y, z, u := c.cols[0], c.cols[1], c.cols[2], c.cols[3]
+		if len(x) < n || len(y) < n || len(z) < n || len(u) < n {
+			panic("kernel: short columns")
+		}
+		x, y, z, u = x[:n], y[:n], z[:n], u[:n]
+		wrem, orem := wb, out
+		for nw := nWeights; nw > 0 && len(wrem) >= 4 && len(orem) >= n; nw-- {
+			w0, w1, w2, w3 := wrem[0], wrem[1], wrem[2], wrem[3]
+			col := orem[:n]
 			for i, xi := range x {
 				s := w0 * xi
 				s += w1 * y[i]
@@ -434,18 +530,28 @@ func ScoreBlock(c *Coords, wb []float64, nWeights int, out []float64) {
 				s += w3 * u[i]
 				col[i] = s
 			}
+			wrem, orem = wrem[4:], orem[n:]
 		}
 	default:
-		for b := 0; b < nWeights; b++ {
-			w := wb[b*d : (b+1)*d]
-			col := out[b*n : (b+1)*n]
-			for i := 0; i < n; i++ {
-				s := w[0] * c.cols[0][i]
-				for j := 1; j < d; j++ {
-					s += w[j] * c.cols[j][i]
-				}
-				col[i] = s
+		scoreBlockGeneric(c, wb, nWeights, out)
+	}
+}
+
+// scoreBlockGeneric is ScoreBlock's arbitrary-dimension tail, split out so
+// the specialized cases can carry a nobce contract (see
+// countBelowCappedGeneric).
+func scoreBlockGeneric(c *Coords, wb []float64, nWeights int, out []float64) {
+	d := len(c.cols)
+	n := c.n
+	for b := 0; b < nWeights; b++ {
+		w := wb[b*d : (b+1)*d]
+		col := out[b*n : (b+1)*n]
+		for i := 0; i < n; i++ {
+			s := w[0] * c.cols[0][i]
+			for j := 1; j < d; j++ {
+				s += w[j] * c.cols[j][i]
 			}
+			col[i] = s
 		}
 	}
 }

@@ -101,9 +101,13 @@ type Band struct {
 	counts []int32
 	// coords is the lazily built column-major image of the band points for
 	// the blocked scoring kernel; one sync.Once-guarded flatten shared by
-	// every reader of the band.
-	coordsOnce sync.Once
-	coords     kernel.Coords
+	// every reader of the band. coordsReady fronts the Once with one atomic
+	// load so the steady-state Coords call stays inlinable (sync.Once.Do
+	// alone costs more than the inlining budget); the Store inside the Do
+	// publishes the flatten to every reader that observes true.
+	coordsOnce  sync.Once
+	coordsReady atomic.Bool
+	coords      kernel.Coords
 }
 
 // K returns the band parameter.
@@ -127,13 +131,26 @@ func (b *Band) Full() bool { return b.full }
 // independent, so consumers see the same counts as a tree evaluation.
 // Callers should bound the band size themselves before flattening a
 // pass-through band, whose image is the whole dataset.
+//
+//wqrtq:hotpath
+//wqrtq:contract inline noalloc
 func (b *Band) Coords() *kernel.Coords {
+	if b.coordsReady.Load() {
+		return &b.coords
+	}
+	return b.coordsSlow()
+}
+
+// coordsSlow is Coords' first-use path: one once-guarded flatten, after
+// which the ready flag routes every reader through the inlined fast path.
+func (b *Band) coordsSlow() *kernel.Coords {
 	b.coordsOnce.Do(func() {
 		b.coords.Reset(b.tree.Dim())
 		b.tree.Visit(
 			func(rtree.Rect, *rtree.Node) bool { return true },
 			func(_ int32, p vec.Point) { b.coords.Append(p) },
 		)
+		b.coordsReady.Store(true)
 	})
 	return &b.coords
 }

@@ -56,6 +56,7 @@ type heapItem struct {
 // order among equal scores) is unchanged.
 type minHeap []heapItem
 
+//wqrtq:prealloc
 func (h *minHeap) push(it heapItem) {
 	*h = append(*h, it)
 	// Sift up, as container/heap.Push would.
@@ -72,32 +73,49 @@ func (h *minHeap) push(it heapItem) {
 }
 
 // pop is annotated hotpath; push is not, because its append is the heap's
-// (amortized, pool-recycled) growth mechanism.
+// (amortized, pool-recycled) growth mechanism. pop's contract omits
+// noescape(h): heapItem carries node pointers the compiler summarizes as
+// "leaking param content", inherent to returning an item by value.
 //
 //wqrtq:hotpath
+//wqrtq:contract nobce noalloc
 func (h *minHeap) pop() heapItem {
 	s := *h
 	n := len(s) - 1
+	if n < 0 {
+		panic("topk: pop of empty heap")
+	}
 	s[0], s[n] = s[n], s[0]
 	top := s[n]
 	s = s[:n]
 	*h = s
-	// Sift down from the root, as container/heap.Pop would.
+	// Sift down from the root, as container/heap.Pop would. The sift
+	// compares exactly as the indexed form did — right child first when it
+	// is smaller, then parent against the chosen child — but each branch
+	// carries its own swap and the loop re-checks j against the (uint-cast,
+	// hence non-negative) length, the shape the prove pass verifies without
+	// bounds checks on the phi-merged index.
 	j := 0
-	for {
+	for uint(j) < uint(len(s)) {
+		sj := s[j]
 		l := 2*j + 1
-		if l >= n {
+		if uint(l) >= uint(len(s)) {
 			break
 		}
-		m := l
-		if r := l + 1; r < n && s[r].score < s[l].score {
-			m = r
+		sl := s[l]
+		if r := l + 1; uint(r) < uint(len(s)) && s[r].score < sl.score {
+			if sj.score <= s[r].score {
+				break
+			}
+			s[j], s[r] = s[r], sj
+			j = r
+		} else {
+			if sj.score <= sl.score {
+				break
+			}
+			s[j], s[l] = sl, sj
+			j = l
 		}
-		if s[j].score <= s[m].score {
-			break
-		}
-		s[j], s[m] = s[m], s[j]
-		j = m
 	}
 	return top
 }

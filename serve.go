@@ -100,7 +100,7 @@ type Engine struct {
 	mu      sync.Mutex // serializes mutations
 	current atomic.Pointer[Index]
 	pool    *engine.Pool[*engineReq]
-	cache   *engine.LRU[string, any] // nil when disabled
+	cache   *engine.LRU[cacheKey, any] // nil when disabled
 	metrics *engine.Metrics
 	closed  atomic.Bool
 	// Per-endpoint RTA totals (rtopk and whynot), accumulated when a
@@ -175,7 +175,7 @@ func NewEngine(ix *Index, cfg EngineConfig) (*Engine, error) {
 	e := &Engine{cfg: cfg, metrics: engine.NewMetrics()}
 	e.current.Store(ix)
 	if cfg.CacheSize > 0 {
-		e.cache = engine.NewLRU[string, any](cfg.CacheSize)
+		e.cache = engine.NewLRU[cacheKey, any](cfg.CacheSize)
 	}
 	e.pool = engine.NewPool(cfg.Workers, cfg.MaxBatch, cfg.BatchLinger, dropStale, e.exec)
 	return e, nil
@@ -285,9 +285,8 @@ func (e *Engine) sweepCache(current uint64) {
 	if e.cache == nil {
 		return
 	}
-	prefix := epochKey(current, "")
-	e.cache.EvictIf(func(k string) bool {
-		return len(k) < len(prefix) || k[:len(prefix)] != prefix
+	e.cache.EvictIf(func(k cacheKey) bool {
+		return k.epoch != current
 	})
 }
 
@@ -643,7 +642,7 @@ func (e *Engine) do(ctx context.Context, r *engineReq) (any, uint64, error) {
 	r.key = argKey(r)
 	if e.cache != nil {
 		epoch := e.Epoch()
-		if v, ok := e.cache.Get(epochKey(epoch, r.key)); ok {
+		if v, ok := e.cacheGet(epoch, r.key); ok {
 			e.metrics.Observe(r.kind, time.Since(start), false)
 			return v, epoch, nil
 		}
@@ -717,7 +716,7 @@ func (e *Engine) exec(batch []*engineReq) {
 	snap := e.current.Load()
 	epoch := snap.Epoch()
 
-	waiters := make(map[string][]*engineReq, len(batch))
+	waiters := make(map[cacheKey][]*engineReq, len(batch))
 	var unique []*engineReq
 	// rtopkOrder fixes the group execution order to first arrival within the
 	// batch: ranging over rtopkGroups directly would run RTA merges (and
@@ -731,7 +730,7 @@ func (e *Engine) exec(batch []*engineReq) {
 				continue
 			}
 		}
-		full := epochKey(epoch, r.key)
+		full := cacheKey{epoch: epoch, key: r.key}
 		if e.cache != nil {
 			if v, ok := e.cache.Get(full); ok {
 				r.done <- engineResp{val: v, epoch: epoch}
@@ -755,7 +754,7 @@ func (e *Engine) exec(batch []*engineReq) {
 	}
 
 	finish := func(r *engineReq, val any, err error) {
-		full := epochKey(epoch, r.key)
+		full := cacheKey{epoch: epoch, key: r.key}
 		if err == nil && e.cache != nil {
 			e.cache.Add(full, val)
 		}
@@ -776,7 +775,7 @@ func (e *Engine) exec(batch []*engineReq) {
 		grp := rtopkGroups[gk]
 		var ws []*engineReq
 		for _, r := range grp {
-			ws = append(ws, waiters[epochKey(epoch, r.key)]...)
+			ws = append(ws, waiters[cacheKey{epoch: epoch, key: r.key}]...)
 		}
 		cctx, stop := compCtx(ws)
 		e.execRTopK(cctx, snap, grp, finish)
@@ -789,7 +788,7 @@ func (e *Engine) exec(batch []*engineReq) {
 	// through the public Index Ctx methods, whose re-validation cost is
 	// negligible against their sampling, QP and traversal work.
 	for _, r := range unique {
-		cctx, stop := compCtx(waiters[epochKey(epoch, r.key)])
+		cctx, stop := compCtx(waiters[cacheKey{epoch: epoch, key: r.key}])
 		var val any
 		var err error
 		switch r.kind {
@@ -979,10 +978,22 @@ func appendOptions(b []byte, o Options) []byte {
 	return b
 }
 
-func epochKey(epoch uint64, key string) string {
-	var p [8]byte
-	binary.LittleEndian.PutUint64(p[:], epoch)
-	return string(p[:]) + key
+// cacheKey scopes one cached result to the snapshot epoch that produced
+// it. It replaces the old epoch-prefixed string key, whose 8-byte-prefix
+// concatenation allocated a fresh string on every lookup — including the
+// hottest path of all, a cache hit; a two-field struct key hashes without
+// allocating and lets sweepCache compare epochs instead of string prefixes.
+type cacheKey struct {
+	epoch uint64
+	key   string
+}
+
+// cacheGet is the allocation-free cache hit path. Callers must have
+// checked e.cache != nil.
+//
+//wqrtq:contract inline noalloc noescape(key)
+func (e *Engine) cacheGet(epoch uint64, key string) (any, bool) {
+	return e.cache.Get(cacheKey{epoch: epoch, key: key})
 }
 
 func qkKey(q []float64, k int) string {
