@@ -100,9 +100,10 @@ func BenchmarkSkyband(b *testing.B) {
 // benchRecord is one row of a committed benchmark snapshot.
 type benchRecord struct {
 	N          int     `json:"n"`
-	Skyband    string  `json:"skyband"`
+	Skyband    string  `json:"skyband,omitempty"`
 	Kernel     string  `json:"kernel,omitempty"`
 	CellIndex  string  `json:"cellindex,omitempty"`
+	Fsync      string  `json:"fsync,omitempty"`
 	Endpoint   string  `json:"endpoint"`
 	Iterations int     `json:"iterations"`
 	NsPerOp    float64 `json:"ns_per_op"`

@@ -9,13 +9,15 @@
 //	wqrtq rtopk  -data data.csv -q 0.1,0.2,0.3 -k 10 -weights w.csv
 //	wqrtq mono   -data data2d.csv -q 4,4 -k 3
 //	wqrtq whynot -data data.csv -q 0.1,0.2,0.3 -k 10 -weights w.csv -missing 0,3 [-samples 800] [-seed 1]
-//	wqrtq serve  -data data.csv -addr :8080
+//	wqrtq serve  -data data.csv -addr :8080 [-data-dir state/ -fsync always]
+//	wqrtq verify state/
 //
 // Data files are CSV with one point per row; weight files are CSV with one
 // weighting vector per row (components summing to 1).
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -51,6 +53,8 @@ func main() {
 		err = cmdMonoSample(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "verify":
+		err = cmdVerify(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -78,6 +82,8 @@ commands:
   nearest find the points closest to a given point
   monosample  estimate a monochromatic reverse top-k result in any dimension
   serve   serve queries and mutations over JSON/HTTP with snapshot isolation
+  verify  check a durable data directory offline (checksums, WAL chain,
+          dry-run recovery); exit 1 when recovery would fail
 
 run "wqrtq <command> -h" for flags`)
 }
@@ -106,15 +112,24 @@ func cmdGen(args []string) error {
 	return ds.WriteCSV(w)
 }
 
+// loadIndex reads a dataset CSV. Strictly-numeric files (the gen output
+// format) load as-is; anything else — real-world tables with headers and
+// label columns, NBA/household style — falls back to the tolerant
+// dataset.ReadTable extraction of the numeric sub-matrix.
 func loadIndex(path string) (*wqrtq.Index, *dataset.Dataset, error) {
-	f, err := os.Open(path)
+	raw, err := os.ReadFile(path)
 	if err != nil {
 		return nil, nil, err
 	}
-	defer f.Close()
-	ds, err := dataset.ReadCSV(f)
+	ds, err := dataset.ReadCSV(bytes.NewReader(raw))
 	if err != nil {
-		return nil, nil, err
+		var info *dataset.TableInfo
+		ds, info, err = dataset.ReadTable(bytes.NewReader(raw))
+		if err != nil {
+			return nil, nil, err
+		}
+		fmt.Fprintf(os.Stderr, "wqrtq: %s is not a plain numeric CSV; loaded %d rows × %d numeric columns %v (%d rows skipped)\n",
+			path, info.RowsRead, len(info.Columns), info.Columns, info.RowsDropped)
 	}
 	pts := make([][]float64, len(ds.Points))
 	for i, p := range ds.Points {

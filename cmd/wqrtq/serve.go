@@ -55,6 +55,10 @@ func cmdServe(args []string) error {
 	skyband := fs.String("skyband", "on", "k-skyband candidate sub-index: on (default) or off (full-tree ablation; results identical)")
 	kernelFlag := fs.String("kernel", "on", "blocked SoA scoring kernel: on (default) or off (scalar ablation; results bit-identical)")
 	cellFlag := fs.String("cellindex", "on", "materialized reverse-top-k cell index: on (default) or off (skyband/kernel ablation; results bit-identical)")
+	dataDir := fs.String("data-dir", "", "durable data directory: WAL + snapshots; existing state overrides -data (empty = in-memory)")
+	fsync := fs.String("fsync", "always", "WAL sync policy: always (sync per mutation), interval (periodic) or off (sync at rotation/close only)")
+	fsyncInterval := fs.Duration("fsync-interval", 0, "sync period under -fsync=interval (0 = default)")
+	checkpointBytes := fs.Int64("checkpoint-bytes", 0, "WAL size triggering a background checkpoint (0 = default, negative disables)")
 	fs.Parse(args)
 	if *skyband != "on" && *skyband != "off" {
 		return fmt.Errorf("wqrtq serve: -skyband must be on or off, got %q", *skyband)
@@ -65,9 +69,18 @@ func cmdServe(args []string) error {
 	if *cellFlag != "on" && *cellFlag != "off" {
 		return fmt.Errorf("wqrtq serve: -cellindex must be on or off, got %q", *cellFlag)
 	}
-	ix, _, err := loadIndex(*data)
-	if err != nil {
-		return err
+	if *fsync != "always" && *fsync != "interval" && *fsync != "off" {
+		return fmt.Errorf("wqrtq serve: -fsync must be always, interval or off, got %q", *fsync)
+	}
+	var ix *wqrtq.Index
+	if *data != "" {
+		var err error
+		ix, _, err = loadIndex(*data)
+		if err != nil {
+			return err
+		}
+	} else if *dataDir == "" {
+		return fmt.Errorf("wqrtq serve: need -data (dataset CSV) or -data-dir (durable state)")
 	}
 	eng, err := wqrtq.NewEngine(ix, wqrtq.EngineConfig{
 		Workers:          *workers,
@@ -78,21 +91,31 @@ func cmdServe(args []string) error {
 		DisableSkyband:   *skyband == "off",
 		DisableKernel:    *kernelFlag == "off",
 		DisableCellIndex: *cellFlag == "off",
+		DataDir:          *dataDir,
+		Fsync:            *fsync,
+		FsyncInterval:    *fsyncInterval,
+		CheckpointBytes:  *checkpointBytes,
 	})
 	if err != nil {
 		return err
 	}
+	if w := eng.Stats().WAL; w.Recoveries > 0 {
+		fmt.Fprintf(os.Stderr, "wqrtq: recovered durable state from %s (LSN %d, %d WAL records replayed); -data seed ignored\n",
+			*dataDir, w.LastLSN, w.ReplayedRecords)
+	}
 	srv := &http.Server{Addr: *addr, Handler: newServeHandler(eng, *queryTimeout)}
 	errCh := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "wqrtq: serving %d points on %s\n", ix.Len(), *addr)
+		fmt.Fprintf(os.Stderr, "wqrtq: serving %d points on %s\n", eng.Snapshot().Len(), *addr)
 		errCh <- srv.ListenAndServe()
 	}()
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errCh:
-		eng.Close()
+		if cerr := eng.Close(); cerr != nil && err == nil {
+			return cerr
+		}
 		return err
 	case s := <-sig:
 		fmt.Fprintf(os.Stderr, "wqrtq: %v, draining\n", s)
@@ -100,7 +123,11 @@ func cmdServe(args []string) error {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	err = srv.Shutdown(ctx) // stop accepting, wait for in-flight handlers
-	eng.Close()             // then drain the engine's queue
+	// Then drain the engine's queue and settle durability; a WAL flush
+	// failure at shutdown must not be swallowed.
+	if cerr := eng.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
 	return err
 }
 

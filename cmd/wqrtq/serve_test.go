@@ -31,7 +31,7 @@ func serveTestHandler(t *testing.T) http.Handler {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(e.Close)
+	t.Cleanup(func() { e.Close() })
 	return newServeHandler(e, 0)
 }
 
@@ -159,7 +159,7 @@ func TestServeQueryTimeout(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(e.Close)
+	t.Cleanup(func() { e.Close() })
 	h := newServeHandler(e, time.Nanosecond)
 
 	rec := post(t, h, "/v1/whynot",
@@ -267,7 +267,7 @@ func shardedTestHandler(t *testing.T, shards int) http.Handler {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(e.Close)
+	t.Cleanup(func() { e.Close() })
 	return newServeHandler(e, 0)
 }
 
@@ -354,7 +354,7 @@ func TestServeKernelStats(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		t.Cleanup(e.Close)
+		t.Cleanup(func() { e.Close() })
 		return newServeHandler(e, 0)
 	}
 	body := `{"q":[3,4],"k":2,"weights":[[0.25,0.75],[0.5,0.5],[0.75,0.25]]}`

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"wqrtq"
+)
+
+// buildStore creates a durable data directory on the real filesystem with a
+// few mutations and at least one checkpoint, then closes the engine.
+func buildStore(t *testing.T) string {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "state")
+	pts := [][]float64{{1, 2}, {2, 1}, {3, 3}, {0.5, 4}, {4, 0.5}}
+	ix, err := wqrtq.NewIndex(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := wqrtq.NewEngine(ix, wqrtq.EngineConfig{DataDir: dir, CheckpointBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, _, err := e.Insert([]float64{float64(i) + 0.1, float64(8 - i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestCmdVerifyHealthyStore(t *testing.T) {
+	dir := buildStore(t)
+	if err := cmdVerify([]string{"-q", dir}); err != nil {
+		t.Fatalf("verify of healthy store: %v", err)
+	}
+}
+
+func TestCmdVerifyCorruptStore(t *testing.T) {
+	dir := buildStore(t)
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt every snapshot so no fallback generation remains.
+	for _, de := range names {
+		if filepath.Ext(de.Name()) != ".snap" {
+			continue
+		}
+		p := filepath.Join(dir, de.Name())
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)/2] ^= 0x40
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cmdVerify([]string{"-q", dir}); err == nil {
+		t.Fatal("verify blessed a corrupt store")
+	}
+}
+
+// TestServeRejectsBadDurabilityFlags pins flag validation without binding a
+// socket.
+func TestServeRejectsBadDurabilityFlags(t *testing.T) {
+	if err := cmdServe([]string{"-fsync", "sometimes"}); err == nil {
+		t.Fatal("bad -fsync accepted")
+	}
+	if err := cmdServe([]string{}); err == nil {
+		t.Fatal("serve without -data or -data-dir accepted")
+	}
+}

@@ -1,0 +1,699 @@
+package wqrtq
+
+// Durability: a paged snapshot store plus a mutation write-ahead log.
+//
+// When EngineConfig.DataDir is set, the engine persists its state so a
+// restart recovers exactly the dataset it was serving:
+//
+//   - every effective mutation is appended to a WAL segment (internal/wal)
+//     and — under the default fsync=always policy — synced before the new
+//     snapshot is published, so an acknowledged mutation survives any
+//     crash;
+//   - a background checkpointer serializes the current immutable snapshot
+//     (internal/pagestore) once the segment exceeds CheckpointBytes. The
+//     copy-on-write discipline makes this free of coordination: a
+//     published *Index is never mutated, so the checkpointer walks it
+//     while queries and further mutations proceed;
+//   - startup loads the newest snapshot whose checksums verify (falling
+//     back to the previous generation if the newest rotted), replays the
+//     WAL chain above it, drops a torn final record, and refuses with
+//     ErrCorruptStore when durable bytes fail to verify — never serving a
+//     silently wrong dataset.
+//
+// On-disk layout of a data directory:
+//
+//	snap-<lsn>.snap   paged snapshot covering mutations 1..lsn
+//	wal-<base>.wal    mutation records base+1, base+2, ...
+//	*.tmp             checkpoint in progress; removed at startup
+//
+// Each mutation carries a log sequence number (LSN), 1 + the LSN before
+// it. A checkpoint at LSN L rotates the log (creating wal-L) and then
+// writes snap-L; retention keeps the two newest snapshot generations and
+// every segment at or above the older one, so a single rotted snapshot
+// file falls back to the previous generation plus a longer replay.
+// Recovery enforces the chain invariants — segment bases must continue
+// exactly where the snapshot or previous segment ended, records must be
+// LSN-contiguous, and only the newest segment may end in a torn tail;
+// any other damage is corruption, detected and refused.
+//
+// With DataDir unset none of this code runs and the engine behaves
+// exactly as before: pure in-memory, byte-for-byte identical results.
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wqrtq/internal/cellindex"
+	"wqrtq/internal/kernel"
+	"wqrtq/internal/pagestore"
+	"wqrtq/internal/rtree"
+	"wqrtq/internal/skyband"
+	"wqrtq/internal/storage"
+	"wqrtq/internal/vec"
+	"wqrtq/internal/wal"
+)
+
+// ErrCorruptStore reports a data directory whose durable bytes fail
+// checksum or chain verification. The engine refuses to open (and verify
+// refuses to bless) such a directory rather than serve from it.
+var ErrCorruptStore = errors.New("wqrtq: data directory is corrupt")
+
+// DefaultCheckpointBytes is the WAL-size threshold that triggers a
+// background checkpoint when EngineConfig.CheckpointBytes is zero.
+const DefaultCheckpointBytes = 64 << 20
+
+// WALStats surfaces the durability counters in EngineStats and /v1/stats.
+type WALStats struct {
+	// Enabled is false when the engine runs pure in-memory (no DataDir).
+	Enabled bool `json:"enabled"`
+	// Fsync is the active policy: always, interval or off.
+	Fsync string `json:"fsync,omitempty"`
+	// LastLSN is the sequence number of the last logged mutation;
+	// SnapshotLSN is the last mutation covered by the newest durable
+	// snapshot. The difference is the replay the next restart pays.
+	LastLSN     uint64 `json:"last_lsn"`
+	SnapshotLSN uint64 `json:"snapshot_lsn"`
+	// WALBytes is the size of the current segment — the value compared
+	// against the checkpoint threshold.
+	WALBytes int64 `json:"wal_bytes"`
+	// Appends and Syncs count WAL record appends and file syncs.
+	Appends int64 `json:"appends"`
+	Syncs   int64 `json:"syncs"`
+	// Checkpoints counts completed snapshot checkpoints;
+	// CheckpointFailures counts aborted or failed ones.
+	Checkpoints        int64 `json:"checkpoints"`
+	CheckpointFailures int64 `json:"checkpoint_failures"`
+	// Recoveries is 1 when this engine recovered from durable state at
+	// startup (0 for a fresh directory). ReplayedRecords, TornTailDrops
+	// and SnapshotFallbacks describe that recovery: WAL records re-applied,
+	// torn final records discarded, and snapshot generations skipped
+	// because their checksums failed.
+	Recoveries        int64 `json:"recoveries"`
+	ReplayedRecords   int64 `json:"replayed_records"`
+	TornTailDrops     int64 `json:"torn_tail_drops"`
+	SnapshotFallbacks int64 `json:"snapshot_fallbacks"`
+}
+
+// durable is the engine's durability state. Lock order: e.mu before d.mu.
+// The mutation path (under e.mu) appends and syncs before the snapshot is
+// published; the checkpointer captures (snapshot, LSN) and rotates the log
+// under e.mu, then serializes without any lock.
+type durable struct {
+	fs        storage.FS
+	dir       string
+	policy    wal.Policy
+	policyStr string
+	interval  time.Duration
+	threshold int64
+
+	mu          sync.Mutex // guards w, lastLSN, snapLSN, appendsBase, syncsBase
+	w           *wal.Writer
+	lastLSN     uint64
+	snapLSN     uint64
+	appendsBase int64 // counters of rotated-out segments
+	syncsBase   int64
+
+	checkpointing atomic.Bool
+	stop          chan struct{}
+	wg            sync.WaitGroup
+	closeOnce     sync.Once
+	closeErr      error
+
+	checkpoints     atomic.Int64
+	checkpointFails atomic.Int64
+	recoveries      atomic.Int64
+	replayed        atomic.Int64
+	tornDrops       atomic.Int64
+	fallbacks       atomic.Int64
+}
+
+// newIndexFromParts wires a recovered tree and id-indexed points table
+// into a full Index, mirroring NewIndex's sub-index setup without the
+// validation and bulk load (the parts came from verified durable state).
+func newIndexFromParts(tree *rtree.Tree, points []vec.Point) *Index {
+	ix := &Index{tree: tree, points: points, sky: skyband.NewCache(tree, nil), kct: kernel.NewCounters(), cct: cellindex.NewCounters()}
+	ix.cells = cellindex.NewCache(ix.sky, tree.Dim(), ix.cct)
+	return ix
+}
+
+// recInfo summarizes one recovery pass.
+type recInfo struct {
+	recovered bool // durable state existed (false: fresh directory)
+	lastLSN   uint64
+	snapLSN   uint64
+	replayed  int64
+	tornDrops int64
+	fallbacks int64
+}
+
+// scanDataDir partitions a data directory into snapshot LSNs (descending),
+// segment base LSNs (ascending) and leftover temp files.
+func scanDataDir(fs storage.FS, dir string) (snaps, wals []uint64, tmps []string, err error) {
+	names, err := fs.List(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	for _, n := range names {
+		if strings.HasSuffix(n, ".tmp") {
+			tmps = append(tmps, n)
+			continue
+		}
+		if lsn, ok := pagestore.ParseSnapshotName(n); ok {
+			snaps = append(snaps, lsn)
+			continue
+		}
+		if base, ok := wal.ParseSegmentName(n); ok {
+			wals = append(wals, base)
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] > snaps[j] })
+	sort.Slice(wals, func(i, j int) bool { return wals[i] < wals[j] })
+	return snaps, wals, tmps, nil
+}
+
+func readSnapshotFile(fs storage.FS, dir string, lsn uint64) (*pagestore.Snapshot, error) {
+	f, err := fs.Open(filepath.Join(dir, pagestore.SnapshotName(lsn)))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	snap, err := pagestore.Read(f)
+	if err != nil {
+		return nil, err
+	}
+	if snap.LastLSN != lsn {
+		return nil, fmt.Errorf("%w: snapshot %s declares LSN %d", pagestore.ErrCorrupt, pagestore.SnapshotName(lsn), snap.LastLSN)
+	}
+	return snap, nil
+}
+
+// recoverState rebuilds the index from dir: newest verifiable snapshot
+// plus the WAL chain above it. A fresh directory returns (nil, zero
+// recInfo, nil); damaged durable state returns an error wrapping
+// ErrCorruptStore.
+func recoverState(fs storage.FS, dir string) (*Index, recInfo, error) {
+	var info recInfo
+	snaps, wals, _, err := scanDataDir(fs, dir)
+	if err != nil {
+		return nil, info, err
+	}
+	if len(snaps) == 0 {
+		if len(wals) == 0 {
+			return nil, info, nil
+		}
+		return nil, info, fmt.Errorf("%w: %d WAL segments but no snapshot", ErrCorruptStore, len(wals))
+	}
+
+	var snap *pagestore.Snapshot
+	var firstErr error
+	for i, lsn := range snaps {
+		s, err := readSnapshotFile(fs, dir, lsn)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		snap = s
+		info.fallbacks = int64(i)
+		break
+	}
+	if snap == nil {
+		return nil, info, fmt.Errorf("%w: none of %d snapshots verifies: %v", ErrCorruptStore, len(snaps), firstErr)
+	}
+	info.recovered = true
+	info.snapLSN = snap.LastLSN
+	ix := newIndexFromParts(snap.Tree, snap.Points)
+
+	// Replay every segment at or above the recovered snapshot. The chain
+	// must start exactly at the snapshot's LSN, each segment must end
+	// exactly where the next begins, and only the final segment may be
+	// torn. (Segments below the snapshot are previous-generation history
+	// retained for fallback; their records are already in the snapshot.)
+	var chain []uint64
+	for _, base := range wals {
+		if base >= info.snapLSN {
+			chain = append(chain, base)
+		}
+	}
+	info.lastLSN = info.snapLSN
+	if len(chain) > 0 && chain[0] != info.snapLSN {
+		return nil, info, fmt.Errorf("%w: WAL chain starts at %d, snapshot covers %d", ErrCorruptStore, chain[0], info.snapLSN)
+	}
+	for i, base := range chain {
+		res, err := wal.Replay(fs, filepath.Join(dir, wal.SegmentName(base)), base,
+			func(kind int, lsn, id uint64, p vec.Point) error {
+				switch kind {
+				case wal.KindInsert:
+					got, err := ix.Insert(p)
+					if err != nil {
+						return fmt.Errorf("%w: replay LSN %d: %v", ErrCorruptStore, lsn, err)
+					}
+					if uint64(got) != id {
+						return fmt.Errorf("%w: replay LSN %d assigned id %d, log recorded %d", ErrCorruptStore, lsn, got, id)
+					}
+				case wal.KindDelete:
+					ok, err := ix.Delete(int(id))
+					if err != nil {
+						return fmt.Errorf("%w: replay LSN %d: %v", ErrCorruptStore, lsn, err)
+					}
+					if !ok {
+						return fmt.Errorf("%w: replay LSN %d deletes id %d, which is not live", ErrCorruptStore, lsn, id)
+					}
+				default:
+					return fmt.Errorf("%w: replay LSN %d: unknown kind %d", ErrCorruptStore, lsn, kind)
+				}
+				return nil
+			})
+		if err != nil {
+			if errors.Is(err, ErrCorruptStore) {
+				return nil, info, err
+			}
+			return nil, info, fmt.Errorf("%w: segment %s: %v", ErrCorruptStore, wal.SegmentName(base), err)
+		}
+		last := i == len(chain)-1
+		if res.TornBytes > 0 {
+			if !last {
+				return nil, info, fmt.Errorf("%w: segment %s is torn but not the newest", ErrCorruptStore, wal.SegmentName(base))
+			}
+			info.tornDrops++
+		}
+		if !last && res.LastLSN != chain[i+1] {
+			return nil, info, fmt.Errorf("%w: segment %s ends at LSN %d, next segment starts at %d",
+				ErrCorruptStore, wal.SegmentName(base), res.LastLSN, chain[i+1])
+		}
+		info.replayed += int64(res.Records)
+		info.lastLSN = res.LastLSN
+	}
+	return ix, info, nil
+}
+
+// openDurable opens (or initializes) cfg.DataDir and returns the index the
+// engine must serve plus the durability state. Durable state wins: when
+// the directory already holds a dataset, seed is ignored and the recovered
+// index is returned.
+func openDurable(seed *Index, cfg EngineConfig) (*Index, *durable, error) {
+	fs := cfg.FS
+	if fs == nil {
+		fs = storage.OS()
+	}
+	policy, err := wal.PolicyFromString(cfg.Fsync)
+	if err != nil {
+		return nil, nil, invalidArg(err)
+	}
+	policyStr := cfg.Fsync
+	if policyStr == "" {
+		policyStr = "always"
+	}
+	d := &durable{
+		fs:        fs,
+		dir:       cfg.DataDir,
+		policy:    policy,
+		policyStr: policyStr,
+		interval:  cfg.FsyncInterval,
+		threshold: cfg.CheckpointBytes,
+		stop:      make(chan struct{}),
+	}
+	if d.interval <= 0 {
+		d.interval = wal.IntervalDefault
+	}
+	if d.threshold == 0 {
+		d.threshold = DefaultCheckpointBytes
+	}
+	if err := fs.MkdirAll(d.dir); err != nil {
+		return nil, nil, err
+	}
+	// Clear leftover checkpoint temporaries before recovery looks around.
+	_, _, tmps, err := scanDataDir(fs, d.dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, t := range tmps {
+		if err := fs.Remove(filepath.Join(d.dir, t)); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	ix, info, err := recoverState(fs, d.dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	if info.recovered {
+		d.lastLSN, d.snapLSN = info.lastLSN, info.snapLSN
+		d.recoveries.Store(1)
+		d.replayed.Store(info.replayed)
+		d.tornDrops.Store(info.tornDrops)
+		d.fallbacks.Store(info.fallbacks)
+	} else {
+		// Fresh directory: persist the seed index as the initial snapshot
+		// before serving, so the first crash already has something to
+		// recover to.
+		if seed == nil {
+			return nil, nil, invalidArg(errors.New("wqrtq: data directory is empty and no seed index was provided"))
+		}
+		ix = seed
+		if err := d.writeSnapshot(ix, 0); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// Always start a fresh segment at the recovered LSN: appending to an
+	// existing file whose tail may be torn would corrupt it. The name can
+	// collide with an existing segment only when that segment contributed
+	// zero records past its base, so truncating it loses nothing.
+	w, err := wal.Create(fs, d.dir, filepath.Join(d.dir, wal.SegmentName(d.lastLSN)), d.lastLSN, policy)
+	if err != nil {
+		return nil, nil, err
+	}
+	d.w = w
+
+	if policy == wal.SyncInterval {
+		d.wg.Add(1)
+		go d.syncLoop()
+	}
+	return ix, d, nil
+}
+
+// syncLoop periodically syncs the current segment under the interval
+// policy.
+func (d *durable) syncLoop() {
+	defer d.wg.Done()
+	t := time.NewTicker(d.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-t.C:
+			d.mu.Lock()
+			w := d.w
+			d.mu.Unlock()
+			// Best effort: a failure poisons the writer, which the next
+			// mutation reports to its caller.
+			_ = w.Sync()
+		}
+	}
+}
+
+// appendInsert logs an effective insert and makes it as durable as the
+// policy promises. Called under e.mu, before the mutated snapshot is
+// published; an error aborts the mutation with the engine state unchanged.
+func (d *durable) appendInsert(id uint64, p vec.Point) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	lsn := d.lastLSN + 1
+	if err := d.w.AppendInsert(lsn, id, p); err != nil {
+		return err
+	}
+	d.lastLSN = lsn
+	return nil
+}
+
+// appendDelete logs an effective delete; see appendInsert.
+func (d *durable) appendDelete(id uint64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	lsn := d.lastLSN + 1
+	if err := d.w.AppendDelete(lsn, id); err != nil {
+		return err
+	}
+	d.lastLSN = lsn
+	return nil
+}
+
+// stopped is the abort poll handed to the snapshot serializer so shutdown
+// does not wait out a large checkpoint.
+func (d *durable) stopped() bool {
+	select {
+	case <-d.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// writeSnapshot serializes ix as snap-<lsn>: write to a temp file, sync,
+// rename into place, sync the directory. Readers only ever see complete,
+// checksummed snapshots.
+func (d *durable) writeSnapshot(ix *Index, lsn uint64) error {
+	final := filepath.Join(d.dir, pagestore.SnapshotName(lsn))
+	tmp := final + ".tmp"
+	f, err := d.fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := pagestore.Write(f, ix.tree, ix.points, lsn, d.stopped); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := d.fs.Rename(tmp, final); err != nil {
+		return err
+	}
+	return d.fs.SyncDir(d.dir)
+}
+
+// maybeCheckpoint starts a background checkpoint when the current segment
+// has outgrown the threshold. Called at the end of a mutation, under e.mu;
+// the size probe and CAS are cheap and the work runs in a goroutine.
+func (e *Engine) maybeCheckpoint() {
+	d := e.dur
+	if d.threshold < 0 || d.w.Bytes() < d.threshold {
+		return
+	}
+	if !d.checkpointing.CompareAndSwap(false, true) {
+		return
+	}
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		defer d.checkpointing.Store(false)
+		if err := e.runCheckpoint(); err != nil && !errors.Is(err, pagestore.ErrAborted) {
+			d.checkpointFails.Add(1)
+		}
+	}()
+}
+
+// Checkpoint synchronously serializes the current snapshot and truncates
+// the WAL. It is the explicit form of what the background checkpointer
+// does at the size threshold; tests and operators use it to bound recovery
+// replay on demand. A concurrent checkpoint makes this call a no-op.
+func (e *Engine) Checkpoint() error {
+	if e.closed.Load() {
+		return ErrEngineClosed
+	}
+	d := e.dur
+	if d == nil {
+		return errors.New("wqrtq: engine has no data directory")
+	}
+	if !d.checkpointing.CompareAndSwap(false, true) {
+		return nil
+	}
+	defer d.checkpointing.Store(false)
+	err := e.runCheckpoint()
+	if err != nil && !errors.Is(err, pagestore.ErrAborted) {
+		d.checkpointFails.Add(1)
+	}
+	return err
+}
+
+// runCheckpoint performs one checkpoint cycle: under e.mu it captures the
+// current (snapshot, LSN) pair and rotates the WAL, then — lock-free,
+// because the captured snapshot is immutable — serializes it, publishes
+// the snapshot file, and drops superseded generations.
+func (e *Engine) runCheckpoint() error {
+	d := e.dur
+	e.mu.Lock()
+	snap := e.current.Load()
+	d.mu.Lock()
+	lsn := d.lastLSN
+	if lsn == d.snapLSN {
+		d.mu.Unlock()
+		e.mu.Unlock()
+		return nil // nothing new since the last checkpoint
+	}
+	w2, err := wal.Create(d.fs, d.dir, filepath.Join(d.dir, wal.SegmentName(lsn)), lsn, d.policy)
+	if err != nil {
+		d.mu.Unlock()
+		e.mu.Unlock()
+		return err
+	}
+	old := d.w
+	d.w = w2
+	// Seal the rotated segment (sync + close) so from here on only the
+	// newest segment can ever be torn. Under fsync=always every record in
+	// it is already durable; under interval/off a failure here falls
+	// within those policies' loss contract, and the snapshot about to be
+	// written covers the segment either way.
+	sealErr := old.Close()
+	a, s := old.Counters()
+	d.appendsBase += a
+	d.syncsBase += s
+	d.mu.Unlock()
+	e.mu.Unlock()
+	if sealErr != nil && d.policy == wal.SyncAlways {
+		// With per-append syncs the final sync is a no-op repeat; a
+		// failure means the device is rejecting syncs outright.
+		return sealErr
+	}
+
+	if err := d.writeSnapshot(snap, lsn); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	prev := d.snapLSN
+	d.snapLSN = lsn
+	d.mu.Unlock()
+	d.checkpoints.Add(1)
+	d.cleanup(lsn, prev)
+	return nil
+}
+
+// cleanup drops snapshots older than the previous generation and WAL
+// segments below it. Failures are ignored: leftover garbage is harmless
+// (recovery skips past it) and the next checkpoint retries.
+func (d *durable) cleanup(cur, prev uint64) {
+	snaps, wals, _, err := scanDataDir(d.fs, d.dir)
+	if err != nil {
+		return
+	}
+	removed := false
+	for _, lsn := range snaps {
+		if lsn != cur && lsn != prev {
+			if d.fs.Remove(filepath.Join(d.dir, pagestore.SnapshotName(lsn))) == nil {
+				removed = true
+			}
+		}
+	}
+	for _, base := range wals {
+		if base < prev {
+			if d.fs.Remove(filepath.Join(d.dir, wal.SegmentName(base))) == nil {
+				removed = true
+			}
+		}
+	}
+	if removed {
+		_ = d.fs.SyncDir(d.dir)
+	}
+}
+
+// close flushes and seals the WAL and waits out (or aborts, via the stop
+// channel the serializer polls) an in-flight checkpoint. Idempotent.
+func (d *durable) close() error {
+	d.closeOnce.Do(func() {
+		close(d.stop)
+		d.wg.Wait()
+		d.mu.Lock()
+		d.closeErr = d.w.Close()
+		d.mu.Unlock()
+	})
+	return d.closeErr
+}
+
+func (d *durable) stats() WALStats {
+	d.mu.Lock()
+	w := d.w
+	last, snapLSN := d.lastLSN, d.snapLSN
+	aBase, sBase := d.appendsBase, d.syncsBase
+	d.mu.Unlock()
+	a, s := w.Counters()
+	return WALStats{
+		Enabled:            true,
+		Fsync:              d.policyStr,
+		LastLSN:            last,
+		SnapshotLSN:        snapLSN,
+		WALBytes:           w.Bytes(),
+		Appends:            aBase + a,
+		Syncs:              sBase + s,
+		Checkpoints:        d.checkpoints.Load(),
+		CheckpointFailures: d.checkpointFails.Load(),
+		Recoveries:         d.recoveries.Load(),
+		ReplayedRecords:    d.replayed.Load(),
+		TornTailDrops:      d.tornDrops.Load(),
+		SnapshotFallbacks:  d.fallbacks.Load(),
+	}
+}
+
+// VerifyFile is one file's status in a VerifyReport.
+type VerifyFile struct {
+	Name string `json:"name"`
+	// LSN is the snapshot's covered LSN or the segment's base LSN.
+	LSN uint64 `json:"lsn"`
+	// Err is empty when the file verifies.
+	Err string `json:"err,omitempty"`
+}
+
+// VerifyReport is the result of VerifyDataDir — the offline checker behind
+// `wqrtq verify <dir>`.
+type VerifyReport struct {
+	Snapshots []VerifyFile `json:"snapshots"`
+	Segments  []VerifyFile `json:"segments"`
+	// OK reports whether a recovery from this directory would succeed;
+	// Detail carries the failure when it would not. Individual snapshot
+	// files may fail (Err set) while OK stays true — that is exactly the
+	// fallback path recovery takes.
+	OK     bool   `json:"ok"`
+	Detail string `json:"detail,omitempty"`
+	// Recovered state, valid when OK: the last durable LSN, live points
+	// and allocated ids.
+	LastLSN uint64 `json:"last_lsn"`
+	Live    int    `json:"live"`
+	NumIDs  int    `json:"num_ids"`
+}
+
+// VerifyDataDir checks a data directory offline: every snapshot's
+// checksums, the WAL chain, and a full dry-run recovery including the
+// recovered index's structural invariants. fs nil means the real
+// filesystem. The returned error reports only I/O-level failures;
+// verification findings land in the report.
+func VerifyDataDir(fs storage.FS, dir string) (*VerifyReport, error) {
+	if fs == nil {
+		fs = storage.OS()
+	}
+	snaps, wals, _, err := scanDataDir(fs, dir)
+	if err != nil {
+		return nil, err
+	}
+	r := &VerifyReport{}
+	for _, lsn := range snaps {
+		vf := VerifyFile{Name: pagestore.SnapshotName(lsn), LSN: lsn}
+		if _, err := readSnapshotFile(fs, dir, lsn); err != nil {
+			vf.Err = err.Error()
+		}
+		r.Snapshots = append(r.Snapshots, vf)
+	}
+	for _, base := range wals {
+		r.Segments = append(r.Segments, VerifyFile{Name: wal.SegmentName(base), LSN: base})
+	}
+	ix, info, err := recoverState(fs, dir)
+	if err != nil {
+		r.Detail = err.Error()
+		return r, nil
+	}
+	if ix == nil {
+		r.OK = true
+		r.Detail = "empty data directory"
+		return r, nil
+	}
+	if err := ix.CheckInvariants(); err != nil {
+		r.Detail = fmt.Sprintf("recovered index fails invariants: %v", err)
+		return r, nil
+	}
+	r.OK = true
+	r.LastLSN = info.lastLSN
+	r.Live = ix.Len()
+	r.NumIDs = ix.NumIDs()
+	return r, nil
+}

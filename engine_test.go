@@ -26,7 +26,7 @@ func testEngine(t *testing.T, n, d int, cfg EngineConfig) (*Engine, *Index) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(e.Close)
+	t.Cleanup(func() { e.Close() })
 	return e, ix
 }
 

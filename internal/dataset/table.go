@@ -1,0 +1,143 @@
+package dataset
+
+// ReadTable: a tolerant loader for real-world tabular CSVs (NBA game logs,
+// UCI household power readings, and the like), which — unlike the strict
+// ReadCSV format — carry header rows, label columns (player, team, date)
+// and occasional malformed lines. The paper's evaluation uses such tables
+// directly; this loader extracts the numeric sub-matrix deterministically:
+//
+//  1. rows in which no field parses as a number (headers, comments,
+//     blank lines) are dropped;
+//  2. among the surviving rows, the most common field count wins and
+//     rows of any other width are dropped (truncated/ragged lines);
+//  3. a column is kept iff it parses as a finite number in every
+//     surviving row — label and partially-numeric columns are dropped.
+//
+// The result is every fully-numeric column of every well-formed data row,
+// in original column order.
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"wqrtq/internal/vec"
+)
+
+// TableInfo reports what ReadTable kept and dropped, so callers can log
+// how much of a messy file actually loaded.
+type TableInfo struct {
+	RowsRead    int   // data rows kept
+	RowsDropped int   // header/ragged/non-numeric rows skipped
+	Columns     []int // original indices of the kept (fully numeric) columns
+}
+
+func numeric(s string) (float64, bool) {
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil || math.IsInf(v, 0) || math.IsNaN(v) {
+		return 0, false
+	}
+	return v, true
+}
+
+// ReadTable extracts the numeric sub-matrix of a real-world CSV table. It
+// fails only when nothing usable remains: no data rows, or no column that
+// is numeric across every data row.
+func ReadTable(r io.Reader) (*Dataset, *TableInfo, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // real tables are ragged; widths are arbitrated below
+	var rows [][]string
+	dropped := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		hasNumeric := false
+		for _, f := range rec {
+			if _, ok := numeric(f); ok {
+				hasNumeric = true
+				break
+			}
+		}
+		if !hasNumeric {
+			dropped++ // header, comment or empty line
+			continue
+		}
+		rows = append(rows, append([]string(nil), rec...))
+	}
+	if len(rows) == 0 {
+		return nil, nil, errors.New("dataset: table has no numeric rows")
+	}
+
+	// Arbitrate the row width: the most common field count is the table's
+	// true shape; anything else is a truncated or over-split line.
+	widths := map[int]int{}
+	maxW := 0
+	for _, rec := range rows {
+		widths[len(rec)]++
+		if len(rec) > maxW {
+			maxW = len(rec)
+		}
+	}
+	width, best := 0, 0
+	for w := 1; w <= maxW; w++ { // deterministic scan, no map-order dependence
+		if widths[w] > best {
+			width, best = w, widths[w]
+		}
+	}
+	kept := rows[:0]
+	for _, rec := range rows {
+		if len(rec) == width {
+			kept = append(kept, rec)
+		} else {
+			dropped++
+		}
+	}
+	rows = kept
+
+	numericCol := make([]bool, width)
+	for j := range numericCol {
+		numericCol[j] = true
+	}
+	for _, rec := range rows {
+		for j, f := range rec {
+			if numericCol[j] {
+				if _, ok := numeric(f); !ok {
+					numericCol[j] = false
+				}
+			}
+		}
+	}
+	var cols []int
+	for j, ok := range numericCol {
+		if ok {
+			cols = append(cols, j)
+		}
+	}
+	if len(cols) == 0 {
+		return nil, nil, errors.New("dataset: no column is numeric in every data row")
+	}
+
+	pts := make([]vec.Point, len(rows))
+	for i, rec := range rows {
+		p := make(vec.Point, len(cols))
+		for jj, j := range cols {
+			v, ok := numeric(rec[j])
+			if !ok {
+				return nil, nil, fmt.Errorf("dataset: internal: row %d col %d not numeric", i, j)
+			}
+			p[jj] = v
+		}
+		pts[i] = p
+	}
+	ds := &Dataset{Dim: len(cols), Points: pts, Name: "table"}
+	return ds, &TableInfo{RowsRead: len(rows), RowsDropped: dropped, Columns: cols}, nil
+}

@@ -1,0 +1,77 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadTableNBAStyle(t *testing.T) {
+	// Header row, label columns, one ragged line, one row where a usually-
+	// numeric column goes non-numeric (drops the whole column, not the row).
+	csv := `player,team,gp,pts,reb,ast
+"Jordan, M",CHI,82,32.5,6.6,8.0
+Pippen,CHI,82,21.0,7.7,7.0
+Grant,CHI,80,12.8,8.5
+Kukoc,CHI,75,18.5,7.0,5.3
+Rodman,DET,77,DNP,18.7,2.5
+`
+	ds, info, err := ReadTable(strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "Grant" is ragged (5 fields) and dropped; "DNP" kills the pts column;
+	// player/team are label columns. Kept: gp, reb, ast over 4 rows.
+	if info.RowsRead != 4 || info.RowsDropped != 2 {
+		t.Fatalf("info = %+v", info)
+	}
+	wantCols := []int{2, 4, 5}
+	if len(info.Columns) != len(wantCols) {
+		t.Fatalf("columns = %v, want %v", info.Columns, wantCols)
+	}
+	for i, c := range wantCols {
+		if info.Columns[i] != c {
+			t.Fatalf("columns = %v, want %v", info.Columns, wantCols)
+		}
+	}
+	if ds.Dim != 3 || len(ds.Points) != 4 {
+		t.Fatalf("dataset %d×%d", len(ds.Points), ds.Dim)
+	}
+	if got := ds.Points[0]; got[0] != 82 || got[1] != 6.6 || got[2] != 8.0 {
+		t.Fatalf("first point %v", got)
+	}
+}
+
+func TestReadTablePureNumeric(t *testing.T) {
+	// A strict WriteCSV-style file loads unchanged.
+	ds0 := Independent(30, 4, 3)
+	var sb strings.Builder
+	if err := ds0.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	ds, info, err := ReadTable(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.RowsRead != 30 || info.RowsDropped != 0 || ds.Dim != 4 {
+		t.Fatalf("info = %+v, dim = %d", info, ds.Dim)
+	}
+	for i, p := range ds.Points {
+		for j := range p {
+			if p[j] != ds0.Points[i][j] {
+				t.Fatalf("point %d differs: %v vs %v", i, p, ds0.Points[i])
+			}
+		}
+	}
+}
+
+func TestReadTableRejectsUnusable(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"a,b,c\nx,y,z\n",
+		"name\nalice\nbob\n",
+	} {
+		if _, _, err := ReadTable(strings.NewReader(bad)); err == nil {
+			t.Fatalf("ReadTable(%q) succeeded", bad)
+		}
+	}
+}

@@ -1,0 +1,378 @@
+// Package pagestore serializes an R-tree snapshot to a paged, checksummed
+// on-disk format and loads it back in one pass.
+//
+// The layout follows the disk-resident R-tree discipline the in-memory
+// tree already simulates (fixed-size pages, fanout derived from the page
+// size — the SQLite r-tree module stores its nodes the same way): one
+// header page, a points section, then one fixed-size page per tree node in
+// depth-first preorder, so the root is always page 0 and a sequential read
+// visits parents before children.
+//
+//	header   magic "WQPS0001" | version u32 | dim u32 | pageBytes u32 |
+//	         maxFill u32 | minFill u32 | numIDs u64 | treeSize u64 |
+//	         nodeCount u64 | lastLSN u64 | pointsCRC u32 | headerCRC u32
+//	points   numIDs × ( live u8 | dim × f64 )   — id-ordered, deleted ids dead
+//	pages    nodeCount × pageBytes
+//
+// Each node page is independently checksummed:
+//
+//	page     crc u32 | flags u16 (bit0 = leaf) | numEntries u16 | count u64 |
+//	         entries... | zero padding
+//	entry    leaf:     dim × f64 point | zero pad to rect size | id u64
+//	         internal: dim × f64 min | dim × f64 max | child page u64
+//
+// All integers little-endian, checksums CRC-32/Castagnoli. Leaf pages do
+// not trust their embedded coordinates: on load the point is resolved from
+// the points section by id and the embedded bytes must match bit-for-bit,
+// so a page that disagrees with the points table is reported as corrupt
+// rather than reconstructed from either copy alone. The load cost is one
+// sequential read and one allocation per node — O(file size) with small
+// constants; the format is position-addressed (page i lives at a computable
+// offset) so an mmap-backed lazy loader can adopt it unchanged.
+package pagestore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"wqrtq/internal/rtree"
+	"wqrtq/internal/storage"
+	"wqrtq/internal/vec"
+)
+
+const (
+	magic      = "WQPS0001"
+	version    = 1
+	headerSize = len(magic) + 4*5 + 8*4 + 4 + 4
+	// flushSize batches page writes so big snapshots do not issue one
+	// syscall (and one fault-injection site) per page.
+	flushSize = 1 << 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt reports a snapshot whose checksums or structure do not
+// verify. Recovery treats it as "this snapshot is unusable" and falls back
+// to an older generation.
+var ErrCorrupt = errors.New("pagestore: corrupt snapshot")
+
+// ErrAborted is returned by Write when the abort callback fires — the
+// engine shutting down mid-checkpoint.
+var ErrAborted = errors.New("pagestore: write aborted")
+
+// Snapshot is the result of loading a stored snapshot.
+type Snapshot struct {
+	Tree    *rtree.Tree
+	Points  []vec.Point // id-indexed; nil entries are deleted ids
+	LastLSN uint64
+}
+
+// PageBytes returns the node page size for a d-dimensional tree with the
+// given fanout.
+func PageBytes(dim, maxFill int) int {
+	return 16 + maxFill*(16*dim+8)
+}
+
+// Write serializes tree and its id-indexed points table (nil entries are
+// deleted ids) to f. lastLSN records the last mutation the snapshot
+// covers. abort, when non-nil, is polled between write batches; a true
+// return abandons the write with ErrAborted. The caller owns syncing and
+// renaming the file into place.
+func Write(f storage.File, tree *rtree.Tree, points []vec.Point, lastLSN uint64, abort func() bool) error {
+	dim := tree.Dim()
+	pageBytes := PageBytes(dim, tree.MaxEntries())
+
+	// Points section, CRC'd as one unit.
+	ptsBuf := make([]byte, 0, min(len(points)*(1+8*dim), flushSize))
+	ptsCRC := crc32.New(castagnoli)
+	live := 0
+	w := &batchWriter{f: f, abort: abort}
+	// The header needs the points CRC, so stream points into the CRC
+	// first, then write header + points + pages.
+	for _, p := range points {
+		if p == nil {
+			ptsBuf = append(ptsBuf, 0)
+			for i := 0; i < dim; i++ {
+				ptsBuf = binary.LittleEndian.AppendUint64(ptsBuf, 0)
+			}
+		} else {
+			if len(p) != dim {
+				return fmt.Errorf("pagestore: point dimension %d, want %d", len(p), dim)
+			}
+			live++
+			ptsBuf = append(ptsBuf, 1)
+			for _, c := range p {
+				ptsBuf = binary.LittleEndian.AppendUint64(ptsBuf, math.Float64bits(c))
+			}
+		}
+	}
+	ptsCRC.Write(ptsBuf)
+	if live != tree.Len() {
+		return fmt.Errorf("pagestore: %d live points, tree holds %d", live, tree.Len())
+	}
+
+	hdr := make([]byte, 0, headerSize)
+	hdr = append(hdr, magic...)
+	hdr = binary.LittleEndian.AppendUint32(hdr, version)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(dim))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(pageBytes))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(tree.MaxEntries()))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(tree.MinEntries()))
+	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(len(points)))
+	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(tree.Len()))
+	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(tree.NodeCount()))
+	hdr = binary.LittleEndian.AppendUint64(hdr, lastLSN)
+	hdr = binary.LittleEndian.AppendUint32(hdr, ptsCRC.Sum32())
+	hdr = binary.LittleEndian.AppendUint32(hdr, crc32.Checksum(hdr, castagnoli))
+	if err := w.write(hdr); err != nil {
+		return err
+	}
+	if err := w.write(ptsBuf); err != nil {
+		return err
+	}
+
+	// Depth-first preorder page numbering: parents precede children and
+	// the root is page 0.
+	pageNo := map[*rtree.Node]uint64{}
+	var order []*rtree.Node
+	var number func(n *rtree.Node)
+	number = func(n *rtree.Node) {
+		pageNo[n] = uint64(len(order))
+		order = append(order, n)
+		if !n.IsLeaf() {
+			for i := 0; i < n.NumEntries(); i++ {
+				number(n.Child(i))
+			}
+		}
+	}
+	number(tree.Root())
+	if len(order) != tree.NodeCount() {
+		return fmt.Errorf("pagestore: walked %d nodes, tree reports %d", len(order), tree.NodeCount())
+	}
+
+	esz := 16*dim + 8
+	page := make([]byte, pageBytes)
+	for _, n := range order {
+		for i := range page {
+			page[i] = 0
+		}
+		var flags uint16
+		if n.IsLeaf() {
+			flags = 1
+		}
+		binary.LittleEndian.PutUint16(page[4:], flags)
+		binary.LittleEndian.PutUint16(page[6:], uint16(n.NumEntries()))
+		binary.LittleEndian.PutUint64(page[8:], uint64(n.Count()))
+		for i := 0; i < n.NumEntries(); i++ {
+			e := page[16+i*esz:]
+			if n.IsLeaf() {
+				for j, c := range n.Point(i) {
+					binary.LittleEndian.PutUint64(e[8*j:], math.Float64bits(c))
+				}
+				binary.LittleEndian.PutUint64(e[16*dim:], uint64(uint32(n.PointID(i))))
+			} else {
+				r := n.EntryRect(i)
+				for j := 0; j < dim; j++ {
+					binary.LittleEndian.PutUint64(e[8*j:], math.Float64bits(r.Min[j]))
+					binary.LittleEndian.PutUint64(e[8*(dim+j):], math.Float64bits(r.Max[j]))
+				}
+				binary.LittleEndian.PutUint64(e[16*dim:], pageNo[n.Child(i)])
+			}
+		}
+		binary.LittleEndian.PutUint32(page, crc32.Checksum(page[4:], castagnoli))
+		if err := w.write(page); err != nil {
+			return err
+		}
+	}
+	return w.flush()
+}
+
+type batchWriter struct {
+	f     storage.File
+	buf   []byte
+	abort func() bool
+}
+
+func (w *batchWriter) write(p []byte) error {
+	w.buf = append(w.buf, p...)
+	if len(w.buf) >= flushSize {
+		return w.flush()
+	}
+	return nil
+}
+
+func (w *batchWriter) flush() error {
+	if w.abort != nil && w.abort() {
+		return ErrAborted
+	}
+	if len(w.buf) == 0 {
+		return nil
+	}
+	_, err := w.f.Write(w.buf)
+	w.buf = w.buf[:0]
+	return err
+}
+
+// Read loads a snapshot, verifying every checksum and the structural
+// integrity of the page graph. Any mismatch returns an error wrapping
+// ErrCorrupt.
+func Read(f storage.File) (*Snapshot, error) {
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("%w: %d bytes, smaller than header", ErrCorrupt, len(data))
+	}
+	hdr := data[:headerSize]
+	if string(hdr[:len(magic)]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if got, want := crc32.Checksum(hdr[:headerSize-4], castagnoli), binary.LittleEndian.Uint32(hdr[headerSize-4:]); got != want {
+		return nil, fmt.Errorf("%w: header checksum", ErrCorrupt)
+	}
+	off := len(magic)
+	u32 := func() uint32 { v := binary.LittleEndian.Uint32(hdr[off:]); off += 4; return v }
+	u64 := func() uint64 { v := binary.LittleEndian.Uint64(hdr[off:]); off += 8; return v }
+	ver := u32()
+	if ver != version {
+		return nil, fmt.Errorf("pagestore: snapshot version %d, supported %d", ver, version)
+	}
+	dim := int(u32())
+	pageBytes := int(u32())
+	maxFill := int(u32())
+	minFill := int(u32())
+	numIDs := u64()
+	treeSize := u64()
+	nodeCount := u64()
+	lastLSN := u64()
+	ptsCRC := u32()
+	if dim <= 0 || dim > 1<<10 || maxFill < 4 || pageBytes != PageBytes(dim, maxFill) {
+		return nil, fmt.Errorf("%w: geometry dim=%d maxFill=%d pageBytes=%d", ErrCorrupt, dim, maxFill, pageBytes)
+	}
+
+	ptsLen := int64(numIDs) * int64(1+8*dim)
+	pagesOff := int64(headerSize) + ptsLen
+	wantLen := pagesOff + int64(nodeCount)*int64(pageBytes)
+	if int64(len(data)) != wantLen {
+		return nil, fmt.Errorf("%w: file is %d bytes, layout wants %d", ErrCorrupt, len(data), wantLen)
+	}
+
+	ptsBuf := data[headerSize:pagesOff]
+	if crc32.Checksum(ptsBuf, castagnoli) != ptsCRC {
+		return nil, fmt.Errorf("%w: points checksum", ErrCorrupt)
+	}
+	points := make([]vec.Point, numIDs)
+	live := 0
+	rec := 1 + 8*dim
+	for i := range points {
+		b := ptsBuf[i*rec:]
+		switch b[0] {
+		case 0:
+		case 1:
+			p := make(vec.Point, dim)
+			for j := range p {
+				p[j] = math.Float64frombits(binary.LittleEndian.Uint64(b[1+8*j:]))
+			}
+			points[i] = p
+			live++
+		default:
+			return nil, fmt.Errorf("%w: point %d live flag %d", ErrCorrupt, i, b[0])
+		}
+	}
+	if live != int(treeSize) {
+		return nil, fmt.Errorf("%w: %d live points, header declares tree size %d", ErrCorrupt, live, treeSize)
+	}
+
+	asm, err := rtree.NewAssembler(dim, maxFill, minFill, int(nodeCount))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	esz := 16*dim + 8
+	var scratch [8]byte
+	for pg := 0; pg < int(nodeCount); pg++ {
+		page := data[pagesOff+int64(pg)*int64(pageBytes):][:pageBytes]
+		if crc32.Checksum(page[4:], castagnoli) != binary.LittleEndian.Uint32(page) {
+			return nil, fmt.Errorf("%w: page %d checksum", ErrCorrupt, pg)
+		}
+		leaf := binary.LittleEndian.Uint16(page[4:])&1 == 1
+		ne := int(binary.LittleEndian.Uint16(page[6:]))
+		if ne > maxFill {
+			return nil, fmt.Errorf("%w: page %d holds %d entries, fanout %d", ErrCorrupt, pg, ne, maxFill)
+		}
+		if leaf {
+			ids := make([]int32, ne)
+			pts := make([]vec.Point, ne)
+			for i := 0; i < ne; i++ {
+				e := page[16+i*esz:]
+				id := binary.LittleEndian.Uint64(e[16*dim:])
+				if id >= numIDs {
+					return nil, fmt.Errorf("%w: page %d entry %d: id %d out of range", ErrCorrupt, pg, i, id)
+				}
+				p := points[id]
+				if p == nil {
+					return nil, fmt.Errorf("%w: page %d entry %d: id %d is deleted in the points table", ErrCorrupt, pg, i, id)
+				}
+				// The embedded coordinates must agree with the points
+				// table bit-for-bit; a mismatch means one copy rotted.
+				for j, c := range p {
+					binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(c))
+					if !bytes.Equal(scratch[:], e[8*j:8*j+8]) {
+						return nil, fmt.Errorf("%w: page %d entry %d: embedded point disagrees with points table", ErrCorrupt, pg, i)
+					}
+				}
+				ids[i] = int32(uint32(id))
+				pts[i] = p
+			}
+			if err := asm.AddLeaf(pg, ids, pts); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			}
+		} else {
+			rects := make([]rtree.Rect, ne)
+			children := make([]int, ne)
+			for i := 0; i < ne; i++ {
+				e := page[16+i*esz:]
+				mn := make([]float64, dim)
+				mx := make([]float64, dim)
+				for j := 0; j < dim; j++ {
+					mn[j] = math.Float64frombits(binary.LittleEndian.Uint64(e[8*j:]))
+					mx[j] = math.Float64frombits(binary.LittleEndian.Uint64(e[8*(dim+j):]))
+				}
+				child := binary.LittleEndian.Uint64(e[16*dim:])
+				if child >= nodeCount {
+					return nil, fmt.Errorf("%w: page %d entry %d: child %d out of range", ErrCorrupt, pg, i, child)
+				}
+				rects[i] = rtree.Rect{Min: mn, Max: mx}
+				children[i] = int(child)
+			}
+			if err := asm.AddInternal(pg, rects, children); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			}
+		}
+	}
+	tree, err := asm.Finish(0, int(treeSize))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return &Snapshot{Tree: tree, Points: points, LastLSN: lastLSN}, nil
+}
+
+// SnapshotName formats the canonical file name for a snapshot covering
+// mutations up to lastLSN.
+func SnapshotName(lastLSN uint64) string {
+	return fmt.Sprintf("snap-%016x.snap", lastLSN)
+}
+
+// ParseSnapshotName extracts the covered LSN from a snapshot file name.
+func ParseSnapshotName(name string) (uint64, bool) {
+	var lsn uint64
+	if _, err := fmt.Sscanf(name, "snap-%016x.snap", &lsn); err != nil {
+		return 0, false
+	}
+	return lsn, name == SnapshotName(lsn)
+}

@@ -1,0 +1,53 @@
+// Package storage abstracts the tiny slice of a filesystem the durability
+// layer needs — create/open/rename/remove/list plus explicit file and
+// directory syncs — behind an interface small enough to implement twice:
+// once over the real OS (OS) and once as an in-memory crash simulator
+// (FaultFS) that models exactly which bytes and which namespace operations
+// survive a power cut at every write/sync/rename boundary.
+//
+// The durability code (internal/wal, internal/pagestore, the engine
+// checkpointer) performs every file operation through FS, never through
+// the os package directly, so the fault-injection suite exercises the very
+// code paths production runs.
+package storage
+
+import "errors"
+
+// File is a sequential-write, random-read file handle. Writers append at
+// the current offset (the durability layer never seeks while writing);
+// readers may use Read for streaming or ReadAt for random access.
+type File interface {
+	Read(p []byte) (int, error)
+	ReadAt(p []byte, off int64) (int, error)
+	Write(p []byte) (int, error)
+	// Sync makes every byte written so far durable. Bytes written after
+	// the last Sync may be lost, torn to an arbitrary prefix, or replaced
+	// by garbage on a crash.
+	Sync() error
+	Close() error
+}
+
+// FS is the namespace surface. Namespace operations (Create, Rename,
+// Remove) become durable only once SyncDir returns; on a crash an
+// arbitrary prefix of the un-synced operations survives.
+type FS interface {
+	// Create truncates or creates name for writing.
+	Create(name string) (File, error)
+	// Open opens name read-only.
+	Open(name string) (File, error)
+	Rename(oldName, newName string) error
+	Remove(name string) error
+	// List returns the names (base names, sorted) of the files directly
+	// inside dir. A missing directory is reported as an error.
+	List(dir string) ([]string, error)
+	MkdirAll(dir string) error
+	// SyncDir makes all prior namespace operations under dir durable.
+	SyncDir(dir string) error
+	// Size returns the current byte size of name.
+	Size(name string) (int64, error)
+}
+
+// ErrCrashed is returned by every FaultFS operation at and after the
+// armed crash point. Code under test treats it like any other I/O error;
+// the harness then rebuilds the post-crash durable view with Reboot.
+var ErrCrashed = errors.New("storage: simulated crash")

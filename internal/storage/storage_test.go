@@ -1,0 +1,222 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// exercise runs an identical workload against any FS so the OS and fault
+// implementations are held to the same contract.
+func exercise(t *testing.T, fs FS, dir string) {
+	t.Helper()
+	if err := fs.MkdirAll(dir); err != nil {
+		t.Fatalf("MkdirAll: %v", err)
+	}
+	name := filepath.Join(dir, "a.bin")
+	f, err := fs.Create(name)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if _, err := f.Write([]byte("hello ")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if _, err := f.Write([]byte("world")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		t.Fatalf("SyncDir: %v", err)
+	}
+
+	sz, err := fs.Size(name)
+	if err != nil || sz != 11 {
+		t.Fatalf("Size = %d, %v; want 11, nil", sz, err)
+	}
+	r, err := fs.Open(name)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	got, err := io.ReadAll(r)
+	if err != nil || string(got) != "hello world" {
+		t.Fatalf("ReadAll = %q, %v", got, err)
+	}
+	buf := make([]byte, 5)
+	if n, err := r.ReadAt(buf, 6); err != nil || string(buf[:n]) != "world" {
+		t.Fatalf("ReadAt = %q, %v", buf[:n], err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	newName := filepath.Join(dir, "b.bin")
+	if err := fs.Rename(name, newName); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	names, err := fs.List(dir)
+	if err != nil || len(names) != 1 || names[0] != "b.bin" {
+		t.Fatalf("List = %v, %v; want [b.bin]", names, err)
+	}
+	if err := fs.Remove(newName); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if _, err := fs.Open(newName); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("Open after Remove: err = %v, want ErrNotExist", err)
+	}
+}
+
+func TestOSFSContract(t *testing.T) {
+	exercise(t, OS(), filepath.Join(t.TempDir(), "d"))
+}
+
+func TestFaultFSContract(t *testing.T) {
+	exercise(t, NewFaultFS(), "d")
+}
+
+func TestFaultFSSyncedBytesSurviveReboot(t *testing.T) {
+	fs := NewFaultFS()
+	if err := fs.MkdirAll("d"); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := fs.Create("d/f")
+	f.Write([]byte("durable"))
+	f.Sync()
+	f.Write([]byte("-volatile"))
+	fs.SyncDir("d")
+
+	for seed := int64(0); seed < 20; seed++ {
+		after := fs.Reboot(seed)
+		got, ok := after.Bytes("d/f")
+		if !ok {
+			t.Fatalf("seed %d: file lost despite SyncDir", seed)
+		}
+		if !bytes.HasPrefix(got, []byte("durable")) {
+			t.Fatalf("seed %d: synced prefix damaged: %q", seed, got)
+		}
+		if len(got) > len("durable-volatile") {
+			t.Fatalf("seed %d: file grew past written length: %q", seed, got)
+		}
+	}
+}
+
+func TestFaultFSUnsyncedCreateMayVanish(t *testing.T) {
+	fs := NewFaultFS()
+	fs.MkdirAll("d")
+	f, _ := fs.Create("d/f")
+	f.Write([]byte("x"))
+	f.Sync()
+	// No SyncDir: the create op is volatile.
+	vanished, survived := false, false
+	for seed := int64(0); seed < 50; seed++ {
+		_, ok := fs.Reboot(seed).Bytes("d/f")
+		if ok {
+			survived = true
+		} else {
+			vanished = true
+		}
+	}
+	if !vanished || !survived {
+		t.Fatalf("un-synced create should sometimes vanish and sometimes survive; vanished=%v survived=%v",
+			vanished, survived)
+	}
+}
+
+func TestFaultFSRenameAtomicity(t *testing.T) {
+	fs := NewFaultFS()
+	fs.MkdirAll("d")
+	f, _ := fs.Create("d/tmp")
+	f.Write([]byte("payload"))
+	f.Sync()
+	fs.SyncDir("d")
+	if err := fs.Rename("d/tmp", "d/final"); err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 30; seed++ {
+		after := fs.Reboot(seed)
+		_, hasTmp := after.Bytes("d/tmp")
+		_, hasFinal := after.Bytes("d/final")
+		if hasTmp == hasFinal {
+			t.Fatalf("seed %d: rename must be atomic: tmp=%v final=%v", seed, hasTmp, hasFinal)
+		}
+		if hasFinal {
+			got, _ := after.Bytes("d/final")
+			if string(got) != "payload" {
+				t.Fatalf("seed %d: renamed content damaged: %q", seed, got)
+			}
+		}
+	}
+}
+
+func TestFaultFSCrashAtSweep(t *testing.T) {
+	// The workload performs a deterministic op sequence; crashing at every
+	// op index must fail exactly the armed op and everything after.
+	workload := func(fs FS) error {
+		if err := fs.MkdirAll("d"); err != nil {
+			return err
+		}
+		f, err := fs.Create("d/f") // op 1
+		if err != nil {
+			return err
+		}
+		if _, err := f.Write([]byte("abc")); err != nil { // op 2
+			return err
+		}
+		if err := f.Sync(); err != nil { // op 3
+			return err
+		}
+		if err := fs.SyncDir("d"); err != nil { // op 4
+			return err
+		}
+		return fs.Rename("d/f", "d/g") // op 5
+	}
+	clean := NewFaultFS()
+	if err := workload(clean); err != nil {
+		t.Fatalf("fault-free workload: %v", err)
+	}
+	total := clean.OpCount()
+	if total != 5 {
+		t.Fatalf("op count = %d, want 5", total)
+	}
+	for at := 1; at <= total; at++ {
+		fs := NewFaultFS()
+		fs.SetCrashAt(at)
+		err := workload(fs)
+		if !errors.Is(err, ErrCrashed) {
+			t.Fatalf("crashAt=%d: err = %v, want ErrCrashed", at, err)
+		}
+		if !fs.Crashed() {
+			t.Fatalf("crashAt=%d: crash did not fire", at)
+		}
+	}
+	// Crash beyond the workload: everything succeeds.
+	fs := NewFaultFS()
+	fs.SetCrashAt(total + 1)
+	if err := workload(fs); err != nil {
+		t.Fatalf("crashAt=%d (past end): %v", total+1, err)
+	}
+}
+
+func TestFaultFSFlipBit(t *testing.T) {
+	fs := NewFaultFS()
+	fs.MkdirAll("d")
+	f, _ := fs.Create("d/f")
+	f.Write([]byte{0x00})
+	if err := fs.FlipBit("d/f", 3); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := fs.Bytes("d/f")
+	if got[0] != 0x08 {
+		t.Fatalf("byte = %#x, want 0x08", got[0])
+	}
+	if err := fs.FlipBit("d/f", 8); err == nil {
+		t.Fatal("out-of-range bit flip should error")
+	}
+}

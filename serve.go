@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"wqrtq/internal/engine"
+	"wqrtq/internal/storage"
 	"wqrtq/internal/topk"
 	"wqrtq/internal/vec"
 )
@@ -73,6 +74,30 @@ type EngineConfig struct {
 	// §10). The index rides on the skyband and kernel sub-indexes, so
 	// disabling either of those sidelines it too.
 	DisableCellIndex bool
+	// DataDir enables durability (durability.go): mutations are logged to
+	// a write-ahead log before they are published, a background
+	// checkpointer serializes snapshots, and NewEngine recovers the
+	// persisted dataset — which then takes precedence over the index
+	// argument. Empty (the default) keeps the engine pure in-memory,
+	// byte-for-byte identical to its behavior before durability existed.
+	DataDir string
+	// Fsync selects the WAL durability policy: "always" (default; an
+	// acknowledged mutation survives any crash), "interval" (background
+	// sync every FsyncInterval; a crash may lose the last interval), or
+	// "off" (sync only at rotation and Close).
+	Fsync string
+	// FsyncInterval is the period of the background sync under
+	// Fsync="interval"; <= 0 uses 50ms.
+	FsyncInterval time.Duration
+	// CheckpointBytes triggers a background snapshot checkpoint (which
+	// truncates the WAL) once the current segment exceeds it. 0 uses
+	// DefaultCheckpointBytes; negative disables automatic checkpoints
+	// (Engine.Checkpoint remains available).
+	CheckpointBytes int64
+	// FS overrides the filesystem the durability layer uses; nil (the
+	// default) is the real one. Tests inject storage.FaultFS here to
+	// simulate crashes, torn writes and bit rot.
+	FS storage.FS
 }
 
 func (c EngineConfig) withDefaults() EngineConfig {
@@ -103,6 +128,13 @@ type Engine struct {
 	cache   *engine.LRU[cacheKey, any] // nil when disabled
 	metrics *engine.Metrics
 	closed  atomic.Bool
+	// dur is the durability state (durability.go); nil without DataDir.
+	dur       *durable
+	closeOnce sync.Once
+	closeErr  error
+	// keepEpoch is the deposit guard for AddIf: allocated once so the
+	// batch-execution finish path does not build a closure per result.
+	keepEpoch func(cacheKey) bool
 	// Per-endpoint RTA totals (rtopk and whynot), accumulated when a
 	// computation actually runs — cache hits and merged co-waiters share
 	// the producing run's statistics without re-counting them.
@@ -153,13 +185,32 @@ func (t *rtaTotals) snapshot() RTATotals {
 // index: the caller must not mutate ix afterwards (queries on it remain
 // fine). When cfg.Shards > 1 and the index is not already partitioned that
 // way, the engine reshards it before serving starts.
+//
+// With cfg.DataDir set, durable state wins: when the directory already
+// holds a dataset, ix serves only as a fallback seed and the recovered
+// index is published instead; a fresh directory persists ix as the
+// initial snapshot before serving starts.
 func NewEngine(ix *Index, cfg EngineConfig) (*Engine, error) {
-	if ix == nil {
+	// A nil index is allowed only when a data directory can supply the
+	// dataset; openDurable rejects the combination of nil seed and empty
+	// directory.
+	if ix == nil && cfg.DataDir == "" {
 		return nil, errors.New("wqrtq: NewEngine requires an index")
 	}
 	cfg = cfg.withDefaults()
+	var dur *durable
+	if cfg.DataDir != "" {
+		rix, d, err := openDurable(ix, cfg)
+		if err != nil {
+			return nil, err
+		}
+		ix, dur = rix, d
+	}
 	if cfg.Shards > 1 && ix.Shards() != cfg.Shards {
 		if err := ix.Reshard(cfg.Shards); err != nil {
+			if dur != nil {
+				dur.close()
+			}
 			return nil, err
 		}
 	}
@@ -172,8 +223,9 @@ func NewEngine(ix *Index, cfg EngineConfig) (*Engine, error) {
 	if ix.CellIndexEnabled() == cfg.DisableCellIndex {
 		ix.SetCellIndex(!cfg.DisableCellIndex)
 	}
-	e := &Engine{cfg: cfg, metrics: engine.NewMetrics()}
+	e := &Engine{cfg: cfg, metrics: engine.NewMetrics(), dur: dur}
 	e.current.Store(ix)
+	e.keepEpoch = func(k cacheKey) bool { return k.epoch == e.current.Load().Epoch() }
 	if cfg.CacheSize > 0 {
 		e.cache = engine.NewLRU[cacheKey, any](cfg.CacheSize)
 	}
@@ -197,10 +249,22 @@ func dropStale(r *engineReq) bool {
 }
 
 // Close stops the engine: in-flight and already-queued requests finish,
-// later calls fail with ErrEngineClosed. Close is idempotent.
-func (e *Engine) Close() {
-	e.closed.Store(true)
-	e.pool.Close()
+// later calls — mutations included — fail with ErrEngineClosed. With a
+// data directory, Close then settles durability: the WAL is flushed and
+// fsynced regardless of policy (every mutation acknowledged before Close
+// is durable once Close returns), and an in-flight background checkpoint
+// is either completed or cleanly abandoned (its temp file is removed at
+// the next startup; the sealed WAL still covers every mutation). Close is
+// idempotent and every call returns the first close's error.
+func (e *Engine) Close() error {
+	e.closeOnce.Do(func() {
+		e.closed.Store(true)
+		e.pool.Close()
+		if e.dur != nil {
+			e.closeErr = e.dur.close()
+		}
+	})
+	return e.closeErr
 }
 
 // Snapshot returns the currently published immutable snapshot. It is safe
@@ -235,8 +299,19 @@ func (e *Engine) insert(p []float64) (int, uint64, error) {
 	if err != nil {
 		return 0, cur.Epoch(), err
 	}
+	// Write-ahead: the mutation is logged (and, under fsync=always, made
+	// durable) before the snapshot containing it becomes observable. On
+	// failure the clone is discarded and the engine state is unchanged.
+	if e.dur != nil {
+		if err := e.dur.appendInsert(uint64(id), vec.Point(p)); err != nil {
+			return 0, cur.Epoch(), err
+		}
+	}
 	e.current.Store(next)
 	e.sweepCache(next.Epoch())
+	if e.dur != nil {
+		e.maybeCheckpoint()
+	}
 	return id, next.Epoch(), nil
 }
 
@@ -269,8 +344,16 @@ func (e *Engine) delete(id int) (bool, uint64, error) {
 	if err != nil || !ok {
 		return ok, cur.Epoch(), err
 	}
+	if e.dur != nil {
+		if err := e.dur.appendDelete(uint64(id)); err != nil {
+			return false, cur.Epoch(), err
+		}
+	}
 	e.current.Store(next)
 	e.sweepCache(next.Epoch())
+	if e.dur != nil {
+		e.maybeCheckpoint()
+	}
 	return true, next.Epoch(), nil
 }
 
@@ -278,9 +361,11 @@ func (e *Engine) delete(id int) (bool, uint64, error) {
 // mutation publishes a new one. Without the sweep, dead-epoch entries — no
 // longer reachable by any lookup, since lookups always key on the current
 // epoch — would linger until capacity pressure pushed them out, silently
-// halving the effective cache under mutation-heavy load. A query that raced
-// the publish can still deposit one stale entry after the sweep; it is
-// collected by the next publish (and counted in CacheEvictions then).
+// halving the effective cache under mutation-heavy load. Deposits cannot
+// race past it: batch execution deposits through AddIf with an
+// epoch-is-still-current guard evaluated under the cache lock, so a result
+// computed against a superseded snapshot is dropped instead of stranding a
+// dead-epoch entry until the next mutation.
 func (e *Engine) sweepCache(current uint64) {
 	if e.cache == nil {
 		return
@@ -563,6 +648,9 @@ type EngineStats struct {
 	// "whynot"), so the skyband candidate-set win is observable in
 	// production, not just in benchmarks.
 	RTA map[string]RTATotals `json:"rta"`
+	// WAL reports the durability layer's counters (durability.go);
+	// Enabled is false for a pure in-memory engine.
+	WAL WALStats `json:"wal"`
 }
 
 // Stats returns the engine's serving counters.
@@ -590,6 +678,9 @@ func (e *Engine) Stats() EngineStats {
 		s.CacheHits, s.CacheMisses = e.cache.Stats()
 		s.CacheLen = e.cache.Len()
 		s.CacheEvictions = e.cache.Evictions()
+	}
+	if e.dur != nil {
+		s.WAL = e.dur.stats()
 	}
 	return s
 }
@@ -756,7 +847,11 @@ func (e *Engine) exec(batch []*engineReq) {
 	finish := func(r *engineReq, val any, err error) {
 		full := cacheKey{epoch: epoch, key: r.key}
 		if err == nil && e.cache != nil {
-			e.cache.Add(full, val)
+			// Epoch-guarded deposit: if a mutation published a newer
+			// snapshot while this result was computing, the sweep has
+			// already run and depositing would strand a dead-epoch entry;
+			// AddIf checks under the cache lock and drops it instead.
+			e.cache.AddIf(full, val, e.keepEpoch)
 		}
 		for _, w := range waiters[full] {
 			werr := err
