@@ -1,0 +1,191 @@
+package main
+
+// The `wqrtq bench` subcommand: an open-loop load harness against a
+// running `wqrtq serve` instance. Arrivals fire on a fixed clock at
+// -rate regardless of how fast the server answers (see internal/loadgen
+// for why that is the honest way to measure overload), with a -mix
+// fraction of inserts among the reverse top-k queries. The report —
+// offered/served/shed/failed counts, goodput, shed fraction and
+// p50/p99/p999 latencies per class — prints as JSON, and -min-goodput
+// turns the run into a pass/fail smoke check for CI.
+//
+// Shed responses (503 with code "overloaded" or "degraded") are counted
+// separately from failures: a server under admission control is supposed
+// to shed; what it must not do is time out or 500.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"wqrtq/internal/loadgen"
+)
+
+// errShed tags a 503 whose body carries an overload/degraded code — an
+// intentional rejection, not a failure.
+var errShed = errors.New("shed by server")
+
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "base URL of the server under load")
+	rate := fs.Float64("rate", 500, "offered arrival rate, requests/second")
+	dur := fs.Duration("duration", 5*time.Second, "arrival window")
+	mix := fs.Float64("mix", 0.1, "fraction of arrivals that are mutations (inserts)")
+	timeout := fs.Duration("timeout", 2*time.Second, "per-request client timeout")
+	dim := fs.Int("d", 3, "dimensionality of generated queries and points")
+	k := fs.Int("k", 10, "k for reverse top-k queries")
+	nw := fs.Int("weights", 16, "weighting vectors per reverse top-k query")
+	seed := fs.Int64("seed", 1, "request-generation seed")
+	inflight := fs.Int("max-inflight", 512, "client-side cap on outstanding requests (0 = unbounded)")
+	out := fs.String("out", "", "write the JSON report here (default stdout)")
+	minGoodput := fs.Float64("min-goodput", 0, "exit nonzero unless goodput reaches this many requests/second")
+	fs.Parse(args)
+
+	target, classify := benchTarget(*addr, *timeout, benchBodies(*dim, *k, *nw, *seed))
+	rep, err := loadgen.Run(loadgen.Config{
+		Rate:         *rate,
+		Duration:     *dur,
+		MutationFrac: *mix,
+		Seed:         *seed,
+		Target:       target,
+		Classify:     classify,
+		MaxInFlight:  *inflight,
+	})
+	if err != nil {
+		return err
+	}
+
+	full := struct {
+		Addr            string  `json:"addr"`
+		Rate            float64 `json:"rate"`
+		DurationSeconds float64 `json:"duration_seconds"`
+		MutationFrac    float64 `json:"mutation_frac"`
+		Dim             int     `json:"d"`
+		K               int     `json:"k"`
+		Weights         int     `json:"weights"`
+		Seed            int64   `json:"seed"`
+		*loadgen.Report
+	}{*addr, *rate, dur.Seconds(), *mix, *dim, *k, *nw, *seed, rep}
+	enc, err := json.MarshalIndent(full, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			return err
+		}
+	} else {
+		os.Stdout.Write(enc)
+	}
+	if *minGoodput > 0 && rep.GoodputPerSec < *minGoodput {
+		return fmt.Errorf("wqrtq bench: goodput %.1f/s below required %.1f/s", rep.GoodputPerSec, *minGoodput)
+	}
+	return nil
+}
+
+// benchReqs holds pre-marshaled request bodies. Generating them up front
+// keeps the hot path free of rand contention and JSON encoding, and makes
+// the offered load a pure function of the seed.
+type benchReqs struct {
+	queries [][]byte
+	inserts [][]byte
+}
+
+func benchBodies(d, k, nw int, seed int64) *benchReqs {
+	rng := rand.New(rand.NewSource(seed))
+	point := func() []float64 {
+		p := make([]float64, d)
+		for i := range p {
+			p[i] = rng.Float64()
+		}
+		return p
+	}
+	weight := func() []float64 {
+		w := make([]float64, d)
+		sum := 0.0
+		for i := range w {
+			w[i] = rng.Float64() + 1e-9
+			sum += w[i]
+		}
+		for i := range w {
+			w[i] /= sum
+		}
+		return w
+	}
+	const variants = 64
+	b := &benchReqs{}
+	for i := 0; i < variants; i++ {
+		W := make([][]float64, nw)
+		for j := range W {
+			W[j] = weight()
+		}
+		q, _ := json.Marshal(struct {
+			Q       []float64   `json:"q"`
+			K       int         `json:"k"`
+			Weights [][]float64 `json:"weights"`
+		}{point(), k, W})
+		b.queries = append(b.queries, q)
+		ins, _ := json.Marshal(struct {
+			Point []float64 `json:"point"`
+		}{point()})
+		b.inserts = append(b.inserts, ins)
+	}
+	return b
+}
+
+// benchTarget builds the loadgen Target and Classify hooks over HTTP.
+func benchTarget(addr string, timeout time.Duration, bodies *benchReqs) (func(loadgen.Kind) error, func(error) loadgen.Outcome) {
+	client := &http.Client{Timeout: timeout}
+	var qn, mn atomic.Uint64
+	target := func(kind loadgen.Kind) error {
+		var path string
+		var body []byte
+		if kind == loadgen.Mutation {
+			path = "/v1/insert"
+			body = bodies.inserts[mn.Add(1)%uint64(len(bodies.inserts))]
+		} else {
+			path = "/v1/rtopk"
+			body = bodies.queries[qn.Add(1)%uint64(len(bodies.queries))]
+		}
+		resp, err := client.Post(addr+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			// Drain so the connection is reusable; the payload itself is
+			// not the benchmark's business.
+			_, err := io.Copy(io.Discard, resp.Body)
+			return err
+		}
+		var e struct {
+			Error string `json:"error"`
+			Code  string `json:"code"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		if resp.StatusCode == http.StatusServiceUnavailable && (e.Code == "overloaded" || e.Code == "degraded") {
+			return fmt.Errorf("%w: %s", errShed, e.Code)
+		}
+		return fmt.Errorf("status %d code %q: %s", resp.StatusCode, e.Code, e.Error)
+	}
+	classify := func(err error) loadgen.Outcome {
+		switch {
+		case err == nil:
+			return loadgen.OK
+		case errors.Is(err, errShed):
+			return loadgen.Shed
+		default:
+			return loadgen.Failed
+		}
+	}
+	return target, classify
+}

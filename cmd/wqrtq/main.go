@@ -10,6 +10,7 @@
 //	wqrtq mono   -data data2d.csv -q 4,4 -k 3
 //	wqrtq whynot -data data.csv -q 0.1,0.2,0.3 -k 10 -weights w.csv -missing 0,3 [-samples 800] [-seed 1]
 //	wqrtq serve  -data data.csv -addr :8080 [-data-dir state/ -fsync always]
+//	wqrtq bench  -addr http://127.0.0.1:8080 -rate 500 -duration 5s -mix 0.1
 //	wqrtq verify state/
 //
 // Data files are CSV with one point per row; weight files are CSV with one
@@ -53,6 +54,8 @@ func main() {
 		err = cmdMonoSample(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "bench":
+		err = cmdBench(os.Args[2:])
 	case "verify":
 		err = cmdVerify(os.Args[2:])
 	case "-h", "--help", "help":
@@ -82,6 +85,8 @@ commands:
   nearest find the points closest to a given point
   monosample  estimate a monochromatic reverse top-k result in any dimension
   serve   serve queries and mutations over JSON/HTTP with snapshot isolation
+  bench   open-loop load harness against a running server: fixed arrival
+          rate, query/mutation mix, goodput + shed + latency quantiles
   verify  check a durable data directory offline (checksums, WAL chain,
           dry-run recovery); exit 1 when recovery would fail
 

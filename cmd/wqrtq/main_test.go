@@ -67,6 +67,29 @@ func TestLoadIndexAndWeights(t *testing.T) {
 	}
 }
 
+// TestLoadIndexNBAStyleTable pins the ReadTable fallback end to end: the
+// committed NBA-style fixture is not a plain numeric CSV (header row,
+// quoted player names, team and date label columns), so loadIndex must
+// fall back to the tolerant table loader and extract exactly the seven
+// numeric stat columns from all 28 data rows.
+func TestLoadIndexNBAStyleTable(t *testing.T) {
+	ix, ds, err := loadIndex(filepath.Join("..", "..", "testdata", "nba_style.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 28 || ds.Dim != 7 {
+		t.Fatalf("loaded %d points, dim %d; want 28 points, dim 7", ix.Len(), ds.Dim)
+	}
+	// Spot-check one extraction: the first data row's numeric columns are
+	// min,pts,reb,ast,stl,blk,tov = 36.5,27,8,5,2,1,3.
+	want := []float64{36.5, 27, 8, 5, 2, 1, 3}
+	for i, v := range want {
+		if ds.Points[0][i] != v {
+			t.Fatalf("row 0 = %v, want %v", ds.Points[0], want)
+		}
+	}
+}
+
 func TestGenCommandRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "gen.csv")

@@ -15,6 +15,7 @@ package main
 //	POST /v1/insert  {"point":[...]}              → {"epoch":e,"id":i}
 //	POST /v1/delete  {"id":i}                     → {"epoch":e,"deleted":b}
 //	GET  /v1/stats                                → engine counters
+//	GET  /v1/health                               → {"live","ready","degraded","reason"}
 //	GET  /healthz                                 → 200 ok
 //
 // Errors are {"error":"..."} with status 400 (bad input) or 405/404 from
@@ -24,8 +25,12 @@ package main
 //
 //	deadline exceeded → 503 {"error":"...","code":"deadline_exceeded"}
 //	client went away  → 499 {"error":"...","code":"canceled"}
+//	shed by admission → 503 {"error":"...","code":"overloaded","reason":"..."} + Retry-After
+//	read-only engine  → 503 {"error":"...","code":"degraded","reason":"..."} + Retry-After
 //
-// Cancellations are counted per endpoint (and in total) in /v1/stats.
+// Cancellations are counted per endpoint (and in total) in /v1/stats,
+// admission and shedding counters under "admission", degradation state
+// under "wal".
 
 import (
 	"context"
@@ -59,6 +64,9 @@ func cmdServe(args []string) error {
 	fsync := fs.String("fsync", "always", "WAL sync policy: always (sync per mutation), interval (periodic) or off (sync at rotation/close only)")
 	fsyncInterval := fs.Duration("fsync-interval", 0, "sync period under -fsync=interval (0 = default)")
 	checkpointBytes := fs.Int64("checkpoint-bytes", 0, "WAL size triggering a background checkpoint (0 = default, negative disables)")
+	admissionFlag := fs.String("admission", "on", "admission control (token buckets + adaptive concurrency + deadline shedding): on (default) or off")
+	maxInflight := fs.Int("max-inflight", 0, "admission: hard per-class concurrency ceiling (0 = default)")
+	targetLatency := fs.Duration("target-latency", 0, "admission: latency target driving the adaptive window (0 = default)")
 	fs.Parse(args)
 	if *skyband != "on" && *skyband != "off" {
 		return fmt.Errorf("wqrtq serve: -skyband must be on or off, got %q", *skyband)
@@ -72,6 +80,9 @@ func cmdServe(args []string) error {
 	if *fsync != "always" && *fsync != "interval" && *fsync != "off" {
 		return fmt.Errorf("wqrtq serve: -fsync must be always, interval or off, got %q", *fsync)
 	}
+	if *admissionFlag != "on" && *admissionFlag != "off" {
+		return fmt.Errorf("wqrtq serve: -admission must be on or off, got %q", *admissionFlag)
+	}
 	var ix *wqrtq.Index
 	if *data != "" {
 		var err error
@@ -83,18 +94,21 @@ func cmdServe(args []string) error {
 		return fmt.Errorf("wqrtq serve: need -data (dataset CSV) or -data-dir (durable state)")
 	}
 	eng, err := wqrtq.NewEngine(ix, wqrtq.EngineConfig{
-		Workers:          *workers,
-		MaxBatch:         *maxBatch,
-		BatchLinger:      *linger,
-		CacheSize:        *cacheSize,
-		Shards:           *shards,
-		DisableSkyband:   *skyband == "off",
-		DisableKernel:    *kernelFlag == "off",
-		DisableCellIndex: *cellFlag == "off",
-		DataDir:          *dataDir,
-		Fsync:            *fsync,
-		FsyncInterval:    *fsyncInterval,
-		CheckpointBytes:  *checkpointBytes,
+		Workers:                *workers,
+		MaxBatch:               *maxBatch,
+		BatchLinger:            *linger,
+		CacheSize:              *cacheSize,
+		Shards:                 *shards,
+		DisableSkyband:         *skyband == "off",
+		DisableKernel:          *kernelFlag == "off",
+		DisableCellIndex:       *cellFlag == "off",
+		DataDir:                *dataDir,
+		Fsync:                  *fsync,
+		FsyncInterval:          *fsyncInterval,
+		CheckpointBytes:        *checkpointBytes,
+		Admission:              *admissionFlag == "on",
+		AdmissionMaxInflight:   *maxInflight,
+		AdmissionTargetLatency: *targetLatency,
 	})
 	if err != nil {
 		return err
@@ -302,6 +316,18 @@ func newServeHandler(e *wqrtq.Engine, queryTimeout time.Duration) http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
+	mux.HandleFunc("GET /v1/health", func(w http.ResponseWriter, r *http.Request) {
+		// Load-balancer semantics: 200 while queries are servable — a
+		// degraded (read-only) engine stays in rotation, that is the point
+		// of read-only mode — 503 once the engine is closed. The body
+		// carries the full live/ready/degraded breakdown either way.
+		h := e.Health()
+		w.Header().Set("Content-Type", "application/json")
+		if !h.Ready {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		json.NewEncoder(w).Encode(h)
+	})
 	return mux
 }
 
@@ -396,27 +422,51 @@ func writeErr(w http.ResponseWriter, code int, err error) {
 // aborted by the client; the response is written only for the log's benefit.
 const statusClientClosedRequest = 499
 
+// retryAfterSeconds rounds a retry hint up to the whole seconds the
+// Retry-After header speaks, with a floor of 1.
+func retryAfterSeconds(d time.Duration) string {
+	s := int64((d + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return fmt.Sprintf("%d", s)
+}
+
 // writeQueryErr maps a query-path error: validation failures (tagged
 // wqrtq.ErrInvalidArgument — non-finite or negative weights/points,
 // dimension mismatches, bad k) → 400, context deadline → 503, context
-// canceled (client went away) → 499, a closed engine → 503, anything else —
-// an internal failure, not the client's fault — → 500. Context errors carry
-// a machine-readable "code" so clients can retry deadline expiries
-// distinctly from input errors.
+// canceled (client went away) → 499, a closed engine → 503
+// "engine_closed", anything else — an internal failure, not the client's
+// fault — → 500. Overload sheds (admission control or a full queue) → 503
+// "overloaded" and a degraded (read-only) engine refusing a mutation →
+// 503 "degraded"; both carry a Retry-After header and a machine-readable
+// reason so clients can back off intelligently, and are distinct from
+// each other and from a closed engine: overload passes, degradation needs
+// an operator, closure is final.
 func writeQueryErr(w http.ResponseWriter, err error) {
-	var code string
+	var code, reason string
 	var status int
+	var oe *wqrtq.OverloadError
+	var de *wqrtq.DegradedError
 	switch {
 	case errors.Is(err, wqrtq.ErrInvalidArgument):
 		writeErr(w, http.StatusBadRequest, err)
 		return
+	case errors.As(err, &oe):
+		code, status, reason = "overloaded", http.StatusServiceUnavailable, oe.Reason
+		w.Header().Set("Retry-After", retryAfterSeconds(oe.RetryAfter))
+	case errors.As(err, &de):
+		code, status, reason = "degraded", http.StatusServiceUnavailable, de.Reason
+		w.Header().Set("Retry-After", retryAfterSeconds(0))
+	case errors.Is(err, wqrtq.ErrDegraded):
+		code, status = "degraded", http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", retryAfterSeconds(0))
 	case errors.Is(err, context.DeadlineExceeded):
 		code, status = "deadline_exceeded", http.StatusServiceUnavailable
 	case errors.Is(err, context.Canceled):
 		code, status = "canceled", statusClientClosedRequest
 	case errors.Is(err, wqrtq.ErrEngineClosed):
-		writeErr(w, http.StatusServiceUnavailable, err)
-		return
+		code, status = "engine_closed", http.StatusServiceUnavailable
 	default:
 		writeErr(w, http.StatusInternalServerError, err)
 		return
@@ -424,7 +474,8 @@ func writeQueryErr(w http.ResponseWriter, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(struct {
-		Error string `json:"error"`
-		Code  string `json:"code"`
-	}{err.Error(), code})
+		Error  string `json:"error"`
+		Code   string `json:"code"`
+		Reason string `json:"reason,omitempty"`
+	}{err.Error(), code, reason})
 }

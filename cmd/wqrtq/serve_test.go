@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"wqrtq"
+	"wqrtq/internal/storage"
 )
 
 func serveTestHandler(t *testing.T) http.Handler {
@@ -337,6 +338,128 @@ func TestServeClosedEngine503(t *testing.T) {
 	if rec.Code != http.StatusServiceUnavailable {
 		t.Fatalf("status %d, want 503; body %s", rec.Code, rec.Body.String())
 	}
+}
+
+// TestServeHealthEndpoint pins the /v1/health contract on a healthy
+// engine: 200 with live, ready and not degraded.
+func TestServeHealthEndpoint(t *testing.T) {
+	h := serveTestHandler(t)
+	req := httptest.NewRequest(http.MethodGet, "/v1/health", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	wantGolden(t, rec, http.StatusOK, `{"live":true,"ready":true,"degraded":false}`+"\n")
+}
+
+// TestServeOverloaded503 exhausts the query class's token-bucket burst and
+// asserts the shed surface: 503 with a Retry-After header and the
+// machine-readable overloaded/rate_limit body, while earlier requests in
+// the burst answer 200.
+func TestServeOverloaded503(t *testing.T) {
+	ix, err := wqrtq.NewIndex([][]float64{
+		{1, 8}, {2, 5}, {4, 3}, {8, 2}, {9, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := wqrtq.NewEngine(ix, wqrtq.EngineConfig{
+		Admission:          true,
+		AdmissionQueryRate: 1, // burst of 8, refill 1/s: the 9th request sheds
+		CacheSize:          -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	h := newServeHandler(e, 0)
+
+	var ok, shed int
+	for i := 0; i < 12; i++ {
+		rec := post(t, h, "/v1/rtopk", `{"q":[3,3],"k":2,"weights":[[0.25,0.75],[0.75,0.25]]}`)
+		switch rec.Code {
+		case http.StatusOK:
+			ok++
+		case http.StatusServiceUnavailable:
+			shed++
+			if ra := rec.Header().Get("Retry-After"); ra == "" {
+				t.Fatalf("shed response missing Retry-After; body %s", rec.Body.String())
+			}
+			var body struct {
+				Error  string `json:"error"`
+				Code   string `json:"code"`
+				Reason string `json:"reason"`
+			}
+			if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+				t.Fatalf("shed body not JSON: %s", rec.Body.String())
+			}
+			if body.Code != "overloaded" || body.Reason != "rate_limit" {
+				t.Fatalf("shed body code=%q reason=%q, want overloaded/rate_limit", body.Code, body.Reason)
+			}
+		default:
+			t.Fatalf("status %d; body %s", rec.Code, rec.Body.String())
+		}
+	}
+	if ok == 0 || shed == 0 {
+		t.Fatalf("burst did not exercise both paths: ok %d, shed %d", ok, shed)
+	}
+}
+
+// TestServeDegraded503 drives the engine read-only through persistent WAL
+// failures and asserts the full degraded surface: mutations answer 503
+// with the degraded/wal_append body and a Retry-After header, queries keep
+// answering 200 from the snapshot, and /v1/health stays 200 (in rotation)
+// while reporting the degradation.
+func TestServeDegraded503(t *testing.T) {
+	fs := storage.NewFaultFS()
+	ix, err := wqrtq.NewIndex([][]float64{
+		{1, 8}, {2, 5}, {4, 3}, {8, 2}, {9, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := wqrtq.NewEngine(ix, wqrtq.EngineConfig{
+		DataDir:         "data",
+		FS:              fs,
+		CheckpointBytes: -1,
+		WALRetryBackoff: 100 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	h := newServeHandler(e, 0)
+
+	fs.InjectFailures(1 << 30) // every write fails: retries exhaust, engine degrades
+
+	rec := post(t, h, "/v1/insert", `{"point":[1,1]}`)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("insert status %d, want 503; body %s", rec.Code, rec.Body.String())
+	}
+	if ra := rec.Header().Get("Retry-After"); ra == "" {
+		t.Fatalf("degraded response missing Retry-After; body %s", rec.Body.String())
+	}
+	var body struct {
+		Error  string `json:"error"`
+		Code   string `json:"code"`
+		Reason string `json:"reason"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("degraded body not JSON: %s", rec.Body.String())
+	}
+	if body.Code != "degraded" || body.Reason != "wal_append" {
+		t.Fatalf("degraded body code=%q reason=%q, want degraded/wal_append", body.Code, body.Reason)
+	}
+
+	// Read-only mode is the feature, not the failure: queries still answer.
+	rec = post(t, h, "/v1/topk", `{"w":[0.25,0.75],"k":1}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("query on degraded engine: status %d; body %s", rec.Code, rec.Body.String())
+	}
+
+	// Health: still live and ready (in rotation), visibly degraded.
+	req := httptest.NewRequest(http.MethodGet, "/v1/health", nil)
+	hrec := httptest.NewRecorder()
+	h.ServeHTTP(hrec, req)
+	wantGolden(t, hrec, http.StatusOK, `{"live":true,"ready":true,"degraded":true,"reason":"wal_append"}`+"\n")
 }
 
 // TestServeKernelStats pins the -kernel plumbing: an engine with the

@@ -42,6 +42,7 @@ package wqrtq
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -98,6 +99,19 @@ type WALStats struct {
 	ReplayedRecords   int64 `json:"replayed_records"`
 	TornTailDrops     int64 `json:"torn_tail_drops"`
 	SnapshotFallbacks int64 `json:"snapshot_fallbacks"`
+	// Degraded reports read-only mode: persistent WAL or checkpoint I/O
+	// failure exhausted the retry budget; mutations fail with ErrDegraded
+	// until Engine.Reopen succeeds, queries are unaffected.
+	// DegradedReason is wal_append or checkpoint_io; Degradations counts
+	// transitions into the state over the engine's lifetime.
+	Degraded       bool   `json:"degraded"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
+	Degradations   int64  `json:"degradations"`
+	// Retries counts WAL append retry attempts (each preceded by a
+	// backoff and a writer recovery); WriterRecoveries counts the
+	// snapshot-then-rotate recoveries that replaced a poisoned writer.
+	Retries          int64 `json:"retries"`
+	WriterRecoveries int64 `json:"writer_recoveries"`
 }
 
 // durable is the engine's durability state. Lock order: e.mu before d.mu.
@@ -112,18 +126,40 @@ type durable struct {
 	interval  time.Duration
 	threshold int64
 
-	mu          sync.Mutex // guards w, lastLSN, snapLSN, appendsBase, syncsBase
+	// retries and backoff shape the append retry loop (appendRetry):
+	// retries attempts, each after a jittered exponential backoff
+	// starting at backoff, before the engine degrades to read-only.
+	retries int
+	backoff time.Duration
+
+	mu          sync.Mutex // guards w, lastLSN, snapLSN, appendsBase, syncsBase, closing, degReason
 	w           *wal.Writer
 	lastLSN     uint64
 	snapLSN     uint64
 	appendsBase int64 // counters of rotated-out segments
 	syncsBase   int64
+	closing     bool   // close has begun; refuse new background work
+	degReason   string // why degraded (valid while degraded is true)
+	degCause    error
 
 	checkpointing atomic.Bool
 	stop          chan struct{}
 	wg            sync.WaitGroup
 	closeOnce     sync.Once
 	closeErr      error
+
+	// degraded is the read-only latch: set (exactly once per transition)
+	// when the retry budget is exhausted, cleared only by a successful
+	// Engine.Reopen.
+	degraded     atomic.Bool
+	degradations atomic.Int64
+	walRetries   atomic.Int64
+	wRecoveries  atomic.Int64
+	// ckptFailStreak counts consecutive checkpoint failures; a streak of
+	// checkpointDegradeStreak degrades the engine (one failed checkpoint
+	// is retried at the next threshold crossing and proves nothing about
+	// the device).
+	ckptFailStreak atomic.Int64
 
 	checkpoints     atomic.Int64
 	checkpointFails atomic.Int64
@@ -132,6 +168,16 @@ type durable struct {
 	tornDrops       atomic.Int64
 	fallbacks       atomic.Int64
 }
+
+// checkpointDegradeStreak is how many consecutive checkpoint failures
+// transition the engine to read-only.
+const checkpointDegradeStreak = 3
+
+// Defaults for the WAL append retry loop.
+const (
+	defaultWALRetries      = 3
+	defaultWALRetryBackoff = 2 * time.Millisecond
+)
 
 // newIndexFromParts wires a recovered tree and id-indexed points table
 // into a full Index, mirroring NewIndex's sub-index setup without the
@@ -318,6 +364,8 @@ func openDurable(seed *Index, cfg EngineConfig) (*Index, *durable, error) {
 		policyStr: policyStr,
 		interval:  cfg.FsyncInterval,
 		threshold: cfg.CheckpointBytes,
+		retries:   cfg.WALRetries,
+		backoff:   cfg.WALRetryBackoff,
 		stop:      make(chan struct{}),
 	}
 	if d.interval <= 0 {
@@ -325,6 +373,14 @@ func openDurable(seed *Index, cfg EngineConfig) (*Index, *durable, error) {
 	}
 	if d.threshold == 0 {
 		d.threshold = DefaultCheckpointBytes
+	}
+	if d.retries == 0 {
+		d.retries = defaultWALRetries
+	} else if d.retries < 0 {
+		d.retries = 0
+	}
+	if d.backoff <= 0 {
+		d.backoff = defaultWALRetryBackoff
 	}
 	if err := fs.MkdirAll(d.dir); err != nil {
 		return nil, nil, err
@@ -427,6 +483,164 @@ func (d *durable) appendDelete(id uint64) error {
 	return nil
 }
 
+// appendRetry runs one WAL append through the bounded retry ladder:
+// attempt, and on failure — the writer is now poisoned — back off with
+// jitter, replace the writer via recoverWriter, and attempt again, up to
+// d.retries times. Exhausting the budget latches read-only degraded mode
+// and returns the typed *DegradedError; queries are never affected.
+// Called under e.mu with cur the published index the WAL position
+// corresponds to (the failed mutation is not yet published). appendRetry
+// itself takes no locks, so its backoff sleeps live outside every
+// critical section the lockhold analyzer tracks.
+func (d *durable) appendRetry(cur *Index, attempt func() error) error {
+	if d.degraded.Load() {
+		return d.degradedErr()
+	}
+	err := attempt()
+	if err == nil {
+		return nil
+	}
+	for i := 0; i < d.retries; i++ {
+		d.walRetries.Add(1)
+		sleepJittered(d.backoff << i)
+		if rerr := d.recoverWriter(cur); rerr != nil {
+			err = rerr
+			continue
+		}
+		if err = attempt(); err == nil {
+			return nil
+		}
+	}
+	return d.enterDegraded("wal_append", err)
+}
+
+// sleepJittered sleeps d scaled by a uniform factor in [0.5, 1.5),
+// desynchronizing concurrent retry ladders. A free-standing function that
+// takes no locks, by design: backoff sleeps must never sit in a function
+// body that also acquires an engine mutex.
+func sleepJittered(d time.Duration) {
+	time.Sleep(time.Duration(float64(d) * (0.5 + rand.Float64())))
+}
+
+// errCheckpointBusy: a concurrent checkpoint holds the serialization
+// token; the retry ladder backs off and tries again.
+var errCheckpointBusy = errors.New("wqrtq: checkpoint in progress")
+
+// recoverWriter replaces a poisoned WAL writer by snapshot-then-rotate:
+// serialize the current index at the exact LSN the log reached, then
+// start a fresh segment at that LSN and swap it in. The order matters
+// twice over. Appending to the poisoned segment is unsound — its tail
+// may hold a partial frame, and a later valid record after undecodable
+// bytes is exactly what recovery (correctly) refuses as mid-file
+// corruption. And plain rotation without the snapshot is unsound too:
+// it would leave the torn segment as a non-final link of the replay
+// chain, which recovery also refuses. Writing the snapshot first drops
+// the poisoned segment out of the chain entirely — recovery replays only
+// segments at or above the snapshot's LSN.
+func (d *durable) recoverWriter(cur *Index) error {
+	if !d.checkpointing.CompareAndSwap(false, true) {
+		return errCheckpointBusy
+	}
+	defer d.checkpointing.Store(false)
+	d.mu.Lock()
+	lsn := d.lastLSN
+	prev := d.snapLSN
+	d.mu.Unlock()
+	if err := d.writeSnapshot(cur, lsn); err != nil {
+		return err
+	}
+	w2, err := wal.Create(d.fs, d.dir, filepath.Join(d.dir, wal.SegmentName(lsn)), lsn, d.policy)
+	if err != nil {
+		return err
+	}
+	d.mu.Lock()
+	old := d.w
+	d.w = w2
+	a, s := old.Counters()
+	d.appendsBase += a
+	d.syncsBase += s
+	if lsn > d.snapLSN {
+		d.snapLSN = lsn
+	}
+	d.mu.Unlock()
+	_ = old.Close() // poisoned: best-effort release of the file handle
+	d.wRecoveries.Add(1)
+	d.cleanup(lsn, prev)
+	return nil
+}
+
+// degradedErr returns the typed read-only error while degraded, nil
+// otherwise.
+func (d *durable) degradedErr() error {
+	if !d.degraded.Load() {
+		return nil
+	}
+	d.mu.Lock()
+	reason, cause := d.degReason, d.degCause
+	d.mu.Unlock()
+	return &DegradedError{Reason: reason, Cause: cause}
+}
+
+// degradedReason returns the current degradation reason ("" when healthy).
+func (d *durable) degradedReason() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.degReason
+}
+
+// enterDegraded latches read-only mode. The transition happens exactly
+// once per degradation (under d.mu), no matter how many callers race
+// into it; every caller gets the typed error.
+func (d *durable) enterDegraded(reason string, cause error) error {
+	d.mu.Lock()
+	if !d.degraded.Load() {
+		d.degReason, d.degCause = reason, cause
+		d.degraded.Store(true)
+		d.degradations.Add(1)
+	}
+	reason, cause = d.degReason, d.degCause
+	d.mu.Unlock()
+	return &DegradedError{Reason: reason, Cause: cause}
+}
+
+// clearDegraded lifts read-only mode after a successful Reopen.
+func (d *durable) clearDegraded() {
+	d.mu.Lock()
+	d.degReason, d.degCause = "", nil
+	d.degraded.Store(false)
+	d.mu.Unlock()
+}
+
+// Reopen attempts to leave read-only degraded mode: under the mutation
+// lock it re-runs the writer recovery (snapshot-then-rotate) against the
+// current snapshot and, on success, clears the degraded latch so
+// mutations flow again. On error the engine stays degraded; callers
+// retry — typically after the operator fixed the device or freed space.
+// On a healthy engine Reopen is a no-op.
+func (e *Engine) Reopen() error {
+	if e.closed.Load() {
+		return ErrEngineClosed
+	}
+	d := e.dur
+	if d == nil {
+		return errors.New("wqrtq: engine has no data directory")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed.Load() {
+		return ErrEngineClosed
+	}
+	if !d.degraded.Load() {
+		return nil
+	}
+	if err := d.recoverWriter(e.current.Load()); err != nil {
+		return err
+	}
+	d.ckptFailStreak.Store(0)
+	d.clearDegraded()
+	return nil
+}
+
 // stopped is the abort poll handed to the snapshot serializer so shutdown
 // does not wait out a large checkpoint.
 func (d *durable) stopped() bool {
@@ -476,14 +690,47 @@ func (e *Engine) maybeCheckpoint() {
 	if !d.checkpointing.CompareAndSwap(false, true) {
 		return
 	}
-	d.wg.Add(1)
+	if !d.begin() {
+		// Close has started; it owns the writer from here.
+		d.checkpointing.Store(false)
+		return
+	}
 	go func() {
 		defer d.wg.Done()
 		defer d.checkpointing.Store(false)
-		if err := e.runCheckpoint(); err != nil && !errors.Is(err, pagestore.ErrAborted) {
-			d.checkpointFails.Add(1)
-		}
+		d.noteCheckpoint(e.runCheckpoint())
 	}()
+}
+
+// begin registers background work with the close barrier, refusing once
+// close has started. This closes the wg.Add-vs-Wait race: without the
+// closing check a mutation could start a checkpoint goroutine after
+// close() had already begun waiting out the group, and the goroutine
+// would then race the writer teardown.
+func (d *durable) begin() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closing {
+		return false
+	}
+	d.wg.Add(1)
+	return true
+}
+
+// noteCheckpoint records a checkpoint outcome and drives the persistent-
+// failure ladder: checkpointDegradeStreak consecutive failures degrade
+// the engine to read-only, any success (or a shutdown abort) heals the
+// streak. One failed checkpoint proves nothing about the device — it is
+// simply retried at the next threshold crossing.
+func (d *durable) noteCheckpoint(err error) {
+	if err == nil || errors.Is(err, pagestore.ErrAborted) {
+		d.ckptFailStreak.Store(0)
+		return
+	}
+	d.checkpointFails.Add(1)
+	if d.ckptFailStreak.Add(1) >= checkpointDegradeStreak {
+		_ = d.enterDegraded("checkpoint_io", err)
+	}
 }
 
 // Checkpoint synchronously serializes the current snapshot and truncates
@@ -503,9 +750,7 @@ func (e *Engine) Checkpoint() error {
 	}
 	defer d.checkpointing.Store(false)
 	err := e.runCheckpoint()
-	if err != nil && !errors.Is(err, pagestore.ErrAborted) {
-		d.checkpointFails.Add(1)
-	}
+	d.noteCheckpoint(err)
 	return err
 }
 
@@ -518,6 +763,11 @@ func (e *Engine) runCheckpoint() error {
 	e.mu.Lock()
 	snap := e.current.Load()
 	d.mu.Lock()
+	if d.closing {
+		d.mu.Unlock()
+		e.mu.Unlock()
+		return pagestore.ErrAborted
+	}
 	lsn := d.lastLSN
 	if lsn == d.snapLSN {
 		d.mu.Unlock()
@@ -554,7 +804,11 @@ func (e *Engine) runCheckpoint() error {
 	}
 	d.mu.Lock()
 	prev := d.snapLSN
-	d.snapLSN = lsn
+	// Forward-only: a writer recovery may have already published a newer
+	// snapshot while this checkpoint serialized an older capture.
+	if lsn > d.snapLSN {
+		d.snapLSN = lsn
+	}
 	d.mu.Unlock()
 	d.checkpoints.Add(1)
 	d.cleanup(lsn, prev)
@@ -593,6 +847,9 @@ func (d *durable) cleanup(cur, prev uint64) {
 // channel the serializer polls) an in-flight checkpoint. Idempotent.
 func (d *durable) close() error {
 	d.closeOnce.Do(func() {
+		d.mu.Lock()
+		d.closing = true
+		d.mu.Unlock()
 		close(d.stop)
 		d.wg.Wait()
 		d.mu.Lock()
@@ -607,6 +864,7 @@ func (d *durable) stats() WALStats {
 	w := d.w
 	last, snapLSN := d.lastLSN, d.snapLSN
 	aBase, sBase := d.appendsBase, d.syncsBase
+	reason := d.degReason
 	d.mu.Unlock()
 	a, s := w.Counters()
 	return WALStats{
@@ -623,6 +881,11 @@ func (d *durable) stats() WALStats {
 		ReplayedRecords:    d.replayed.Load(),
 		TornTailDrops:      d.tornDrops.Load(),
 		SnapshotFallbacks:  d.fallbacks.Load(),
+		Degraded:           d.degraded.Load(),
+		DegradedReason:     reason,
+		Degradations:       d.degradations.Load(),
+		Retries:            d.walRetries.Load(),
+		WriterRecoveries:   d.wRecoveries.Load(),
 	}
 }
 

@@ -1,0 +1,194 @@
+package admission
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestClassesAreIndependent(t *testing.T) {
+	c := NewController(Config{MaxInflight: 1, TargetLatency: time.Millisecond})
+	ctx := context.Background()
+
+	tq, shed := c.Admit(ctx, Query)
+	if shed != nil {
+		t.Fatalf("first query admit shed: %+v", shed)
+	}
+	// Query window is full; a mutation must still pass.
+	if _, shed := c.Admit(ctx, Query); shed == nil || shed.Reason != ReasonConcurrency {
+		t.Fatalf("second query admit: want concurrency shed, got %+v", shed)
+	}
+	tm, shed := c.Admit(ctx, Mutation)
+	if shed != nil {
+		t.Fatalf("mutation admit shed while query class full: %+v", shed)
+	}
+	tq.Done(time.Microsecond)
+	tm.Done(time.Microsecond)
+
+	st := c.Stats()
+	if st["query"].ShedConcurrency != 1 || st["mutation"].ShedConcurrency != 0 {
+		t.Fatalf("shed counters leaked across classes: %+v", st)
+	}
+}
+
+func TestAIMDDecreasesOnOverTargetLatency(t *testing.T) {
+	c := NewController(Config{MaxInflight: 64, TargetLatency: time.Millisecond, DecreaseInterval: time.Nanosecond})
+	ctx := context.Background()
+	l := c.limiters[Query]
+	start := l.limit()
+	for i := 0; i < 10; i++ {
+		tk, shed := c.Admit(ctx, Query)
+		if shed != nil {
+			t.Fatalf("admit %d shed: %+v", i, shed)
+		}
+		tk.Done(10 * time.Millisecond) // 10x over target
+		time.Sleep(time.Microsecond)   // step past the decrease interval
+	}
+	if got := l.limit(); got >= start {
+		t.Fatalf("limit did not decrease under sustained over-target latency: start %.1f, now %.1f", start, got)
+	}
+	if c.Stats()["query"].Decreases == 0 {
+		t.Fatal("no decrease recorded in stats")
+	}
+
+	// Sustained under-target completions grow the window back.
+	low := l.limit()
+	for i := 0; i < 500; i++ {
+		tk, shed := c.Admit(ctx, Query)
+		if shed != nil {
+			t.Fatalf("recovery admit %d shed: %+v", i, shed)
+		}
+		tk.Done(10 * time.Microsecond)
+	}
+	if got := l.limit(); got <= low {
+		t.Fatalf("limit did not recover under fast completions: cut to %.1f, now %.1f", low, got)
+	}
+}
+
+func TestDoomedDeadlineShedding(t *testing.T) {
+	c := NewController(Config{MaxInflight: 64})
+	// Teach the tracker a ~20ms p50.
+	for i := 0; i < recomputeEvery*2; i++ {
+		c.Observe(Query, 20*time.Millisecond)
+	}
+	if p50 := c.P50(Query); p50 != 20*time.Millisecond {
+		t.Fatalf("p50 = %v, want 20ms", p50)
+	}
+
+	// A request with 1ms of budget left is doomed and must be shed at the
+	// door with a retry hint.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	_, shed := c.Admit(ctx, Query)
+	if shed == nil || shed.Reason != ReasonDoomed {
+		t.Fatalf("want doomed shed, got %+v", shed)
+	}
+	if shed.RetryAfter != 20*time.Millisecond {
+		t.Fatalf("RetryAfter = %v, want the p50", shed.RetryAfter)
+	}
+
+	// A request with ample budget passes.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Second)
+	defer cancel2()
+	tk, shed := c.Admit(ctx2, Query)
+	if shed != nil {
+		t.Fatalf("ample-budget admit shed: %+v", shed)
+	}
+	tk.Done(time.Millisecond)
+
+	// No deadline at all: never doomed.
+	tk, shed = c.Admit(context.Background(), Query)
+	if shed != nil {
+		t.Fatalf("no-deadline admit shed: %+v", shed)
+	}
+	tk.Done(time.Millisecond)
+}
+
+func TestTokenBucketRateLimit(t *testing.T) {
+	c := NewController(Config{MaxInflight: 1024, QueryRate: 10}) // burst max(10, 8) = 10
+	ctx := context.Background()
+	admitted, shed := 0, 0
+	for i := 0; i < 50; i++ {
+		tk, s := c.Admit(ctx, Query)
+		if s != nil {
+			if s.Reason != ReasonRate {
+				t.Fatalf("admit %d: want rate shed, got %+v", i, s)
+			}
+			if s.RetryAfter <= 0 {
+				t.Fatalf("rate shed carries no RetryAfter: %+v", s)
+			}
+			shed++
+			continue
+		}
+		tk.Done(time.Microsecond)
+		admitted++
+	}
+	// The burst is 10 tokens; a tight loop of 50 must shed most of the rest.
+	if admitted > 15 || shed < 35 {
+		t.Fatalf("rate limiting too loose: admitted %d, shed %d of 50", admitted, shed)
+	}
+	// Mutations are unmetered in this config.
+	tk, s := c.Admit(ctx, Mutation)
+	if s != nil {
+		t.Fatalf("unmetered mutation shed: %+v", s)
+	}
+	tk.Done(time.Microsecond)
+}
+
+func TestInjectErrorsAndLatency(t *testing.T) {
+	c := NewController(Config{})
+	ctx := context.Background()
+	c.InjectErrors(2)
+	for i := 0; i < 2; i++ {
+		if _, shed := c.Admit(ctx, Query); shed == nil || shed.Reason != ReasonInjected {
+			t.Fatalf("injected admit %d: got %+v", i, shed)
+		}
+	}
+	tk, shed := c.Admit(ctx, Query)
+	if shed != nil {
+		t.Fatalf("budget spent but still shedding: %+v", shed)
+	}
+	tk.Done(time.Microsecond)
+	if got := c.Stats()["query"].ShedInjected; got != 2 {
+		t.Fatalf("ShedInjected = %d, want 2", got)
+	}
+
+	c.InjectLatency(20 * time.Millisecond)
+	start := time.Now()
+	tk, shed = c.Admit(ctx, Query)
+	if shed != nil {
+		t.Fatalf("latency-injected admit shed: %+v", shed)
+	}
+	tk.Done(time.Microsecond)
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("InjectLatency not applied: admit took %v", d)
+	}
+	c.InjectLatency(0)
+}
+
+func TestConcurrentAdmitRace(t *testing.T) {
+	c := NewController(Config{MaxInflight: 8, TargetLatency: time.Second})
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tk, shed := c.Admit(ctx, Query)
+				if shed == nil {
+					tk.Done(time.Microsecond)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st := c.Stats()["query"]
+	if st.Inflight != 0 {
+		t.Fatalf("inflight leaked: %d", st.Inflight)
+	}
+	if st.Admitted == 0 {
+		t.Fatal("nothing admitted")
+	}
+}

@@ -103,6 +103,29 @@ func (p *Pool[R]) SubmitCtx(ctx context.Context, r R) (bool, error) {
 	}
 }
 
+// TrySubmit enqueues a request only if a queue slot is immediately free.
+// It returns (true, true) on success, (false, true) when the queue is full
+// — the admission-control signal: the caller sheds instead of parking a
+// goroutine behind a backlog it may never clear — and (_, false) once the
+// pool is closed.
+func (p *Pool[R]) TrySubmit(r R) (queued, open bool) {
+	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		return false, false
+	}
+	p.senders.Add(1)
+	p.mu.RUnlock()
+	defer p.senders.Done()
+
+	select {
+	case p.ch <- r:
+		return true, true
+	default:
+		return false, true
+	}
+}
+
 // Close stops accepting requests, waits for the queue to drain and for all
 // in-flight batches to finish. It is idempotent.
 func (p *Pool[R]) Close() {

@@ -1,0 +1,126 @@
+package loadgen
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestOpenLoopOffersAtRate(t *testing.T) {
+	var calls atomic.Int64
+	r, err := Run(Config{
+		Rate:     1000,
+		Duration: 100 * time.Millisecond,
+		Target: func(Kind) error {
+			calls.Add(1)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1000/s for 100ms = 100 arrivals on the generator's clock. Allow
+	// scheduler slop but require the open loop to be in the ballpark.
+	if r.Offered < 50 || r.Offered > 110 {
+		t.Fatalf("offered %d arrivals, want ~100", r.Offered)
+	}
+	if r.Served != calls.Load() || r.Served != r.Offered {
+		t.Fatalf("served %d, calls %d, offered %d", r.Served, calls.Load(), r.Offered)
+	}
+	if r.GoodputPerSec <= 0 {
+		t.Fatalf("goodput %v", r.GoodputPerSec)
+	}
+	if r.QueryLatency.Count != r.Served || r.MutationLatency.Count != 0 {
+		t.Fatalf("latency counts: query %d, mutation %d", r.QueryLatency.Count, r.MutationLatency.Count)
+	}
+}
+
+func TestArrivalsIndependentOfSlowTarget(t *testing.T) {
+	// Open loop: a slow server must not slow down arrivals. 500/s for
+	// 100ms with a 50ms per-request stall still offers ~50 requests —
+	// a closed loop would manage only ~2.
+	r, err := Run(Config{
+		Rate:     500,
+		Duration: 100 * time.Millisecond,
+		Target: func(Kind) error {
+			time.Sleep(50 * time.Millisecond)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Offered < 25 {
+		t.Fatalf("slow target throttled the open loop: offered %d, want ~50", r.Offered)
+	}
+}
+
+func TestClassifyAndMix(t *testing.T) {
+	errShed := errors.New("shed")
+	var mutations atomic.Int64
+	r, err := Run(Config{
+		Rate:         2000,
+		Duration:     100 * time.Millisecond,
+		MutationFrac: 0.5,
+		Seed:         1,
+		Target: func(k Kind) error {
+			if k == Mutation {
+				mutations.Add(1)
+				return errShed
+			}
+			return nil
+		},
+		Classify: func(err error) Outcome {
+			switch {
+			case err == nil:
+				return OK
+			case errors.Is(err, errShed):
+				return Shed
+			default:
+				return Failed
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Shed != mutations.Load() {
+		t.Fatalf("shed %d, mutations %d", r.Shed, mutations.Load())
+	}
+	if r.Shed == 0 || r.Served == 0 {
+		t.Fatalf("mix did not produce both kinds: served %d, shed %d", r.Served, r.Shed)
+	}
+	if r.Failed != 0 {
+		t.Fatalf("failed %d, want 0", r.Failed)
+	}
+	if r.ShedFraction <= 0.2 || r.ShedFraction >= 0.8 {
+		t.Fatalf("shed fraction %v, want ~0.5", r.ShedFraction)
+	}
+}
+
+func TestMaxInFlightCountsLost(t *testing.T) {
+	// Four client slots, all stuck on a stalled server until after the
+	// arrival window closes: every further open-loop arrival must be
+	// counted as lost, not silently delayed.
+	block := make(chan struct{})
+	time.AfterFunc(80*time.Millisecond, func() { close(block) })
+	r, err := Run(Config{
+		Rate:        1000,
+		Duration:    50 * time.Millisecond,
+		MaxInFlight: 4,
+		Target: func(Kind) error {
+			<-block
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Served != 4 {
+		t.Fatalf("served %d, want exactly the 4 client slots", r.Served)
+	}
+	if r.Lost == 0 || r.Offered != r.Lost+r.Served {
+		t.Fatalf("offered %d, lost %d, served %d: arrivals past the cap must be lost", r.Offered, r.Lost, r.Served)
+	}
+}

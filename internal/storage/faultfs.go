@@ -10,6 +10,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // FaultFS is an in-memory FS that models crash consistency the way a
@@ -39,6 +41,14 @@ type FaultFS struct {
 	ops     int
 	crashAt int // 0 = disarmed; crash fires when ops reaches crashAt
 	crashed bool
+	// injectN is the remaining budget of transient ErrInjected failures
+	// (InjectFailures); unlike the crash point it heals once spent.
+	injectN  int
+	injected int
+	// opDelayNs stalls every Write/Sync by this long before it runs — the
+	// I/O-latency injection behind the chaos harness. Atomic so the stall
+	// happens outside f.mu and does not serialize unrelated operations.
+	opDelayNs atomic.Int64
 }
 
 type dirOp struct {
@@ -90,25 +100,71 @@ func (f *FaultFS) Crashed() bool {
 	return f.crashed
 }
 
-// step counts a state-changing operation and reports whether it must fail
-// because the crash point has been reached. Callers hold f.mu.
-func (f *FaultFS) step() bool {
+// InjectFailures arms a transient fault window: the next n state-changing
+// operations fail with ErrInjected, after which operations succeed again.
+// Unlike SetCrashAt nothing is lost and nothing stays broken — this is the
+// hiccuping-device model the WAL retry/backoff path must absorb. n <= 0
+// clears the window.
+func (f *FaultFS) InjectFailures(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if n <= 0 {
+		f.injectN = 0
+		return
+	}
+	f.injectN = n
+}
+
+// InjectedCount reports how many operations have failed with ErrInjected.
+func (f *FaultFS) InjectedCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+// SetOpDelay stalls every subsequent Write and Sync by d before it
+// executes — the I/O-latency injection used by the chaos harness to model
+// a saturated or failing device. d <= 0 clears the stall.
+func (f *FaultFS) SetOpDelay(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	f.opDelayNs.Store(int64(d))
+}
+
+// stall sleeps out the configured op delay. Called before taking f.mu so a
+// slow operation does not serialize unrelated ones.
+func (f *FaultFS) stall() {
+	if d := f.opDelayNs.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
+}
+
+// step counts a state-changing operation and returns the error it must
+// fail with: ErrCrashed at and after the armed crash point, ErrInjected
+// while a transient fault window is open, nil otherwise. Callers hold f.mu.
+func (f *FaultFS) step() error {
 	if f.crashed {
-		return true
+		return ErrCrashed
 	}
 	f.ops++
 	if f.crashAt > 0 && f.ops >= f.crashAt {
 		f.crashed = true
-		return true
+		return ErrCrashed
 	}
-	return false
+	if f.injectN > 0 {
+		f.injectN--
+		f.injected++
+		return ErrInjected
+	}
+	return nil
 }
 
 func (f *FaultFS) Create(name string) (File, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if f.step() {
-		return nil, ErrCrashed
+	if err := f.step(); err != nil {
+		return nil, err
 	}
 	mf := &memFile{}
 	f.files[name] = mf
@@ -132,8 +188,8 @@ func (f *FaultFS) Open(name string) (File, error) {
 func (f *FaultFS) Rename(oldName, newName string) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if f.step() {
-		return ErrCrashed
+	if err := f.step(); err != nil {
+		return err
 	}
 	mf, ok := f.files[oldName]
 	if !ok {
@@ -148,8 +204,8 @@ func (f *FaultFS) Rename(oldName, newName string) error {
 func (f *FaultFS) Remove(name string) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if f.step() {
-		return ErrCrashed
+	if err := f.step(); err != nil {
+		return err
 	}
 	if _, ok := f.files[name]; !ok {
 		return &os.PathError{Op: "remove", Path: name, Err: os.ErrNotExist}
@@ -194,8 +250,8 @@ func (f *FaultFS) MkdirAll(dir string) error {
 func (f *FaultFS) SyncDir(string) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if f.step() {
-		return ErrCrashed
+	if err := f.step(); err != nil {
+		return err
 	}
 	// All files share one logical directory for durability purposes; the
 	// engine keeps everything in a single data dir.
@@ -388,6 +444,7 @@ func (h *faultHandle) ReadAt(p []byte, off int64) (int, error) {
 }
 
 func (h *faultHandle) Write(p []byte) (int, error) {
+	h.fs.stall()
 	h.fs.mu.Lock()
 	defer h.fs.mu.Unlock()
 	if h.closed {
@@ -396,21 +453,22 @@ func (h *faultHandle) Write(p []byte) (int, error) {
 	if !h.writable {
 		return 0, errors.New("storage: file opened read-only")
 	}
-	if h.fs.step() {
-		return 0, ErrCrashed
+	if err := h.fs.step(); err != nil {
+		return 0, err
 	}
 	h.mf.data = append(h.mf.data, p...)
 	return len(p), nil
 }
 
 func (h *faultHandle) Sync() error {
+	h.fs.stall()
 	h.fs.mu.Lock()
 	defer h.fs.mu.Unlock()
 	if h.closed {
 		return os.ErrClosed
 	}
-	if h.fs.step() {
-		return ErrCrashed
+	if err := h.fs.step(); err != nil {
+		return err
 	}
 	h.mf.syncedLen = len(h.mf.data)
 	return nil

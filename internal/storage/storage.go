@@ -51,3 +51,11 @@ type FS interface {
 // armed crash point. Code under test treats it like any other I/O error;
 // the harness then rebuilds the post-crash durable view with Reboot.
 var ErrCrashed = errors.New("storage: simulated crash")
+
+// ErrInjected is returned by FaultFS operations while a transient fault
+// window armed with InjectFailures is open. Unlike ErrCrashed it is not
+// sticky: once the armed budget is spent, later operations succeed again —
+// the shape of a device that hiccups (EIO under memory pressure, a
+// controller reset) rather than dies, which is what retry/backoff paths
+// must survive without escalating.
+var ErrInjected = errors.New("storage: injected transient I/O error")

@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"wqrtq/internal/admission"
 	"wqrtq/internal/engine"
 	"wqrtq/internal/storage"
 	"wqrtq/internal/topk"
@@ -98,6 +99,37 @@ type EngineConfig struct {
 	// default) is the real one. Tests inject storage.FaultFS here to
 	// simulate crashes, torn writes and bit rot.
 	FS storage.FS
+	// Admission enables the overload-control front door
+	// (internal/admission): per-class token buckets, an AIMD concurrency
+	// limiter steering accepted-request latency toward
+	// AdmissionTargetLatency, and deadline-aware early shedding. A
+	// rejected request fails with ErrOverloaded (an *OverloadError
+	// carrying class, reason and a Retry-After hint) instead of queueing;
+	// with admission on the engine never parks a caller behind a full
+	// worker queue. Off by default, so the pure library behaves exactly
+	// as before; `wqrtq serve` enables it (the -admission flag).
+	Admission bool
+	// AdmissionMaxInflight caps each class's adaptive concurrency window;
+	// <= 0 uses 256.
+	AdmissionMaxInflight int
+	// AdmissionTargetLatency is the accepted-request latency the AIMD
+	// controller steers toward; <= 0 uses 50ms.
+	AdmissionTargetLatency time.Duration
+	// AdmissionQueryRate and AdmissionMutationRate cap each class's
+	// sustained admission rate in requests/second; <= 0 leaves the class
+	// unmetered.
+	AdmissionQueryRate    float64
+	AdmissionMutationRate float64
+	// WALRetries bounds how many times a failed WAL append is retried —
+	// with jittered exponential backoff and a writer recovery
+	// (snapshot-then-rotate) between attempts — before the engine
+	// degrades to read-only (ErrDegraded on mutations, queries
+	// unaffected). 0 uses 3; negative disables retries so the first
+	// failure degrades.
+	WALRetries int
+	// WALRetryBackoff is the base backoff before the first WAL retry,
+	// doubled per attempt with ±50% jitter; <= 0 uses 2ms.
+	WALRetryBackoff time.Duration
 }
 
 func (c EngineConfig) withDefaults() EngineConfig {
@@ -128,6 +160,9 @@ type Engine struct {
 	cache   *engine.LRU[cacheKey, any] // nil when disabled
 	metrics *engine.Metrics
 	closed  atomic.Bool
+	// adm is the admission controller (overload.go, internal/admission);
+	// nil when cfg.Admission is off.
+	adm *admission.Controller
 	// dur is the durability state (durability.go); nil without DataDir.
 	dur       *durable
 	closeOnce sync.Once
@@ -229,23 +264,48 @@ func NewEngine(ix *Index, cfg EngineConfig) (*Engine, error) {
 	if cfg.CacheSize > 0 {
 		e.cache = engine.NewLRU[cacheKey, any](cfg.CacheSize)
 	}
-	e.pool = engine.NewPool(cfg.Workers, cfg.MaxBatch, cfg.BatchLinger, dropStale, e.exec)
+	if cfg.Admission {
+		e.adm = admission.NewController(admission.Config{
+			MaxInflight:   cfg.AdmissionMaxInflight,
+			TargetLatency: cfg.AdmissionTargetLatency,
+			QueryRate:     cfg.AdmissionQueryRate,
+			MutationRate:  cfg.AdmissionMutationRate,
+		})
+	}
+	e.pool = engine.NewPool(cfg.Workers, cfg.MaxBatch, cfg.BatchLinger, e.dropReq, e.exec)
 	return e, nil
 }
 
-// dropStale sheds a queued request whose context ended while it waited: the
-// waiter (which has already unblocked via its own ctx select) is answered
-// with the context's error and no index work is spent on it.
-func dropStale(r *engineReq) bool {
+// Admission returns the engine's admission controller, nil when admission
+// is disabled. Exposed for the chaos hooks (InjectLatency, InjectErrors)
+// the load harness and degraded-mode tests drive.
+func (e *Engine) Admission() *admission.Controller { return e.adm }
+
+// dropReq sheds a queued request that is no longer worth running: one
+// whose context ended while it waited (the waiter has already unblocked
+// via its own ctx select and is answered with the context's error), and —
+// with admission on — one whose remaining deadline budget has fallen
+// below the query class's observed p50 service time. The second case is
+// queued-but-doomed work the admission door could not catch, because the
+// backlog grew after it was admitted; shedding it at dequeue is the last
+// moment it can still cost nothing.
+func (e *Engine) dropReq(r *engineReq) bool {
 	if r.ctx == nil {
 		return false
 	}
-	err := r.ctx.Err()
-	if err == nil {
-		return false
+	if err := r.ctx.Err(); err != nil {
+		r.done <- engineResp{err: err}
+		return true
 	}
-	r.done <- engineResp{err: err}
-	return true
+	if e.adm != nil {
+		if dl, ok := r.ctx.Deadline(); ok {
+			if p50 := e.adm.P50(admission.Query); p50 > 0 && time.Until(dl) < p50 {
+				r.done <- engineResp{err: &OverloadError{Class: "query", Reason: admission.ReasonDoomed, RetryAfter: p50}}
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // Close stops the engine: in-flight and already-queued requests finish,
@@ -260,6 +320,16 @@ func (e *Engine) Close() error {
 	e.closeOnce.Do(func() {
 		e.closed.Store(true)
 		e.pool.Close()
+		// Barrier: a mutation that passed its closed check before the
+		// store above may still be inside e.mu appending to the WAL or
+		// triggering a checkpoint. Taking the lock here waits it out, and
+		// every later mutation re-checks closed under e.mu — so once the
+		// barrier passes, nothing can start new durability work and
+		// dur.close() releases the data directory race-free.
+		e.mu.Lock()
+		barrier := e.current.Load()
+		e.mu.Unlock()
+		_ = barrier
 		if e.dur != nil {
 			e.closeErr = e.dur.close()
 		}
@@ -288,8 +358,31 @@ func (e *Engine) insert(p []float64) (int, uint64, error) {
 	if e.closed.Load() {
 		return 0, 0, ErrEngineClosed
 	}
+	// Fail fast outside the lock: a degraded (read-only) engine refuses
+	// mutations before they cost a clone; admission meters the mutation
+	// class before it costs a lock acquisition. Both are re-verified on
+	// the authoritative path (appendRetry, the closed re-check below).
+	if e.dur != nil {
+		if derr := e.dur.degradedErr(); derr != nil {
+			return 0, 0, derr
+		}
+	}
+	ticket, err := e.admit(context.Background(), admission.Mutation)
+	if err != nil {
+		return 0, 0, err
+	}
+	if ticket != nil {
+		start := time.Now()
+		defer func() { ticket.Done(time.Since(start)) }()
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.closed.Load() {
+		// Close sets closed and then takes e.mu as a barrier; a mutation
+		// that raced past the first check must not append after the WAL
+		// has been sealed.
+		return 0, 0, ErrEngineClosed
+	}
 	cur := e.current.Load()
 	if err := cur.checkPoint(p); err != nil {
 		return 0, cur.Epoch(), err
@@ -303,7 +396,9 @@ func (e *Engine) insert(p []float64) (int, uint64, error) {
 	// durable) before the snapshot containing it becomes observable. On
 	// failure the clone is discarded and the engine state is unchanged.
 	if e.dur != nil {
-		if err := e.dur.appendInsert(uint64(id), vec.Point(p)); err != nil {
+		if err := e.dur.appendRetry(cur, func() error {
+			return e.dur.appendInsert(uint64(id), vec.Point(p))
+		}); err != nil {
 			return 0, cur.Epoch(), err
 		}
 	}
@@ -329,8 +424,24 @@ func (e *Engine) delete(id int) (bool, uint64, error) {
 	if e.closed.Load() {
 		return false, 0, ErrEngineClosed
 	}
+	if e.dur != nil {
+		if derr := e.dur.degradedErr(); derr != nil {
+			return false, 0, derr
+		}
+	}
+	ticket, err := e.admit(context.Background(), admission.Mutation)
+	if err != nil {
+		return false, 0, err
+	}
+	if ticket != nil {
+		start := time.Now()
+		defer func() { ticket.Done(time.Since(start)) }()
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.closed.Load() {
+		return false, 0, ErrEngineClosed
+	}
 	cur := e.current.Load()
 	if id < 0 || id >= cur.NumIDs() {
 		ok, err := cur.Delete(id) // delegate for the canonical error
@@ -345,7 +456,9 @@ func (e *Engine) delete(id int) (bool, uint64, error) {
 		return ok, cur.Epoch(), err
 	}
 	if e.dur != nil {
-		if err := e.dur.appendDelete(uint64(id)); err != nil {
+		if err := e.dur.appendRetry(cur, func() error {
+			return e.dur.appendDelete(uint64(id))
+		}); err != nil {
 			return false, cur.Epoch(), err
 		}
 	}
@@ -651,6 +764,9 @@ type EngineStats struct {
 	// WAL reports the durability layer's counters (durability.go);
 	// Enabled is false for a pure in-memory engine.
 	WAL WALStats `json:"wal"`
+	// Admission reports the overload-control counters per class ("query",
+	// "mutation"); nil when admission is disabled.
+	Admission map[string]admission.ClassStats `json:"admission,omitempty"`
 }
 
 // Stats returns the engine's serving counters.
@@ -681,6 +797,9 @@ func (e *Engine) Stats() EngineStats {
 	}
 	if e.dur != nil {
 		s.WAL = e.dur.stats()
+	}
+	if e.adm != nil {
+		s.Admission = e.adm.Stats()
 	}
 	return s
 }
@@ -720,9 +839,11 @@ func (e *Engine) observe(kind string, start time.Time, err error) {
 	}
 }
 
-// do runs one request through the cache fast path and the worker pool. The
-// caller unblocks as soon as ctx ends, even if the request is still queued
-// (the pool then sheds it without work).
+// do runs one request through the cache fast path, the admission door and
+// the worker pool. The caller unblocks as soon as ctx ends, even if the
+// request is still queued (the pool then sheds it without work). With
+// admission on, a request that cannot get a queue slot immediately is
+// shed with ErrOverloaded instead of parking the caller behind a backlog.
 func (e *Engine) do(ctx context.Context, r *engineReq) (any, uint64, error) {
 	start := time.Now()
 	if err := ctx.Err(); err != nil {
@@ -735,26 +856,59 @@ func (e *Engine) do(ctx context.Context, r *engineReq) (any, uint64, error) {
 		epoch := e.Epoch()
 		if v, ok := e.cacheGet(epoch, r.key); ok {
 			e.metrics.Observe(r.kind, time.Since(start), false)
+			if e.adm != nil {
+				// Cache hits bypass admission but still shape the class's
+				// service-time estimate: under cache-heavy traffic the
+				// median service time really is a cache hit.
+				e.adm.Observe(admission.Query, time.Since(start))
+			}
 			return v, epoch, nil
 		}
 	}
-	r.done = make(chan engineResp, 1)
-	ok, err := e.pool.SubmitCtx(ctx, r)
-	if err != nil {
-		// The queue was full when the context ended; no work was queued.
-		e.observe(r.kind, start, err)
-		return nil, 0, err
+	// The door: deadline-aware shedding, rate limiting and the AIMD
+	// concurrency window — all before the request costs a queue slot.
+	ticket, aerr := e.admit(ctx, admission.Query)
+	if aerr != nil {
+		e.observe(r.kind, start, aerr)
+		return nil, 0, aerr
 	}
-	if !ok {
-		return nil, 0, ErrEngineClosed
+	r.done = make(chan engineResp, 1)
+	if ticket != nil {
+		queued, open := e.pool.TrySubmit(r)
+		if !open {
+			ticket.Done(time.Since(start))
+			return nil, 0, ErrEngineClosed
+		}
+		if !queued {
+			ticket.Done(time.Since(start))
+			err := &OverloadError{Class: "query", Reason: ReasonQueueFull, RetryAfter: e.adm.P50(admission.Query)}
+			e.observe(r.kind, start, err)
+			return nil, 0, err
+		}
+	} else {
+		ok, err := e.pool.SubmitCtx(ctx, r)
+		if err != nil {
+			// The queue was full when the context ended; no work was queued.
+			e.observe(r.kind, start, err)
+			return nil, 0, err
+		}
+		if !ok {
+			return nil, 0, ErrEngineClosed
+		}
 	}
 	select {
 	case resp := <-r.done:
+		if ticket != nil {
+			ticket.Done(time.Since(start))
+		}
 		e.observe(r.kind, start, resp.err)
 		return resp.val, resp.epoch, resp.err
 	case <-ctx.Done():
 		// The queued request is shed by the pool's drop check or answered
 		// into the buffered done channel; nothing leaks.
+		if ticket != nil {
+			ticket.Done(time.Since(start))
+		}
 		err := ctx.Err()
 		e.observe(r.kind, start, err)
 		return nil, 0, err
