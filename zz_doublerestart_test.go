@@ -1,0 +1,69 @@
+package wqrtq
+
+import (
+	"testing"
+
+	"wqrtq/internal/storage"
+)
+
+// Torn-tail double-restart: crash mid-run, recover once (drops torn tail),
+// close, then open the same directory again.
+func TestZZDoubleRestartAfterTornTail(t *testing.T) {
+	pts := basePoints("independent", 36, 2, 5)
+	script, _ := buildScript(t, pts, 24, 9)
+
+	// Baseline to learn op count.
+	fs0 := storage.NewFaultFS()
+	seed, err := NewIndex(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(seed, durCfg(fs0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := applyScript(t, e, script, nil); err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	total := fs0.OpCount()
+
+	tried, failed := 0, 0
+	for seedR := int64(1); seedR <= 6; seedR++ {
+	for crashAt := 1; crashAt <= total; crashAt++ {
+		fs := storage.NewFaultFS()
+		fs.SetCrashAt(crashAt)
+		seed, err := NewIndex(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := NewEngine(seed, durCfg(fs))
+		if err == nil {
+			applyScript(t, e, script, nil)
+			e.Close()
+		}
+		rfs := fs.Reboot(seedR)
+		re, err := NewEngine(nil, durCfg(rfs))
+		if err != nil {
+			continue // first recovery refused; not the scenario under test
+		}
+		lsn1 := re.Stats().WAL.LastLSN
+		torn := re.Stats().WAL.TornTailDrops
+		if err := re.Close(); err != nil {
+			t.Fatalf("crashAt=%d: close after first recovery: %v", crashAt, err)
+		}
+		tried++
+		re2, err := NewEngine(nil, durCfg(rfs))
+		if err != nil {
+			failed++
+			t.Logf("crashAt=%d: SECOND recovery failed (first OK at LSN %d, tornDrops=%d): %v", crashAt, lsn1, torn, err)
+			continue
+		}
+		re2.Close()
+	}
+	}
+	t.Logf("second-restart attempts: %d, failures: %d", tried, failed)
+	if failed > 0 {
+		t.Fatalf("%d/%d second restarts failed", failed, tried)
+	}
+}
